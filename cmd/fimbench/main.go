@@ -1,0 +1,99 @@
+// Command fimbench regenerates the paper's evaluation artifacts: Table 1
+// (algorithm roster), Table 2 (dataset statistics) and the four panels of
+// Figure 6 (runtime and speedup versus minimum support).
+//
+// Usage:
+//
+//	fimbench -table 1
+//	fimbench -table 2 -scale 0.05
+//	fimbench -figure 6c -scale 1.0 -era
+//	fimbench -all -scale 0.02 -era        # everything, scaled down
+//
+// CPU algorithm times are measured wall-clock on this host; GPApriori
+// times are measured host candidate-generation time plus the gpusim
+// Tesla-T10 timing model (see DESIGN.md §2 and EXPERIMENTS.md). -era pins
+// CPU bitset counting to the 2011-style table popcount for paper-faithful
+// comparisons.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"gpapriori/internal/bench"
+)
+
+func main() {
+	var (
+		table  = flag.String("table", "", "regenerate a table: 1 or 2")
+		figure = flag.String("figure", "", "regenerate a Figure 6 panel: 6a, 6b, 6c or 6d")
+		all    = flag.Bool("all", false, "regenerate both tables and all four figure panels")
+		scale  = flag.Float64("scale", 0.05, "dataset scale (1.0 = published transaction counts)")
+		era    = flag.Bool("era", false, "use 2011-era table popcount for CPU bitset counting")
+		ext    = flag.String("ext", "", "run an extension experiment: e1 (multi-GPU), e2 (hybrid), e3 (cluster), e4 (architecture), e5 (GPU Eclat), or 'all'")
+		block  = flag.Int("block", 0, "GPU kernel block size override (default 64 in the harness)")
+		maxLen = flag.Int("maxlen", 0, "bound itemset length for all miners (0 = unbounded)")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *table, *figure, *ext, *all, *scale, *era, *block, *maxLen); err != nil {
+		fmt.Fprintln(os.Stderr, "fimbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, table, figure, ext string, all bool, scale float64, era bool, block, maxLen int) error {
+	opt := bench.Options{Scale: scale, EraPopcount: era, BlockSize: block, MaxLen: maxLen}
+	did := false
+	if table == "1" || all {
+		bench.WriteTable1(w)
+		fmt.Fprintln(w)
+		did = true
+	}
+	if table == "2" || all {
+		if err := bench.WriteTable2(w, scale); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		did = true
+	}
+	var panels []string
+	switch {
+	case all:
+		panels = []string{"6a", "6b", "6c", "6d"}
+	case figure != "":
+		panels = []string{figure}
+	}
+	for _, id := range panels {
+		fig, err := bench.RunFigure(id, opt)
+		if err != nil {
+			return err
+		}
+		bench.WriteFigure(w, fig)
+		fmt.Fprintln(w)
+		did = true
+	}
+	var exts []string
+	switch {
+	case ext == "all":
+		exts = bench.ExtensionIDs
+	case ext != "":
+		exts = []string{ext}
+	}
+	for _, id := range exts {
+		runner, ok := bench.Extensions[id]
+		if !ok {
+			return fmt.Errorf("unknown extension %q (have %v)", id, bench.ExtensionIDs)
+		}
+		if err := runner(w, scale); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		did = true
+	}
+	if !did {
+		return fmt.Errorf("nothing to do: pass -table, -figure, -ext or -all")
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFimbenchTable1(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "1", "", "", false, 0.01, false, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Table 1") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestFimbenchTable2(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "2", "", "", false, 0.005, false, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, name := range []string{"chess", "pumsb", "accidents", "T40I10D100K"} {
+		if !strings.Contains(s, name) {
+			t.Fatalf("Table 2 missing %s:\n%s", name, s)
+		}
+	}
+}
+
+func TestFimbenchFigurePanel(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "", "6c", "", false, 0.03, true, 32, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 6c") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestFimbenchExtension(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "", "", "e4", false, 0.004, false, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "E4") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestFimbenchValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "", "", "", false, 0.05, false, 0, 0); err == nil {
+		t.Fatal("no action accepted")
+	}
+	if err := run(&out, "", "9z", "", false, 0.05, false, 0, 0); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	if err := run(&out, "", "", "e9", false, 0.05, false, 0, 0); err == nil {
+		t.Fatal("unknown extension accepted")
+	}
+}

@@ -1,0 +1,159 @@
+// Command fimcheck cross-validates every miner in the repository: it runs
+// all algorithms on the same database and verifies they return identical
+// frequent-itemset collections (same sets, same supports). Any
+// disagreement is printed with an itemset-level diff.
+//
+// Usage:
+//
+//	fimcheck -dataset chess -scale 0.1 -minsup 0.8
+//	fimcheck -input retail.dat -minsup 0.02
+//	fimcheck -random 12 -minsup 5        # 12-item random DB vs brute force
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"gpapriori"
+)
+
+func main() {
+	var (
+		input  = flag.String("input", "", "FIMI .dat file")
+		dsName = flag.String("dataset", "", "generated paper dataset name")
+		scale  = flag.Float64("scale", 0.05, "scale of the generated dataset")
+		random = flag.Int("random", 0, "use a random database with this many items instead")
+		seed   = flag.Int64("seed", 1, "seed for -random")
+		minsup = flag.Float64("minsup", 0, "minimum support: ratio in (0,1) or absolute count")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *input, *dsName, *scale, *random, *seed, *minsup); err != nil {
+		fmt.Fprintln(os.Stderr, "fimcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, input, dsName string, scale float64, random int, seed int64, minsup float64) error {
+	var db *gpapriori.Database
+	var err error
+	switch {
+	case input != "":
+		f, err2 := os.Open(input)
+		if err2 != nil {
+			return err2
+		}
+		defer f.Close()
+		db, err = gpapriori.ReadDatabase(f)
+	case dsName != "":
+		db, err = gpapriori.GeneratePaperDataset(dsName, scale)
+	case random > 0:
+		db = randomDB(random, seed)
+	default:
+		return fmt.Errorf("need -input, -dataset or -random")
+	}
+	if err != nil {
+		return err
+	}
+	if minsup <= 0 {
+		return fmt.Errorf("-minsup is required")
+	}
+	cfg := gpapriori.Config{}
+	if minsup < 1 {
+		cfg.RelativeSupport = minsup
+	} else {
+		cfg.MinSupport = int(minsup)
+	}
+
+	st := db.Stats()
+	fmt.Fprintf(w, "database: %d transactions, %d items, avg length %.1f\n",
+		st.NumTrans, st.NumItems, st.AvgLength)
+
+	var ref *gpapriori.Result
+	ok := true
+	for _, algo := range gpapriori.Algorithms() {
+		c := cfg
+		c.Algorithm = algo
+		res, err := gpapriori.Mine(db, c)
+		if err != nil {
+			return fmt.Errorf("%s: %w", algo, err)
+		}
+		status := "OK"
+		if ref == nil {
+			ref = res
+			status = "reference"
+		} else if !sameResults(ref, res) {
+			status = "MISMATCH"
+			ok = false
+			printDiff(w, ref, res)
+		}
+		fmt.Fprintf(w, "  %-14s %7d itemsets  %8.4gs  %s\n", algo, res.Len(), res.TotalSeconds(), status)
+	}
+	if !ok {
+		return fmt.Errorf("miners disagree")
+	}
+	fmt.Fprintln(w, "all algorithms agree")
+	return nil
+}
+
+func sameResults(a, b *gpapriori.Result) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.Itemsets {
+		x, y := a.Itemsets[i], b.Itemsets[i]
+		if x.Support != y.Support || len(x.Items) != len(y.Items) {
+			return false
+		}
+		for j := range x.Items {
+			if x.Items[j] != y.Items[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func printDiff(w io.Writer, ref, got *gpapriori.Result) {
+	key := func(s gpapriori.Itemset) string { return fmt.Sprint(s.Items) }
+	refM := map[string]int{}
+	for _, s := range ref.Itemsets {
+		refM[key(s)] = s.Support
+	}
+	gotM := map[string]int{}
+	for _, s := range got.Itemsets {
+		gotM[key(s)] = s.Support
+		if sup, ok := refM[key(s)]; !ok {
+			fmt.Fprintf(w, "    only in %s: %v:%d\n", got.Algorithm, s.Items, s.Support)
+		} else if sup != s.Support {
+			fmt.Fprintf(w, "    support differs for %v: %s=%d %s=%d\n",
+				s.Items, ref.Algorithm, sup, got.Algorithm, s.Support)
+		}
+	}
+	for _, s := range ref.Itemsets {
+		if _, ok := gotM[key(s)]; !ok {
+			fmt.Fprintf(w, "    missing from %s: %v:%d\n", got.Algorithm, s.Items, s.Support)
+		}
+	}
+}
+
+// randomDB builds a deterministic random database for quick checks.
+func randomDB(items int, seed int64) *gpapriori.Database {
+	// A small linear-congruential stream keeps this free of package
+	// dependencies and deterministic across platforms.
+	state := uint64(seed)*2862933555777941757 + 3037000493
+	next := func() uint64 {
+		state = state*2862933555777941757 + 3037000493
+		return state >> 33
+	}
+	rows := make([][]gpapriori.Item, 200)
+	for i := range rows {
+		for j := 0; j < items; j++ {
+			if next()%3 == 0 {
+				rows[i] = append(rows[i], gpapriori.Item(j))
+			}
+		}
+	}
+	return gpapriori.NewDatabase(rows)
+}

@@ -1,0 +1,62 @@
+// Command genquest writes synthetic benchmark datasets in FIMI ".dat"
+// format: the IBM Quest-style generator with T/I/D parameters, or any of
+// the paper's Table 2 stand-ins.
+//
+// Usage:
+//
+//	genquest -dataset T40I10D100K -scale 0.1 > t40.dat
+//	genquest -items 500 -trans 20000 -t 12 -i 4 -seed 7 > synth.dat
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"gpapriori"
+)
+
+func main() {
+	var (
+		dsName = flag.String("dataset", "", "paper dataset to generate: T40I10D100K, pumsb, chess, accidents")
+		scale  = flag.Float64("scale", 1.0, "scale of the paper dataset (1.0 = published size)")
+		items  = flag.Int("items", 1000, "custom quest: item universe size")
+		trans  = flag.Int("trans", 10000, "custom quest: number of transactions")
+		avgT   = flag.Float64("t", 10, "custom quest: average transaction length (T)")
+		avgI   = flag.Float64("i", 4, "custom quest: average pattern length (I)")
+		seed   = flag.Int64("seed", 1, "custom quest: random seed")
+		stats  = flag.Bool("stats", false, "print dataset statistics to stderr")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, os.Stderr, *dsName, *scale, *items, *trans, *avgT, *avgI, *seed, *stats); err != nil {
+		fmt.Fprintln(os.Stderr, "genquest:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, errw io.Writer, dsName string, scale float64, items, trans int, avgT, avgI float64, seed int64, stats bool) error {
+
+	var db *gpapriori.Database
+	var err error
+	if dsName != "" {
+		db, err = gpapriori.GeneratePaperDataset(dsName, scale)
+		if err != nil {
+			return err
+		}
+	} else {
+		db = gpapriori.GenerateQuest(items, trans, avgT, avgI, seed)
+	}
+
+	if stats {
+		st := db.Stats()
+		fmt.Fprintf(errw, "transactions=%d items=%d avg_length=%.2f max_length=%d density=%.3f\n",
+			st.NumTrans, st.NumItems, st.AvgLength, st.MaxLength, st.Density)
+	}
+	bw := bufio.NewWriter(out)
+	if err := db.Write(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

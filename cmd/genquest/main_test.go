@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gpapriori"
+)
+
+func TestGenquestCustomQuest(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run(&out, &errw, "", 1, 50, 200, 6, 3, 9, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errw.String(), "transactions=") {
+		t.Fatalf("stats missing: %q", errw.String())
+	}
+	db, err := gpapriori.ReadDatabase(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatalf("output not parseable: %v", err)
+	}
+	if db.Len() < 150 {
+		t.Fatalf("generated %d transactions, want ≈200", db.Len())
+	}
+}
+
+func TestGenquestPaperDataset(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run(&out, &errw, "chess", 0.02, 0, 0, 0, 0, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	db, err := gpapriori.ReadDatabase(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumItems() != 75 {
+		t.Fatalf("chess output has %d items, want 75", db.NumItems())
+	}
+}
+
+func TestGenquestUnknownDataset(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run(&out, &errw, "bogus", 1, 0, 0, 0, 0, 0, false); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestGenquestDeterministic(t *testing.T) {
+	var a, b, errw bytes.Buffer
+	if err := run(&a, &errw, "", 1, 30, 100, 5, 2, 7, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, &errw, "", 1, 30, 100, 5, 2, 7, false); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different output")
+	}
+}

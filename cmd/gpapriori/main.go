@@ -1,0 +1,281 @@
+// Command gpapriori mines frequent itemsets (and optionally association
+// rules) from a FIMI ".dat" file, a named-item basket file, or a
+// generated paper dataset.
+//
+// Usage:
+//
+//	gpapriori -input chess.dat -minsup 0.9
+//	gpapriori -dataset accidents -scale 0.02 -minsup 0.5 -algo borgelt
+//	gpapriori -dataset chess -scale 0.1 -minsup 0.8 -rules 0.9 -top 20
+//	gpapriori -named baskets.txt -minsup 0.05 -rules 0.5      # string items
+//	gpapriori -input t40.dat -minsup 0.02 -approx 0.1         # sampling
+//	gpapriori -dataset chess -scale 0.2 -minsup 0.8 -condense maximal
+//	gpapriori -input chess.dat -minsup 0.9 -json > result.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"gpapriori"
+)
+
+func main() {
+	var (
+		input    = flag.String("input", "", "FIMI .dat file to mine (integer items)")
+		named    = flag.String("named", "", "basket file with arbitrary string items")
+		dsName   = flag.String("dataset", "", "generated paper dataset: T40I10D100K, pumsb, chess, accidents")
+		scale    = flag.Float64("scale", 0.05, "scale of the generated dataset (1.0 = published size)")
+		minsup   = flag.Float64("minsup", 0, "minimum support: ratio in (0,1) or absolute count ≥ 1")
+		algo     = flag.String("algo", string(gpapriori.AlgoGPApriori), "algorithm (see gpapriori.Algorithms)")
+		maxLen   = flag.Int("maxlen", 0, "maximum itemset length (0 = unbounded)")
+		workers  = flag.Int("workers", 0, "worker count for parallel-cpu / count-distribution (0 = GOMAXPROCS)")
+		devices  = flag.Int("devices", 0, "simulated GPU count for gpapriori (0/1 = single)")
+		cpuShare = flag.Float64("cpushare", 0, "hybrid CPU share in [0,1) for gpapriori")
+		minConf  = flag.Float64("rules", 0, "also derive association rules at this confidence (0 = off)")
+		condense = flag.String("condense", "", "condense output: closed or maximal")
+		approx   = flag.Float64("approx", 0, "approximate mining: sample this fraction first (0 = exact)")
+		topk     = flag.Int("topk", 0, "mine the K most frequent itemsets instead of using -minsup")
+		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of text")
+		top      = flag.Int("top", 25, "print at most this many itemsets/rules (0 = all)")
+		quiet    = flag.Bool("quiet", false, "print only summary counts and timings")
+	)
+	flag.Parse()
+	opts := runOpts{
+		input: *input, named: *named, dsName: *dsName, scale: *scale,
+		minsup: *minsup, algo: *algo, maxLen: *maxLen, workers: *workers,
+		devices: *devices, cpuShare: *cpuShare, minConf: *minConf,
+		condense: *condense, approx: *approx, jsonOut: *jsonOut,
+		top: *top, quiet: *quiet, topk: *topk,
+	}
+	if err := run(os.Stdout, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "gpapriori:", err)
+		os.Exit(1)
+	}
+}
+
+type runOpts struct {
+	input, named, dsName      string
+	scale, minsup             float64
+	algo                      string
+	maxLen, workers, devices  int
+	cpuShare, minConf, approx float64
+	condense                  string
+	jsonOut, quiet            bool
+	top, topk                 int
+}
+
+// jsonReport is the machine-readable output shape.
+type jsonReport struct {
+	Algorithm     string        `json:"algorithm"`
+	MinSupport    int           `json:"min_support"`
+	Transactions  int           `json:"transactions"`
+	Itemsets      []jsonItemset `json:"itemsets"`
+	Rules         []jsonRule    `json:"rules,omitempty"`
+	HostSeconds   float64       `json:"host_seconds"`
+	DeviceSeconds float64       `json:"device_seconds,omitempty"`
+	Approx        *jsonApprox   `json:"approx,omitempty"`
+}
+
+type jsonItemset struct {
+	Items   []gpapriori.Item `json:"items"`
+	Names   []string         `json:"names,omitempty"`
+	Support int              `json:"support"`
+}
+
+type jsonRule struct {
+	Antecedent []gpapriori.Item `json:"antecedent"`
+	Consequent []gpapriori.Item `json:"consequent"`
+	Support    float64          `json:"support"`
+	Confidence float64          `json:"confidence"`
+	Lift       float64          `json:"lift"`
+}
+
+type jsonApprox struct {
+	SampleSize int  `json:"sample_size"`
+	Candidates int  `json:"candidates"`
+	Exact      bool `json:"exact"`
+}
+
+func run(w io.Writer, o runOpts) error {
+	db, dict, err := loadDatabase(o)
+	if err != nil {
+		return err
+	}
+	if o.minsup <= 0 && o.topk <= 0 {
+		return fmt.Errorf("-minsup (ratio or absolute count) or -topk is required")
+	}
+	cfg := gpapriori.Config{
+		Algorithm:      gpapriori.Algorithm(o.algo),
+		MaxLen:         o.maxLen,
+		Workers:        o.workers,
+		Devices:        o.devices,
+		HybridCPUShare: o.cpuShare,
+	}
+	if o.minsup < 1 {
+		cfg.RelativeSupport = o.minsup
+	} else {
+		cfg.MinSupport = int(o.minsup)
+	}
+
+	var res *gpapriori.Result
+	var approxInfo *jsonApprox
+	if o.topk > 0 {
+		res, err = gpapriori.MineTopK(db, o.topk, 1, cfg)
+		if err != nil {
+			return err
+		}
+	} else if o.approx > 0 {
+		s, err := gpapriori.MineSampled(db, cfg, gpapriori.SamplingConfig{Fraction: o.approx})
+		if err != nil {
+			return err
+		}
+		res = &s.Result
+		approxInfo = &jsonApprox{SampleSize: s.SampleSize, Candidates: s.Candidates, Exact: s.Exact}
+	} else {
+		res, err = gpapriori.Mine(db, cfg)
+		if err != nil {
+			return err
+		}
+	}
+
+	switch o.condense {
+	case "":
+	case "closed":
+		res = gpapriori.ClosedItemsets(res)
+	case "maximal":
+		res = gpapriori.MaximalItemsets(res)
+	default:
+		return fmt.Errorf("-condense must be 'closed' or 'maximal'")
+	}
+
+	var rules []gpapriori.Rule
+	if o.minConf > 0 {
+		if o.condense != "" {
+			return fmt.Errorf("-rules needs the full (non-condensed) result")
+		}
+		rules, err = gpapriori.GenerateRules(res, db, o.minConf)
+		if err != nil {
+			return err
+		}
+	}
+
+	if o.jsonOut {
+		return emitJSON(w, db, dict, res, rules, approxInfo)
+	}
+	emitText(w, db, dict, res, rules, approxInfo, o)
+	return nil
+}
+
+func emitJSON(w io.Writer, db *gpapriori.Database, dict *gpapriori.Dictionary, res *gpapriori.Result, rules []gpapriori.Rule, approx *jsonApprox) error {
+	rep := jsonReport{
+		Algorithm:     string(res.Algorithm),
+		MinSupport:    res.MinSupport,
+		Transactions:  db.Len(),
+		HostSeconds:   res.HostSeconds,
+		DeviceSeconds: res.DeviceSeconds,
+		Approx:        approx,
+	}
+	for _, s := range res.Itemsets {
+		js := jsonItemset{Items: s.Items, Support: s.Support}
+		if dict != nil {
+			for _, it := range s.Items {
+				js.Names = append(js.Names, dict.Name(it))
+			}
+		}
+		rep.Itemsets = append(rep.Itemsets, js)
+	}
+	for _, r := range rules {
+		rep.Rules = append(rep.Rules, jsonRule{
+			Antecedent: r.Antecedent, Consequent: r.Consequent,
+			Support: r.Support, Confidence: r.Confidence, Lift: r.Lift,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func emitText(w io.Writer, db *gpapriori.Database, dict *gpapriori.Dictionary, res *gpapriori.Result, rules []gpapriori.Rule, approx *jsonApprox, o runOpts) {
+	st := db.Stats()
+	fmt.Fprintf(w, "database: %d transactions, %d items, avg length %.1f\n",
+		st.NumTrans, st.NumItems, st.AvgLength)
+	fmt.Fprintf(w, "%s @ minsup %d: %d frequent itemsets\n", res.Algorithm, res.MinSupport, res.Len())
+	if approx != nil {
+		fmt.Fprintf(w, "approximate: sample %d, %d candidates verified, exact=%v\n",
+			approx.SampleSize, approx.Candidates, approx.Exact)
+	}
+	fmt.Fprintf(w, "host time: %.4gs", res.HostSeconds)
+	if res.DeviceSeconds > 0 {
+		fmt.Fprintf(w, "  modeled device time: %.4gs", res.DeviceSeconds)
+	}
+	fmt.Fprintln(w)
+
+	if !o.quiet {
+		limit := len(res.Itemsets)
+		if o.top > 0 && o.top < limit {
+			limit = o.top
+		}
+		for _, s := range res.Itemsets[:limit] {
+			if dict != nil {
+				fmt.Fprintf(w, "  %s : %d\n", dict.Names(s.Items), s.Support)
+			} else {
+				fmt.Fprintf(w, "  %v : %d\n", s.Items, s.Support)
+			}
+		}
+		if limit < len(res.Itemsets) {
+			fmt.Fprintf(w, "  ... and %d more\n", len(res.Itemsets)-limit)
+		}
+	}
+	if rules != nil {
+		fmt.Fprintf(w, "%d rules at confidence ≥ %.2f\n", len(rules), o.minConf)
+		if !o.quiet {
+			limit := len(rules)
+			if o.top > 0 && o.top < limit {
+				limit = o.top
+			}
+			for _, r := range rules[:limit] {
+				if dict != nil {
+					fmt.Fprintf(w, "  %s => %s (conf=%.2f lift=%.2f)\n",
+						dict.Names(r.Antecedent), dict.Names(r.Consequent), r.Confidence, r.Lift)
+				} else {
+					fmt.Fprintln(w, "  "+r.String())
+				}
+			}
+			if limit < len(rules) {
+				fmt.Fprintf(w, "  ... and %d more\n", len(rules)-limit)
+			}
+		}
+	}
+}
+
+func loadDatabase(o runOpts) (*gpapriori.Database, *gpapriori.Dictionary, error) {
+	sources := 0
+	for _, s := range []string{o.input, o.named, o.dsName} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, nil, fmt.Errorf("need exactly one of -input, -named, -dataset (datasets: %v)", gpapriori.PaperDatasets())
+	}
+	switch {
+	case o.input != "":
+		db, err := gpapriori.ReadDatabaseFile(o.input)
+		return db, nil, err
+	case o.named != "":
+		f, err := os.Open(o.named)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		db, dict, err := gpapriori.ReadNamedDatabase(f)
+		return db, dict, err
+	default:
+		db, err := gpapriori.GeneratePaperDataset(o.dsName, o.scale)
+		return db, nil, err
+	}
+}

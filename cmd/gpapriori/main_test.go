@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTempFile writes content to a temp file and returns its path.
+func writeTempFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const figure2Dat = "1 2 3 4 5\n2 3 4 5 6\n3 4 6 7\n1 3 4 5 6\n"
+
+func TestRunFIMIInput(t *testing.T) {
+	path := writeTempFile(t, "fig2.dat", figure2Dat)
+	var out bytes.Buffer
+	err := run(&out, runOpts{input: path, minsup: 0.75, algo: "gpapriori", top: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "11 frequent itemsets") {
+		t.Fatalf("output:\n%s", s)
+	}
+	if !strings.Contains(s, "[3 4] : 4") {
+		t.Fatalf("missing itemset line:\n%s", s)
+	}
+}
+
+func TestRunNamedInputWithRules(t *testing.T) {
+	path := writeTempFile(t, "baskets.txt", "bread milk\nbread milk\nmilk eggs\nbread\n")
+	var out bytes.Buffer
+	err := run(&out, runOpts{named: path, minsup: 0.5, algo: "fpgrowth", minConf: 0.6, top: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "bread + milk") {
+		t.Fatalf("named itemsets missing:\n%s", s)
+	}
+	if !strings.Contains(s, "=>") {
+		t.Fatalf("rules missing:\n%s", s)
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	path := writeTempFile(t, "fig2.dat", figure2Dat)
+	var out bytes.Buffer
+	err := run(&out, runOpts{input: path, minsup: 2, algo: "eclat", jsonOut: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Algorithm != "eclat" || rep.MinSupport != 2 || len(rep.Itemsets) == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestRunCondense(t *testing.T) {
+	path := writeTempFile(t, "fig2.dat", figure2Dat)
+	var full, maximal bytes.Buffer
+	if err := run(&full, runOpts{input: path, minsup: 2, algo: "borgelt", quiet: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&maximal, runOpts{input: path, minsup: 2, algo: "borgelt", condense: "maximal", quiet: true}); err != nil {
+		t.Fatal(err)
+	}
+	if full.String() == maximal.String() {
+		t.Fatal("condensed output identical to full output")
+	}
+	var bad bytes.Buffer
+	if err := run(&bad, runOpts{input: path, minsup: 2, condense: "bogus"}); err == nil {
+		t.Fatal("bogus condense mode accepted")
+	}
+	if err := run(&bad, runOpts{input: path, minsup: 2, condense: "closed", minConf: 0.5}); err == nil {
+		t.Fatal("rules over condensed result accepted")
+	}
+}
+
+func TestRunApprox(t *testing.T) {
+	// Large enough DB that a 50% sample mines sensibly.
+	var sb strings.Builder
+	for i := 0; i < 300; i++ {
+		if i%2 == 0 {
+			sb.WriteString("1 2\n")
+		} else {
+			sb.WriteString("1 3\n")
+		}
+	}
+	path := writeTempFile(t, "big.dat", sb.String())
+	var out bytes.Buffer
+	err := run(&out, runOpts{input: path, minsup: 0.4, approx: 0.5, quiet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "approximate: sample") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunDatasetSource(t *testing.T) {
+	var out bytes.Buffer
+	err := run(&out, runOpts{dsName: "chess", scale: 0.02, minsup: 0.9, algo: "cpu-bitset", quiet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "frequent itemsets") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, runOpts{}); err == nil {
+		t.Fatal("no source accepted")
+	}
+	if err := run(&out, runOpts{input: "a", dsName: "chess"}); err == nil {
+		t.Fatal("two sources accepted")
+	}
+	path := writeTempFile(t, "fig2.dat", figure2Dat)
+	if err := run(&out, runOpts{input: path}); err == nil {
+		t.Fatal("missing minsup accepted")
+	}
+	if err := run(&out, runOpts{input: path, minsup: 2, algo: "nope"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if err := run(&out, runOpts{input: filepath.Join(t.TempDir(), "missing.dat"), minsup: 2}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunMultiDeviceFlags(t *testing.T) {
+	path := writeTempFile(t, "fig2.dat", figure2Dat)
+	var out bytes.Buffer
+	err := run(&out, runOpts{input: path, minsup: 2, algo: "gpapriori", devices: 2, cpuShare: 0.3, quiet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "31 frequent itemsets") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunTopK(t *testing.T) {
+	path := writeTempFile(t, "fig2.dat", figure2Dat)
+	var out bytes.Buffer
+	if err := run(&out, runOpts{input: path, topk: 5, top: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "5 frequent itemsets") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}

@@ -1,0 +1,3 @@
+module gpapriori
+
+go 1.22

@@ -1,0 +1,384 @@
+// Package gpapriori is a Go reproduction of "GPApriori: GPU-Accelerated
+// Frequent Itemset Mining" (Zhang, Zhang & Bakos, IEEE CLUSTER 2011).
+//
+// It provides frequent-itemset mining over transaction databases with the
+// paper's full algorithm roster: GPApriori itself (static-bitset complete
+// intersection, support counting on a simulated CUDA device), the CPU
+// baselines it was benchmarked against (bitset CPU_TEST, Borgelt-style
+// tidset Apriori, Bodon-style trie Apriori, Goethals-style horizontal
+// Apriori), plus Eclat (tidset/diffset) and FP-Growth.
+//
+// Quick start:
+//
+//	db := gpapriori.NewDatabase([][]gpapriori.Item{
+//		{1, 2, 3}, {1, 2}, {2, 3}, {1, 3},
+//	})
+//	res, err := gpapriori.Mine(db, gpapriori.Config{
+//		Algorithm:       gpapriori.AlgoGPApriori,
+//		RelativeSupport: 0.5,
+//	})
+//
+// Because pure Go cannot drive a physical GPU, the "GPU" is gpusim, a
+// functional SIMT simulator with a Tesla-T10-calibrated timing model; all
+// device-side times in Result are modeled, host-side times are measured.
+// See DESIGN.md for the substitution argument and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package gpapriori
+
+import (
+	"fmt"
+
+	"gpapriori/internal/apriori"
+	"gpapriori/internal/bitset"
+	"gpapriori/internal/core"
+	"gpapriori/internal/dataset"
+	"gpapriori/internal/eclat"
+	"gpapriori/internal/fpgrowth"
+	"gpapriori/internal/gpusim"
+	"gpapriori/internal/kernels"
+	"gpapriori/internal/vertical"
+)
+
+// Item is a transaction item identifier (a small dense non-negative
+// integer).
+type Item = uint32
+
+// Algorithm selects a mining strategy.
+type Algorithm string
+
+// The algorithm roster of the paper's Table 1, plus Eclat and FP-Growth
+// from its background section.
+const (
+	// AlgoGPApriori is the paper's contribution: trie candidate generation
+	// on the host, complete-intersection support counting on the
+	// (simulated) GPU.
+	AlgoGPApriori Algorithm = "gpapriori"
+	// AlgoCPUBitset is CPU_TEST: the GPU kernel's exact work on one CPU
+	// thread.
+	AlgoCPUBitset Algorithm = "cpu-bitset"
+	// AlgoBorgelt is vertical tidset Apriori with per-generation tidset
+	// reuse.
+	AlgoBorgelt Algorithm = "borgelt"
+	// AlgoBodon is horizontal trie-counting Apriori.
+	AlgoBodon Algorithm = "bodon"
+	// AlgoGoethals is horizontal candidate-list Apriori (Agrawal's
+	// original counting).
+	AlgoGoethals Algorithm = "goethals"
+	// AlgoHashTree is Park–Chen–Yu hash-tree Apriori (SIGMOD'95), the
+	// classical horizontal counting structure between Goethals's flat
+	// list and Bodon's trie.
+	AlgoHashTree Algorithm = "hashtree"
+	// AlgoEclat is depth-first vertical mining with tidsets.
+	AlgoEclat Algorithm = "eclat"
+	// AlgoEclatDiffset is Eclat with the Zaki–Gouda diffset optimization.
+	AlgoEclatDiffset Algorithm = "eclat-diffset"
+	// AlgoFPGrowth is pattern-growth mining without candidate generation.
+	AlgoFPGrowth Algorithm = "fpgrowth"
+	// AlgoParallelCPU is the multi-core CPU bitset miner (candidate-
+	// parallel complete intersection), realizing Section II's multi-core
+	// potential claim.
+	AlgoParallelCPU Algorithm = "parallel-cpu"
+	// AlgoCountDist is Agrawal–Shafer count-distribution Apriori: the
+	// database is striped across workers and per-stripe counts are summed
+	// (transaction-parallel).
+	AlgoCountDist Algorithm = "count-distribution"
+)
+
+// Algorithms lists every supported algorithm in presentation order.
+func Algorithms() []Algorithm {
+	return []Algorithm{
+		AlgoGPApriori, AlgoCPUBitset, AlgoBorgelt, AlgoBodon,
+		AlgoGoethals, AlgoHashTree, AlgoEclat, AlgoEclatDiffset, AlgoFPGrowth,
+		AlgoParallelCPU, AlgoCountDist,
+	}
+}
+
+// Config parameterizes a mining run.
+type Config struct {
+	// Algorithm defaults to AlgoGPApriori.
+	Algorithm Algorithm
+	// MinSupport is the absolute minimum transaction count. If zero,
+	// RelativeSupport is used instead.
+	MinSupport int
+	// RelativeSupport is the minimum support ratio in (0,1], used when
+	// MinSupport is zero.
+	RelativeSupport float64
+	// MaxLen bounds the itemset length (0 = unbounded).
+	MaxLen int
+
+	// GPU kernel knobs (AlgoGPApriori only); zero values mean the paper's
+	// tuned defaults (256-thread blocks, preloading on, 4× unroll).
+	BlockSize int
+	NoPreload bool
+	Unroll    int
+	// AutoTuneKernel probes block size / preload / unroll by modeled time
+	// on a sample of frequent-pair candidates before mining, overriding
+	// the knobs above — the automated version of the paper's Section IV.3
+	// hand-tuning (AlgoGPApriori only).
+	AutoTuneKernel bool
+
+	// EraPopcount makes CPU bitset counting use the 2011-era 8-bit-table
+	// software popcount instead of the hardware instruction
+	// (AlgoCPUBitset and the hybrid CPU share) — the configuration used
+	// for paper-faithful speedup comparisons.
+	EraPopcount bool
+
+	// Workers sets the goroutine count of the multi-core CPU algorithms
+	// (AlgoParallelCPU, AlgoCountDist); 0 = GOMAXPROCS.
+	Workers int
+
+	// Devices runs AlgoGPApriori across this many simulated GPUs with
+	// candidates partitioned per generation (0 or 1 = single device).
+	// The paper's platform, a Tesla S1070, carried four T10s; using them
+	// is the paper's stated future work.
+	Devices int
+	// HybridCPUShare in [0,1) routes that fraction of each generation's
+	// candidates to the host CPU while the devices count the rest — the
+	// paper's CPU/GPU co-processing future-work model (AlgoGPApriori
+	// only).
+	HybridCPUShare float64
+}
+
+// Itemset is one frequent itemset with its absolute support.
+type Itemset struct {
+	Items   []Item
+	Support int
+}
+
+// Result is the outcome of a mining run.
+type Result struct {
+	Algorithm  Algorithm
+	MinSupport int // absolute threshold actually applied
+	Itemsets   []Itemset
+
+	// HostSeconds is measured wall-clock host time. For AlgoGPApriori it
+	// covers candidate generation only (device work is modeled); for CPU
+	// algorithms it is the full run.
+	HostSeconds float64
+	// DeviceSeconds is the modeled GPU time (AlgoGPApriori only; zero for
+	// CPU algorithms).
+	DeviceSeconds float64
+	// DeviceBreakdown decomposes the modeled device time ("kernel",
+	// "memory", "compute", "launch", "transfer" in seconds); nil for CPU
+	// algorithms.
+	DeviceBreakdown map[string]float64
+}
+
+// TotalSeconds returns the run's end-to-end time (measured host +
+// modeled device).
+func (r *Result) TotalSeconds() float64 { return r.HostSeconds + r.DeviceSeconds }
+
+// Len returns the number of frequent itemsets found.
+func (r *Result) Len() int { return len(r.Itemsets) }
+
+// resolveSupport converts the config's threshold to an absolute count.
+func (c Config) resolveSupport(db *Database) (int, error) {
+	if c.MinSupport > 0 {
+		return c.MinSupport, nil
+	}
+	if c.RelativeSupport > 0 && c.RelativeSupport <= 1 {
+		return db.db.AbsoluteSupport(c.RelativeSupport), nil
+	}
+	return 0, fmt.Errorf("gpapriori: config needs MinSupport ≥ 1 or RelativeSupport in (0,1]")
+}
+
+// Mine runs the configured algorithm over db and returns every frequent
+// itemset with its support, plus timing.
+func Mine(db *Database, cfg Config) (*Result, error) {
+	if db == nil || db.db.Len() == 0 {
+		return nil, fmt.Errorf("gpapriori: empty database")
+	}
+	algo := cfg.Algorithm
+	if algo == "" {
+		algo = AlgoGPApriori
+	}
+	minSup, err := cfg.resolveSupport(db)
+	if err != nil {
+		return nil, err
+	}
+	acfg := apriori.Config{MaxLen: cfg.MaxLen}
+
+	res := &Result{Algorithm: algo, MinSupport: minSup}
+	var rs *dataset.ResultSet
+
+	switch algo {
+	case AlgoGPApriori:
+		kopt := kernels.DefaultOptions()
+		if cfg.BlockSize > 0 {
+			kopt.BlockSize = cfg.BlockSize
+		}
+		if cfg.NoPreload {
+			kopt.Preload = false
+		}
+		if cfg.Unroll > 0 {
+			kopt.Unroll = cfg.Unroll
+		}
+		if cfg.AutoTuneKernel {
+			tuned, err := autoTuneKernel(db, minSup)
+			if err != nil {
+				return nil, err
+			}
+			kopt = tuned
+		}
+		if cfg.Devices > 1 || cfg.HybridCPUShare > 0 {
+			devices := cfg.Devices
+			if devices < 1 {
+				devices = 1
+			}
+			popc := bitset.PopcountHardware
+			if cfg.EraPopcount {
+				popc = bitset.PopcountTable8
+			}
+			m, err := core.NewMulti(db.db, core.MultiOptions{
+				Devices:        devices,
+				Kernel:         kopt,
+				HybridCPUShare: cfg.HybridCPUShare,
+				CPUPopcount:    popc,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rep, err := m.Mine(minSup, acfg)
+			if err != nil {
+				return nil, err
+			}
+			rs = rep.Result
+			res.HostSeconds = rep.HostSeconds
+			res.DeviceSeconds = rep.DeviceSeconds
+			res.DeviceBreakdown = map[string]float64{
+				"pool":      rep.DeviceSeconds,
+				"cpu-share": rep.CPUCountSeconds,
+				"devices":   float64(devices),
+				"cpu-cands": float64(rep.CandidatesCPU),
+			}
+			break
+		}
+		m, err := core.New(db.db, core.Options{Kernel: kopt})
+		if err != nil {
+			return nil, err
+		}
+		rep, err := m.Mine(minSup, acfg)
+		if err != nil {
+			return nil, err
+		}
+		rs = rep.Result
+		res.HostSeconds = rep.HostSeconds
+		res.DeviceSeconds = rep.Device.Total()
+		res.DeviceBreakdown = map[string]float64{
+			"kernel":   rep.Device.Kernel,
+			"memory":   rep.Device.Memory,
+			"compute":  rep.Device.Compute,
+			"launch":   rep.Device.Launch,
+			"transfer": rep.Device.Transfer,
+		}
+	case AlgoCPUBitset, AlgoBorgelt, AlgoBodon, AlgoGoethals, AlgoHashTree,
+		AlgoParallelCPU, AlgoCountDist:
+		var counter apriori.Counter
+		switch algo {
+		case AlgoCPUBitset:
+			kind := bitset.PopcountHardware
+			if cfg.EraPopcount {
+				kind = bitset.PopcountTable8
+			}
+			counter = apriori.NewCPUBitset(db.db, kind)
+		case AlgoBorgelt:
+			counter = apriori.NewBorgelt(db.db)
+		case AlgoBodon:
+			counter = apriori.NewBodon(db.db)
+		case AlgoGoethals:
+			counter = apriori.NewGoethals(db.db)
+		case AlgoHashTree:
+			counter = apriori.NewHashTree(db.db)
+		case AlgoParallelCPU:
+			kind := bitset.PopcountHardware
+			if cfg.EraPopcount {
+				kind = bitset.PopcountTable8
+			}
+			counter = apriori.NewParallelBitset(db.db, kind, cfg.Workers)
+		case AlgoCountDist:
+			counter, err = apriori.NewCountDistribution(db.db, cfg.Workers)
+			if err != nil {
+				return nil, err
+			}
+		}
+		rs, res.HostSeconds, err = timed(func() (*dataset.ResultSet, error) {
+			return apriori.Mine(db.db, minSup, counter, acfg)
+		})
+		if err != nil {
+			return nil, err
+		}
+	case AlgoEclat, AlgoEclatDiffset:
+		mode := eclat.Tidsets
+		if algo == AlgoEclatDiffset {
+			mode = eclat.Diffsets
+		}
+		rs, res.HostSeconds, err = timed(func() (*dataset.ResultSet, error) {
+			return eclat.Mine(db.db, minSup, mode)
+		})
+		if err != nil {
+			return nil, err
+		}
+		rs = capLen(rs, cfg.MaxLen)
+	case AlgoFPGrowth:
+		rs, res.HostSeconds, err = timed(func() (*dataset.ResultSet, error) {
+			return fpgrowth.Mine(db.db, minSup)
+		})
+		if err != nil {
+			return nil, err
+		}
+		rs = capLen(rs, cfg.MaxLen)
+	default:
+		return nil, fmt.Errorf("gpapriori: unknown algorithm %q (have %v)", algo, Algorithms())
+	}
+
+	rs.Sort()
+	res.Itemsets = make([]Itemset, rs.Len())
+	for i, s := range rs.Sets {
+		res.Itemsets[i] = Itemset{Items: s.Items, Support: s.Support}
+	}
+	return res, nil
+}
+
+// capLen filters rs to itemsets of at most maxLen items (depth-first
+// miners have no level-wise cutoff, so the bound is applied after the
+// fact to keep result sets comparable).
+func capLen(rs *dataset.ResultSet, maxLen int) *dataset.ResultSet {
+	if maxLen <= 0 {
+		return rs
+	}
+	out := &dataset.ResultSet{}
+	for _, s := range rs.Sets {
+		if len(s.Items) <= maxLen {
+			out.Add(s.Items, s.Support)
+		}
+	}
+	return out
+}
+
+// autoTuneKernel builds a probe batch of frequent item pairs and runs the
+// modeled-time tuner over it.
+func autoTuneKernel(db *Database, minSup int) (kernels.Options, error) {
+	sup := db.db.ItemSupports()
+	var freq []Item
+	for it, s := range sup {
+		if s >= minSup {
+			freq = append(freq, Item(it))
+		}
+	}
+	probe := make([][]Item, 0, 32)
+	for i := 0; i < len(freq) && len(probe) < 32; i++ {
+		for j := i + 1; j < len(freq) && len(probe) < 32; j++ {
+			probe = append(probe, []Item{freq[i], freq[j]})
+		}
+	}
+	if len(probe) == 0 {
+		// Nothing frequent to probe with: fall back to the defaults.
+		return kernels.DefaultOptions(), nil
+	}
+	bits := vertical.BuildBitsets(db.db)
+	best, _, err := kernels.AutoTune(bits, gpusim.TeslaT10(), probe)
+	if err != nil {
+		return kernels.Options{}, err
+	}
+	return best, nil
+}

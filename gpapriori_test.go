@@ -1,0 +1,443 @@
+package gpapriori
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// figure2 returns the paper's Figure 2 example database.
+func figure2() *Database {
+	return NewDatabase([][]Item{
+		{1, 2, 3, 4, 5},
+		{2, 3, 4, 5, 6},
+		{3, 4, 6, 7},
+		{1, 3, 4, 5, 6},
+	})
+}
+
+func TestAllAlgorithmsAgreeOnFigure2(t *testing.T) {
+	db := figure2()
+	var ref *Result
+	for _, algo := range Algorithms() {
+		res, err := Mine(db, Config{Algorithm: algo, MinSupport: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if res.Len() != ref.Len() {
+			t.Fatalf("%s found %d sets, %s found %d", algo, res.Len(), ref.Algorithm, ref.Len())
+		}
+		for i := range res.Itemsets {
+			a, b := res.Itemsets[i], ref.Itemsets[i]
+			if a.Support != b.Support || len(a.Items) != len(b.Items) {
+				t.Fatalf("%s itemset %d = %v, ref %v", algo, i, a, b)
+			}
+			for j := range a.Items {
+				if a.Items[j] != b.Items[j] {
+					t.Fatalf("%s itemset %d = %v, ref %v", algo, i, a, b)
+				}
+			}
+		}
+	}
+	if ref.Len() == 0 {
+		t.Fatal("reference run found nothing")
+	}
+}
+
+func TestRelativeSupport(t *testing.T) {
+	db := figure2()
+	abs, err := Mine(db, Config{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := Mine(db, Config{RelativeSupport: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.MinSupport != 2 || rel.Len() != abs.Len() {
+		t.Fatalf("relative run: minsup %d, %d sets; absolute: %d sets",
+			rel.MinSupport, rel.Len(), abs.Len())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	db := figure2()
+	if _, err := Mine(db, Config{}); err == nil {
+		t.Fatal("config without threshold accepted")
+	}
+	if _, err := Mine(db, Config{Algorithm: "nope", MinSupport: 2}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := Mine(nil, Config{MinSupport: 2}); err == nil {
+		t.Fatal("nil database accepted")
+	}
+}
+
+func TestMaxLenAppliesToAllAlgorithms(t *testing.T) {
+	db := figure2()
+	for _, algo := range Algorithms() {
+		res, err := Mine(db, Config{Algorithm: algo, MinSupport: 1, MaxLen: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		for _, s := range res.Itemsets {
+			if len(s.Items) > 2 {
+				t.Fatalf("%s returned itemset %v beyond MaxLen", algo, s.Items)
+			}
+		}
+	}
+}
+
+func TestGPAprioriTimingFields(t *testing.T) {
+	db := figure2()
+	res, err := Mine(db, Config{Algorithm: AlgoGPApriori, MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeviceSeconds <= 0 {
+		t.Fatal("GPApriori run has no modeled device time")
+	}
+	if res.DeviceBreakdown["transfer"] <= 0 {
+		t.Fatalf("breakdown missing transfer time: %v", res.DeviceBreakdown)
+	}
+	if res.TotalSeconds() < res.DeviceSeconds {
+		t.Fatal("TotalSeconds dropped device time")
+	}
+	cpu, err := Mine(db, Config{Algorithm: AlgoBorgelt, MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu.DeviceSeconds != 0 || cpu.DeviceBreakdown != nil {
+		t.Fatal("CPU run reports device time")
+	}
+}
+
+func TestKernelKnobsAccepted(t *testing.T) {
+	db := figure2()
+	res, err := Mine(db, Config{
+		Algorithm: AlgoGPApriori, MinSupport: 2,
+		BlockSize: 64, NoPreload: true, Unroll: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Mine(db, Config{Algorithm: AlgoGPApriori, MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != ref.Len() {
+		t.Fatal("kernel knobs changed results")
+	}
+}
+
+func TestEraPopcount(t *testing.T) {
+	db := figure2()
+	a, err := Mine(db, Config{Algorithm: AlgoCPUBitset, MinSupport: 2, EraPopcount: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Mine(db, Config{Algorithm: AlgoCPUBitset, MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatal("era popcount changed results")
+	}
+}
+
+func TestDatabaseRoundTrip(t *testing.T) {
+	db := figure2()
+	var buf bytes.Buffer
+	if err := db.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDatabase(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != db.Len() || back.NumItems() != db.NumItems() {
+		t.Fatal("round trip changed shape")
+	}
+}
+
+func TestReadDatabaseError(t *testing.T) {
+	if _, err := ReadDatabase(strings.NewReader("1 x\n")); err == nil {
+		t.Fatal("bad input accepted")
+	}
+}
+
+func TestDatabaseStats(t *testing.T) {
+	st := figure2().Stats()
+	if st.NumTrans != 4 || st.MaxLength != 5 || st.NumItems != 7 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPaperDatasetsAccessible(t *testing.T) {
+	names := PaperDatasets()
+	if len(names) != 4 {
+		t.Fatalf("PaperDatasets = %v", names)
+	}
+	db, err := GeneratePaperDataset("chess", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() == 0 {
+		t.Fatal("generated dataset empty")
+	}
+	if _, err := GeneratePaperDataset("nope", 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestGenerateQuest(t *testing.T) {
+	db := GenerateQuest(100, 300, 10, 4, 7)
+	st := db.Stats()
+	if st.NumTrans < 290 || st.AvgLength < 6 || st.AvgLength > 14 {
+		t.Fatalf("quest stats = %+v", st)
+	}
+}
+
+func TestRulesEndToEnd(t *testing.T) {
+	db := figure2()
+	res, err := Mine(db, Config{Algorithm: AlgoFPGrowth, MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := GenerateRules(res, db, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Fatal("no rules at confidence 0.7")
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i-1].Confidence < rs[i].Confidence {
+			t.Fatal("rules unsorted")
+		}
+	}
+	lifted := FilterRulesByLift(rs, 1.0)
+	if len(lifted) > len(rs) {
+		t.Fatal("filter grew the rule set")
+	}
+	if s := rs[0].String(); !strings.Contains(s, "=>") {
+		t.Fatalf("rule String = %q", s)
+	}
+}
+
+func TestGenerateRulesValidation(t *testing.T) {
+	if _, err := GenerateRules(nil, figure2(), 0.5); err == nil {
+		t.Fatal("nil result accepted")
+	}
+	db := figure2()
+	res, err := Mine(db, Config{MinSupport: 2, MaxLen: 2, Algorithm: AlgoBodon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MaxLen-bounded results are still downward-closed, so this works.
+	if _, err := GenerateRules(res, db, 0.5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiDeviceAndHybridViaPublicAPI(t *testing.T) {
+	db := figure2()
+	ref, err := Mine(db, Config{Algorithm: AlgoGPApriori, MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := Mine(db, Config{
+		Algorithm: AlgoGPApriori, MinSupport: 2,
+		Devices: 3, HybridCPUShare: 0.4, BlockSize: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Len() != ref.Len() {
+		t.Fatalf("multi found %d itemsets, single %d", multi.Len(), ref.Len())
+	}
+	if multi.DeviceBreakdown["devices"] != 3 {
+		t.Fatalf("breakdown = %v", multi.DeviceBreakdown)
+	}
+}
+
+func TestClosedAndMaximalItemsets(t *testing.T) {
+	db := figure2()
+	full, err := Mine(db, Config{Algorithm: AlgoEclat, MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := ClosedItemsets(full)
+	maximal := MaximalItemsets(full)
+	if !(maximal.Len() <= closed.Len() && closed.Len() <= full.Len()) {
+		t.Fatalf("sizes: maximal %d, closed %d, full %d",
+			maximal.Len(), closed.Len(), full.Len())
+	}
+	if maximal.Len() == 0 {
+		t.Fatal("no maximal itemsets")
+	}
+	// {3,4} has support 4, equal to its subsets {3} and {4}: those
+	// subsets must not be closed.
+	for _, s := range closed.Itemsets {
+		if len(s.Items) == 1 && (s.Items[0] == 3 || s.Items[0] == 4) {
+			t.Fatalf("non-closed singleton %v survived", s.Items)
+		}
+	}
+	if ClosedItemsets(nil) != nil {
+		t.Fatal("nil input not propagated")
+	}
+}
+
+func TestMineSampledExactSupports(t *testing.T) {
+	rows := make([][]Item, 0, 600)
+	for i := 0; i < 600; i++ {
+		row := []Item{Item(i % 3)}
+		if i%2 == 0 {
+			row = append(row, 10)
+		}
+		rows = append(rows, row)
+	}
+	db := NewDatabase(rows)
+	res, err := MineSampled(db, Config{RelativeSupport: 0.25}, SamplingConfig{Fraction: 0.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Mine(db, Config{Algorithm: AlgoEclat, RelativeSupport: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sampled supports must match the exact run for shared itemsets.
+	want := map[string]int{}
+	for _, s := range exact.Itemsets {
+		want[fmt.Sprint(s.Items)] = s.Support
+	}
+	for _, s := range res.Itemsets {
+		if want[fmt.Sprint(s.Items)] != s.Support {
+			t.Fatalf("itemset %v support %d, exact %d", s.Items, s.Support, want[fmt.Sprint(s.Items)])
+		}
+	}
+	if res.SampleSize == 0 || res.Candidates == 0 {
+		t.Fatalf("degenerate sampled run: %+v", res)
+	}
+}
+
+func TestMineSampledValidation(t *testing.T) {
+	if _, err := MineSampled(nil, Config{MinSupport: 1}, SamplingConfig{}); err == nil {
+		t.Fatal("nil db accepted")
+	}
+	if _, err := MineSampled(figure2(), Config{}, SamplingConfig{}); err == nil {
+		t.Fatal("missing threshold accepted")
+	}
+}
+
+func TestAutoTuneKernelConfig(t *testing.T) {
+	db := figure2()
+	tuned, err := Mine(db, Config{Algorithm: AlgoGPApriori, MinSupport: 2, AutoTuneKernel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Mine(db, Config{Algorithm: AlgoGPApriori, MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned.Len() != ref.Len() {
+		t.Fatalf("auto-tuned run found %d itemsets, default %d", tuned.Len(), ref.Len())
+	}
+}
+
+func TestMineTopKPublic(t *testing.T) {
+	db := figure2()
+	res, err := MineTopK(db, 3, 2, Config{Algorithm: AlgoBorgelt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 {
+		t.Fatalf("got %d itemsets", res.Len())
+	}
+	if res.Itemsets[0].Support < res.Itemsets[1].Support {
+		t.Fatal("top-k not sorted by support")
+	}
+	if res.MinSupport < 1 {
+		t.Fatalf("threshold = %d", res.MinSupport)
+	}
+	if _, err := MineTopK(nil, 3, 1, Config{}); err == nil {
+		t.Fatal("nil db accepted")
+	}
+	if _, err := MineTopK(db, 0, 1, Config{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestDatabaseAccessorsAndFileIO(t *testing.T) {
+	db := figure2()
+	if got := db.Transaction(0); len(got) != 5 || got[0] != 1 {
+		t.Fatalf("Transaction(0) = %v", got)
+	}
+	if got := db.AbsoluteSupport(0.5); got != 2 {
+		t.Fatalf("AbsoluteSupport(0.5) = %d", got)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fig2.dat.gz")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw := gzip.NewWriter(f)
+	if err := db.Write(zw); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDatabaseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != db.Len() {
+		t.Fatalf("gzip file round trip: %d vs %d transactions", back.Len(), db.Len())
+	}
+	if _, err := ReadDatabaseFile(filepath.Join(dir, "missing.dat")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestPublicDictionary(t *testing.T) {
+	d := NewDictionary()
+	a := d.Intern("tea")
+	b := d.Intern("scone")
+	if d.Intern("tea") != a || a == b {
+		t.Fatal("intern identity broken")
+	}
+	if d.Name(a) != "tea" || d.Len() != 2 {
+		t.Fatalf("Name/Len: %q %d", d.Name(a), d.Len())
+	}
+	if s := d.Names([]Item{a, b}); s != "tea + scone" {
+		t.Fatalf("Names = %q", s)
+	}
+	db, dict, err := ReadNamedDatabase(strings.NewReader("tea scone\nscone jam\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 2 || dict.Len() != 3 {
+		t.Fatalf("named read: %d trans, %d names", db.Len(), dict.Len())
+	}
+	if _, _, err := ReadNamedDatabase(badReader{}); err == nil {
+		t.Fatal("reader error swallowed")
+	}
+}
+
+// badReader always fails, for error-path coverage.
+type badReader struct{}
+
+func (badReader) Read([]byte) (int, error) { return 0, fmt.Errorf("boom") }

@@ -1,0 +1,83 @@
+// Package apriori implements the level-wise Apriori miner and the CPU
+// support-counting strategies the paper benchmarks against (Table 1):
+//
+//   - CPUBitset — "CPU_TEST": complete intersection over static bitsets,
+//     single-threaded; the exact CPU equivalent of the GPU kernel.
+//   - Borgelt — vertical tidset layout with per-generation tidset reuse
+//     (each candidate's tidset is its prefix's tidset ∩ the new item's),
+//     the strategy of Borgelt's FIMI'03 Apriori.
+//   - Bodon — horizontal database walked through the candidate trie
+//     (Bodon's OSDM'05 trie Apriori).
+//   - Goethals — horizontal candidate-list counting following Agrawal's
+//     original algorithm; simple, and very slow on dense data, which is
+//     why the paper plots it only on T40I10D100K.
+//
+// All strategies share one level-wise driver (Mine) built on the candidate
+// trie, so they produce identical result sets and differ only in how a
+// generation's supports are counted.
+package apriori
+
+import (
+	"fmt"
+
+	"gpapriori/internal/dataset"
+	"gpapriori/internal/trie"
+)
+
+// Counter counts the supports of one generation of candidates, writing
+// each candidate's support into its trie node.
+type Counter interface {
+	// Count processes candidates of length k (all the same length). The
+	// trie is the full candidate structure, for strategies (Bodon) that
+	// count by walking transactions through it.
+	Count(t *trie.Trie, cands []trie.Candidate, k int) error
+	// Name identifies the strategy in reports.
+	Name() string
+}
+
+// Config bounds a mining run.
+type Config struct {
+	// MaxLen stops the level-wise loop once itemsets of this size have
+	// been counted (0 = unbounded). Benchmarks use it to hold generation
+	// depth constant across strategies.
+	MaxLen int
+	// MaxCandidates aborts the run if one generation exceeds this many
+	// candidates (0 = unbounded) — a guard against pattern explosion at
+	// too-low thresholds.
+	MaxCandidates int
+}
+
+// Mine runs level-wise Apriori over db at the given absolute minimum
+// support using the supplied counting strategy, returning every frequent
+// itemset with its support.
+func Mine(db *dataset.DB, minSupport int, c Counter, cfg Config) (*dataset.ResultSet, error) {
+	if minSupport < 1 {
+		return nil, fmt.Errorf("apriori: minimum support %d must be ≥1", minSupport)
+	}
+	t := trie.New()
+	t.SeedFrequentItems(db.ItemSupports(), minSupport)
+
+	for depth := 1; ; depth++ {
+		if cfg.MaxLen > 0 && depth >= cfg.MaxLen {
+			break
+		}
+		cands := t.GenerateNext(depth, minSupport)
+		if len(cands) == 0 {
+			break
+		}
+		if cfg.MaxCandidates > 0 && len(cands) > cfg.MaxCandidates {
+			return nil, fmt.Errorf("apriori: generation %d has %d candidates (limit %d)",
+				depth+1, len(cands), cfg.MaxCandidates)
+		}
+		if err := c.Count(t, cands, depth+1); err != nil {
+			return nil, fmt.Errorf("apriori: counting generation %d: %w", depth+1, err)
+		}
+		t.PruneInfrequent(depth+1, minSupport)
+	}
+	return t.Frequent(minSupport), nil
+}
+
+// MineRelative is Mine with a relative support threshold in (0,1].
+func MineRelative(db *dataset.DB, relSupport float64, c Counter, cfg Config) (*dataset.ResultSet, error) {
+	return Mine(db, db.AbsoluteSupport(relSupport), c, cfg)
+}

@@ -1,0 +1,73 @@
+package apriori
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"gpapriori/internal/dataset"
+	"gpapriori/internal/trie"
+)
+
+// CountDistribution is the classical parallel Apriori of Agrawal & Shafer
+// (count distribution): the transaction database is partitioned into
+// stripes, every worker counts the full candidate set against its own
+// stripe, and the per-stripe counts are summed. Communication is one
+// count vector per worker per generation — the scheme that made Apriori
+// the standard distributed-mining baseline, and the transaction-parallel
+// complement to GPApriori's candidate-parallel kernel.
+type CountDistribution struct {
+	stripes []*dataset.DB
+}
+
+// NewCountDistribution partitions db into workers stripes (0 =
+// GOMAXPROCS).
+func NewCountDistribution(db *dataset.DB, workers int) (*CountDistribution, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	stripes, err := dataset.Partition(db, workers)
+	if err != nil {
+		return nil, fmt.Errorf("apriori: %w", err)
+	}
+	return &CountDistribution{stripes: stripes}, nil
+}
+
+// Name implements Counter.
+func (c *CountDistribution) Name() string {
+	return fmt.Sprintf("CountDistribution(%d stripes)", len(c.stripes))
+}
+
+// Count implements Counter: each stripe is counted concurrently with the
+// horizontal subset test, then the partial counts are reduced.
+func (c *CountDistribution) Count(_ *trie.Trie, cands []trie.Candidate, k int) error {
+	partial := make([][]int, len(c.stripes))
+	var wg sync.WaitGroup
+	for si, stripe := range c.stripes {
+		wg.Add(1)
+		go func(si int, stripe *dataset.DB) {
+			defer wg.Done()
+			counts := make([]int, len(cands))
+			for _, tr := range stripe.Transactions() {
+				if len(tr) < k {
+					continue
+				}
+				for ci, cand := range cands {
+					if tr.ContainsAll(cand.Items) {
+						counts[ci]++
+					}
+				}
+			}
+			partial[si] = counts
+		}(si, stripe)
+	}
+	wg.Wait()
+	for ci, cand := range cands {
+		total := 0
+		for _, counts := range partial {
+			total += counts[ci]
+		}
+		cand.Node.Support = total
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package apriori
+
+import (
+	"testing"
+
+	"gpapriori/internal/bitset"
+	"gpapriori/internal/gen"
+	"gpapriori/internal/oracle"
+)
+
+func TestParallelBitsetMatchesOracle(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		for seed := int64(0); seed < 3; seed++ {
+			db := gen.Random(80, 12, 0.4, seed)
+			want := oracle.Mine(db, 10)
+			c := NewParallelBitset(db, bitset.PopcountHardware, workers)
+			got, err := Mine(db, 10, c, Config{})
+			if err != nil {
+				t.Fatalf("workers=%d seed=%d: %v", workers, seed, err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("workers=%d seed=%d diff: %v", workers, seed, got.Diff(want))
+			}
+		}
+	}
+}
+
+func TestParallelBitsetMatchesSerialOnDense(t *testing.T) {
+	cfg := gen.Chess()
+	cfg.NumTrans = 150
+	db := gen.AttributeValue(cfg)
+	minSup := db.AbsoluteSupport(0.85)
+	serial, err := Mine(db, minSup, NewCPUBitset(db, bitset.PopcountHardware), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Mine(db, minSup, NewParallelBitset(db, bitset.PopcountHardware, 4), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !par.Equal(serial) {
+		t.Fatalf("diff: %v", par.Diff(serial))
+	}
+}
+
+func TestParallelBitsetFewerCandidatesThanWorkers(t *testing.T) {
+	db := gen.Small()
+	c := NewParallelBitset(db, bitset.PopcountHardware, 64)
+	got, err := Mine(db, 2, c, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(oracle.Mine(db, 2)) {
+		t.Fatal("tiny-generation parallel run differs")
+	}
+}
+
+func TestParallelBitsetDefaultWorkers(t *testing.T) {
+	db := gen.Small()
+	c := NewParallelBitset(db, bitset.PopcountTable8, 0)
+	if c.workers < 1 {
+		t.Fatalf("default workers = %d", c.workers)
+	}
+	if c.Name() != "ParallelCPU(bitset,table8)" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+}
+
+func TestCountDistributionMatchesOracle(t *testing.T) {
+	for _, workers := range []int{1, 3, 7} {
+		db := gen.Random(90, 12, 0.4, 21)
+		c, err := NewCountDistribution(db, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Mine(db, 12, c, Config{})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !got.Equal(oracle.Mine(db, 12)) {
+			t.Fatalf("workers=%d diff vs oracle", workers)
+		}
+	}
+}
+
+func TestCountDistributionName(t *testing.T) {
+	db := gen.Small()
+	c, err := NewCountDistribution(db, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "CountDistribution(4 stripes)" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+}
+
+func TestCountDistributionDefaultWorkers(t *testing.T) {
+	db := gen.Small()
+	c, err := NewCountDistribution(db, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.stripes) < 1 {
+		t.Fatal("no stripes")
+	}
+}

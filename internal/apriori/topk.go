@@ -1,0 +1,88 @@
+package apriori
+
+import (
+	"fmt"
+	"sort"
+
+	"gpapriori/internal/dataset"
+)
+
+// MineTopK returns the k most frequent itemsets (any length ≥ minLen)
+// without requiring the caller to guess a support threshold — the usual
+// interface analysts actually want. It runs the level-wise miner with a
+// descending threshold schedule until at least k itemsets qualify, then
+// returns the best k ordered by (support desc, size asc, items asc). Ties
+// at the k-th support are broken canonically, so results are
+// deterministic. The threshold finally used is also returned: re-mining
+// at it reproduces the superset the k were drawn from.
+func MineTopK(db *dataset.DB, k, minLen int, c Counter, cfg Config) (*dataset.ResultSet, int, error) {
+	if k < 1 {
+		return nil, 0, fmt.Errorf("apriori: top-k needs k ≥ 1, got %d", k)
+	}
+	if minLen < 1 {
+		minLen = 1
+	}
+	if db.Len() == 0 {
+		return nil, 0, fmt.Errorf("apriori: empty database")
+	}
+
+	minSup := db.Len()/2 + 1
+	for {
+		rs, err := Mine(db, minSup, c, cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		qualified := filterMinLen(rs, minLen)
+		if qualified.Len() >= k || minSup == 1 {
+			top := takeTopK(qualified, k)
+			return top, minSup, nil
+		}
+		// Halve the threshold; the miner re-runs from scratch, which is
+		// acceptable because the expensive (low-threshold) run dominates
+		// the geometric schedule's total cost.
+		minSup /= 2
+		if minSup < 1 {
+			minSup = 1
+		}
+	}
+}
+
+func filterMinLen(rs *dataset.ResultSet, minLen int) *dataset.ResultSet {
+	if minLen <= 1 {
+		return rs
+	}
+	out := &dataset.ResultSet{}
+	for _, s := range rs.Sets {
+		if len(s.Items) >= minLen {
+			out.Add(s.Items, s.Support)
+		}
+	}
+	return out
+}
+
+func takeTopK(rs *dataset.ResultSet, k int) *dataset.ResultSet {
+	sets := append([]dataset.Itemset{}, rs.Sets...)
+	sort.Slice(sets, func(i, j int) bool {
+		a, b := sets[i], sets[j]
+		if a.Support != b.Support {
+			return a.Support > b.Support
+		}
+		if len(a.Items) != len(b.Items) {
+			return len(a.Items) < len(b.Items)
+		}
+		for x := range a.Items {
+			if a.Items[x] != b.Items[x] {
+				return a.Items[x] < b.Items[x]
+			}
+		}
+		return false
+	})
+	if k > len(sets) {
+		k = len(sets)
+	}
+	out := &dataset.ResultSet{}
+	for _, s := range sets[:k] {
+		out.Add(s.Items, s.Support)
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package apriori
+
+import (
+	"testing"
+
+	"gpapriori/internal/bitset"
+	"gpapriori/internal/gen"
+	"gpapriori/internal/oracle"
+)
+
+func TestTopKMatchesOracleRanking(t *testing.T) {
+	db := gen.Random(150, 12, 0.4, 13)
+	c := NewCPUBitset(db, bitset.PopcountHardware)
+	for _, k := range []int{1, 5, 20} {
+		got, threshold, err := MineTopK(db, k, 1, c, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != k {
+			t.Fatalf("k=%d returned %d itemsets", k, got.Len())
+		}
+		// The k-th best support from the oracle at threshold must not beat
+		// anything we returned.
+		full := oracle.Mine(db, 1)
+		best := make([]int, 0, full.Len())
+		for _, s := range full.Sets {
+			best = append(best, s.Support)
+		}
+		// Descending supports.
+		for i := 0; i < len(best); i++ {
+			for j := i + 1; j < len(best); j++ {
+				if best[j] > best[i] {
+					best[i], best[j] = best[j], best[i]
+				}
+			}
+		}
+		kth := best[k-1]
+		for _, s := range got.Sets {
+			if s.Support < kth {
+				t.Fatalf("k=%d: returned support %d below true k-th %d", k, s.Support, kth)
+			}
+		}
+		if threshold < 1 {
+			t.Fatalf("threshold = %d", threshold)
+		}
+	}
+}
+
+func TestTopKMinLen(t *testing.T) {
+	db := gen.Small()
+	c := NewBodon(db)
+	got, _, err := MineTopK(db, 3, 2, c, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range got.Sets {
+		if len(s.Items) < 2 {
+			t.Fatalf("minLen=2 returned singleton %v", s.Items)
+		}
+	}
+	if got.Len() != 3 {
+		t.Fatalf("returned %d itemsets, want 3", got.Len())
+	}
+	// {3,4} has support 4 — must be first by ranking.
+	top := got.Sets[0]
+	if top.Key() != "3 4" || top.Support != 4 {
+		t.Fatalf("top itemset = %v", top)
+	}
+}
+
+func TestTopKFewerThanKExist(t *testing.T) {
+	db := gen.Small()
+	c := NewBorgelt(db)
+	got, threshold, err := MineTopK(db, 10000, 1, c, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracle.Mine(db, 1)
+	if got.Len() != want.Len() {
+		t.Fatalf("asked for more than exist: got %d, universe has %d", got.Len(), want.Len())
+	}
+	if threshold != 1 {
+		t.Fatalf("threshold = %d, want 1", threshold)
+	}
+}
+
+func TestTopKDeterministicTies(t *testing.T) {
+	db := gen.Small()
+	c := NewBodon(db)
+	a, _, err := MineTopK(db, 4, 1, c, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := MineTopK(db, 4, 1, c, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("top-k not deterministic")
+	}
+}
+
+func TestTopKValidation(t *testing.T) {
+	db := gen.Small()
+	c := NewBodon(db)
+	if _, _, err := MineTopK(db, 0, 1, c, Config{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}

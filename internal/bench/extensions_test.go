@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExtensionRegistryComplete(t *testing.T) {
+	if len(ExtensionIDs) != len(Extensions) {
+		t.Fatalf("ids %v vs map %d entries", ExtensionIDs, len(Extensions))
+	}
+	for _, id := range ExtensionIDs {
+		if Extensions[id] == nil {
+			t.Fatalf("extension %q missing", id)
+		}
+	}
+}
+
+func TestE1MultiGPURuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteE1MultiGPU(&buf, 0.004); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "E1") || !strings.Contains(out, "speedup") {
+		t.Fatalf("output:\n%s", out)
+	}
+	// Four device counts → header + 4 rows.
+	if lines := strings.Count(out, "\n"); lines < 5 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+}
+
+func TestE2HybridRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteE2HybridShare(&buf, 0.004); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cpu_share") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestE3ClusterRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteE3Cluster(&buf, 0.004); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "1GbE") || !strings.Contains(out, "IB-QDR") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestE4ArchitectureRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteE4Architecture(&buf, 0.004); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "T10") || !strings.Contains(out, "Fermi") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestE5GPUEclatRunsAndAgrees(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteE5GPUEclat(&buf, 0.004); err != nil {
+		t.Fatal(err) // includes the agreement check internally
+	}
+	if !strings.Contains(buf.String(), "GPU-Eclat") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}

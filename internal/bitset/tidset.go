@@ -1,0 +1,132 @@
+package bitset
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Tidset is the classical vertical representation: a strictly ascending
+// array of transaction ids containing an item (or itemset). It is the
+// layout GPApriori argues against for GPUs — compact, but its intersection
+// is data-dependent and uncoalesced — and the layout our Borgelt-style and
+// Eclat baselines use.
+type Tidset []uint32
+
+// NewTidset returns a Tidset from arbitrary ids, sorted and deduplicated.
+func NewTidset(ids []uint32) Tidset {
+	t := make(Tidset, len(ids))
+	copy(t, ids)
+	sort.Slice(t, func(i, j int) bool { return t[i] < t[j] })
+	// Deduplicate in place.
+	out := t[:0]
+	for i, v := range t {
+		if i == 0 || v != t[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Support returns the number of transactions in the tidset.
+func (t Tidset) Support() int { return len(t) }
+
+// Intersect returns the sorted intersection of two tidsets using the
+// classical merge join — the branchy, data-dependent loop whose memory
+// access pattern the paper calls "uncoalesced" (Figure 3a).
+func (t Tidset) Intersect(o Tidset) Tidset {
+	n := len(t)
+	if len(o) < n {
+		n = len(o)
+	}
+	out := make(Tidset, 0, n)
+	i, j := 0, 0
+	for i < len(t) && j < len(o) {
+		switch {
+		case t[i] < o[j]:
+			i++
+		case t[i] > o[j]:
+			j++
+		default:
+			out = append(out, t[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// IntersectCount returns |t ∩ o| without materializing the intersection.
+func (t Tidset) IntersectCount(o Tidset) int {
+	n, i, j := 0, 0, 0
+	for i < len(t) && j < len(o) {
+		switch {
+		case t[i] < o[j]:
+			i++
+		case t[i] > o[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// Diff returns the sorted difference t \ o — the primitive of Zaki & Gouda's
+// diffset optimization used by our Eclat baseline.
+func (t Tidset) Diff(o Tidset) Tidset {
+	out := make(Tidset, 0, len(t))
+	i, j := 0, 0
+	for i < len(t) {
+		switch {
+		case j >= len(o) || t[i] < o[j]:
+			out = append(out, t[i])
+			i++
+		case t[i] > o[j]:
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Contains reports whether transaction id is present, by binary search.
+func (t Tidset) Contains(id uint32) bool {
+	i := sort.Search(len(t), func(i int) bool { return t[i] >= id })
+	return i < len(t) && t[i] == id
+}
+
+// ToBitset converts the tidset into a static bitset of width nbits.
+func (t Tidset) ToBitset(nbits int) *Bitset {
+	b := New(nbits)
+	for _, id := range t {
+		if int(id) >= nbits {
+			panic(fmt.Sprintf("bitset: tid %d out of range [0,%d)", id, nbits))
+		}
+		b.Set(int(id))
+	}
+	return b
+}
+
+// FromBitset converts a static bitset back into a tidset.
+func FromBitset(b *Bitset) Tidset {
+	idx := b.Indices()
+	t := make(Tidset, len(idx))
+	for i, v := range idx {
+		t[i] = uint32(v)
+	}
+	return t
+}
+
+// IsSorted reports whether the tidset invariant (strictly ascending) holds.
+func (t Tidset) IsSorted() bool {
+	for i := 1; i < len(t); i++ {
+		if t[i-1] >= t[i] {
+			return false
+		}
+	}
+	return true
+}

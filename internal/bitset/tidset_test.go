@@ -1,0 +1,187 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTidsetSortsAndDedups(t *testing.T) {
+	ts := NewTidset([]uint32{5, 1, 3, 1, 5, 2})
+	want := Tidset{1, 2, 3, 5}
+	if len(ts) != len(want) {
+		t.Fatalf("NewTidset = %v, want %v", ts, want)
+	}
+	for i := range want {
+		if ts[i] != want[i] {
+			t.Fatalf("NewTidset = %v, want %v", ts, want)
+		}
+	}
+	if !ts.IsSorted() {
+		t.Fatal("NewTidset result not sorted")
+	}
+}
+
+func TestTidsetIntersect(t *testing.T) {
+	a := Tidset{1, 3, 5, 7, 9}
+	b := Tidset{3, 4, 5, 6, 7}
+	got := a.Intersect(b)
+	want := Tidset{3, 5, 7}
+	if len(got) != len(want) {
+		t.Fatalf("Intersect = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Intersect = %v, want %v", got, want)
+		}
+	}
+	if got := a.IntersectCount(b); got != 3 {
+		t.Fatalf("IntersectCount = %d, want 3", got)
+	}
+}
+
+func TestTidsetIntersectDisjoint(t *testing.T) {
+	a := Tidset{1, 2}
+	b := Tidset{3, 4}
+	if got := a.Intersect(b); len(got) != 0 {
+		t.Fatalf("Intersect of disjoint sets = %v", got)
+	}
+	if got := a.IntersectCount(b); got != 0 {
+		t.Fatalf("IntersectCount of disjoint sets = %d", got)
+	}
+}
+
+func TestTidsetIntersectEmpty(t *testing.T) {
+	a := Tidset{}
+	b := Tidset{1, 2, 3}
+	if got := a.Intersect(b); len(got) != 0 {
+		t.Fatalf("Intersect with empty = %v", got)
+	}
+}
+
+func TestTidsetDiff(t *testing.T) {
+	a := Tidset{1, 2, 3, 4, 5}
+	b := Tidset{2, 4, 6}
+	got := a.Diff(b)
+	want := Tidset{1, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Diff = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Diff = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTidsetDiffEmptyOther(t *testing.T) {
+	a := Tidset{1, 2, 3}
+	got := a.Diff(Tidset{})
+	if len(got) != 3 {
+		t.Fatalf("Diff with empty = %v, want all of a", got)
+	}
+}
+
+func TestTidsetContains(t *testing.T) {
+	a := Tidset{2, 4, 8, 16}
+	for _, id := range []uint32{2, 4, 8, 16} {
+		if !a.Contains(id) {
+			t.Errorf("Contains(%d) = false", id)
+		}
+	}
+	for _, id := range []uint32{0, 1, 3, 17} {
+		if a.Contains(id) {
+			t.Errorf("Contains(%d) = true", id)
+		}
+	}
+}
+
+func TestTidsetBitsetRoundTrip(t *testing.T) {
+	a := Tidset{0, 9, 63, 64, 99}
+	b := a.ToBitset(100)
+	back := FromBitset(b)
+	if len(back) != len(a) {
+		t.Fatalf("round trip = %v, want %v", back, a)
+	}
+	for i := range a {
+		if back[i] != a[i] {
+			t.Fatalf("round trip = %v, want %v", back, a)
+		}
+	}
+}
+
+func TestToBitsetOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for tid out of range")
+		}
+	}()
+	Tidset{100}.ToBitset(100)
+}
+
+// Property: tidset merge-join intersection agrees with bitset AND popcount —
+// the equivalence GPApriori exploits when swapping layouts.
+func TestPropertyTidsetBitsetIntersectionAgree(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		const width = 1 << 16
+		a := NewTidset(widen(xs))
+		b := NewTidset(widen(ys))
+		ba := a.ToBitset(width)
+		bb := b.ToBitset(width)
+		return a.IntersectCount(b) == ba.AndCount(bb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: |A| = |A∩B| + |A\B| (diffset identity used by Eclat-diffset).
+func TestPropertyDiffsetIdentity(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		a := NewTidset(widen(xs))
+		b := NewTidset(widen(ys))
+		return len(a) == a.IntersectCount(b)+len(a.Diff(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: intersection is commutative and a subset of both inputs.
+func TestPropertyIntersectCommutativeSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		a := randomTidset(rng, 200, 1000)
+		b := randomTidset(rng, 200, 1000)
+		ab := a.Intersect(b)
+		ba := b.Intersect(a)
+		if len(ab) != len(ba) {
+			t.Fatalf("intersection not commutative: %d vs %d", len(ab), len(ba))
+		}
+		for i := range ab {
+			if ab[i] != ba[i] {
+				t.Fatal("intersection not commutative")
+			}
+			if !a.Contains(ab[i]) || !b.Contains(ab[i]) {
+				t.Fatal("intersection element missing from an input")
+			}
+		}
+	}
+}
+
+func widen(xs []uint16) []uint32 {
+	out := make([]uint32, len(xs))
+	for i, v := range xs {
+		out[i] = uint32(v)
+	}
+	return out
+}
+
+func randomTidset(rng *rand.Rand, maxLen, universe int) Tidset {
+	n := rng.Intn(maxLen)
+	ids := make([]uint32, n)
+	for i := range ids {
+		ids[i] = uint32(rng.Intn(universe))
+	}
+	return NewTidset(ids)
+}

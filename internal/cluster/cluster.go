@@ -1,0 +1,321 @@
+// Package cluster simulates GPApriori on a GPU cluster — the final item
+// of the paper's future work ("a load-balanced computation model across
+// CPU/GPU platform and GPU cluster"). A master holds the transaction
+// database and the candidate trie; every node holds a pool of simulated
+// GPUs with a replicated copy of the first-generation bitsets. Each
+// generation's candidates are scattered over the nodes, counted on their
+// device pools, and the supports gathered back.
+//
+// The network is modeled explicitly (per-message latency plus bytes over
+// link bandwidth), so the harness exposes the real trade-off of
+// distributing a mining run: small generations are dominated by scatter/
+// gather latency and do not scale, large ones approach linear speedup —
+// the crossover the future-work proposal would have had to navigate.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"gpapriori/internal/apriori"
+	"gpapriori/internal/dataset"
+	"gpapriori/internal/gpusim"
+	"gpapriori/internal/kernels"
+	"gpapriori/internal/trie"
+	"gpapriori/internal/vertical"
+)
+
+// NetworkConfig models the cluster interconnect as seen by one node link:
+// full-duplex, latency per message, bandwidth per direction.
+type NetworkConfig struct {
+	Name         string
+	BandwidthBps float64 // per-link bandwidth, bytes/second
+	LatencySec   float64 // per-message latency
+}
+
+// GigabitEthernet returns the commodity interconnect of 2011-era clusters.
+func GigabitEthernet() NetworkConfig {
+	return NetworkConfig{Name: "1GbE", BandwidthBps: 118e6, LatencySec: 50e-6}
+}
+
+// InfinibandQDR returns the HPC interconnect of the paper's era (QDR IB,
+// ~4 GB/s effective).
+func InfinibandQDR() NetworkConfig {
+	return NetworkConfig{Name: "IB-QDR", BandwidthBps: 4e9, LatencySec: 2e-6}
+}
+
+func (n NetworkConfig) validate() error {
+	if n.BandwidthBps <= 0 || n.LatencySec < 0 {
+		return fmt.Errorf("cluster: invalid network config %+v", n)
+	}
+	return nil
+}
+
+// transfer returns the modeled seconds to move bytes over one link.
+func (n NetworkConfig) transfer(bytes int) float64 {
+	return n.LatencySec + float64(bytes)/n.BandwidthBps
+}
+
+// Config describes the cluster.
+type Config struct {
+	Nodes       int             // number of worker nodes (1–64)
+	GPUsPerNode int             // simulated GPUs per node (1–16)
+	Device      gpusim.Config   // per-GPU model; zero = TeslaT10()
+	Kernel      kernels.Options // zero = kernels.DefaultOptions()
+	Network     NetworkConfig   // zero = GigabitEthernet()
+}
+
+// Miner is a cluster-wide GPApriori miner.
+type Miner struct {
+	db    *dataset.DB
+	cfg   Config
+	nodes []*node
+	// dbBytes is the size of the replicated vertical database, for the
+	// broadcast cost model.
+	dbBytes int
+	// uploadSec is the slowest node's modeled host→device upload of the
+	// replicated bitsets, captured at construction (device stats are reset
+	// per run).
+	uploadSec float64
+}
+
+// node is one worker: a pool of devices with replicated bitsets.
+type node struct {
+	devs []*gpusim.Device
+	ddbs []*kernels.DeviceDB
+}
+
+// Report describes one cluster mining run.
+type Report struct {
+	Result *dataset.ResultSet
+	// HostSeconds is the master's measured candidate-generation time.
+	HostSeconds float64
+	// BroadcastSeconds models the one-time replication of the vertical
+	// database to every node over the master's uplink (serialized), plus
+	// each node's host→device uploads (parallel across nodes).
+	BroadcastSeconds float64
+	// NetworkSeconds models per-generation candidate scatter and support
+	// gather, summed over generations (nodes transfer in parallel; each
+	// generation costs the slowest node's link time).
+	NetworkSeconds float64
+	// DeviceSeconds models the device pools' kernel work, summed over
+	// generations (each generation costs the slowest node's pool).
+	DeviceSeconds float64
+	// PerNode is each node's modeled device total across the run.
+	PerNode []gpusim.TimeBreakdown
+	// CandidatesPerNode counts candidates routed to each node.
+	CandidatesPerNode []int
+	Generations       int
+}
+
+// TotalSeconds is the modeled end-to-end time of the distributed run.
+func (r Report) TotalSeconds() float64 {
+	return r.HostSeconds + r.BroadcastSeconds + r.NetworkSeconds + r.DeviceSeconds
+}
+
+// New builds the cluster miner and replicates the database.
+func New(db *dataset.DB, cfg Config) (*Miner, error) {
+	if db.Len() == 0 || db.NumItems() == 0 {
+		return nil, fmt.Errorf("cluster: empty database")
+	}
+	if cfg.Nodes < 1 || cfg.Nodes > 64 {
+		return nil, fmt.Errorf("cluster: %d nodes out of range [1,64]", cfg.Nodes)
+	}
+	if cfg.GPUsPerNode < 1 || cfg.GPUsPerNode > 16 {
+		return nil, fmt.Errorf("cluster: %d GPUs per node out of range [1,16]", cfg.GPUsPerNode)
+	}
+	if cfg.Device.SMs == 0 {
+		cfg.Device = gpusim.TeslaT10()
+	}
+	if cfg.Kernel.BlockSize == 0 {
+		cfg.Kernel = kernels.DefaultOptions()
+	}
+	if cfg.Network.BandwidthBps == 0 {
+		cfg.Network = GigabitEthernet()
+	}
+	if err := cfg.Network.validate(); err != nil {
+		return nil, err
+	}
+
+	bits := vertical.BuildBitsets(db)
+	vecWords := len(bits.Vectors) * bits.WordsPerVector() * 2
+	scratch := vecWords
+	if scratch < 1<<20 {
+		scratch = 1 << 20
+	}
+	if scratch > 1<<25 {
+		scratch = 1 << 25
+	}
+	m := &Miner{db: db, cfg: cfg, dbBytes: vecWords * 4}
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &node{}
+		for g := 0; g < cfg.GPUsPerNode; g++ {
+			dev := gpusim.NewDevice(cfg.Device, vecWords+scratch+1024)
+			ddb, err := kernels.Upload(dev, bits)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: node %d gpu %d: %w", i, g, err)
+			}
+			n.devs = append(n.devs, dev)
+			n.ddbs = append(n.ddbs, ddb)
+		}
+		m.nodes = append(m.nodes, n)
+	}
+	for _, n := range m.nodes {
+		for _, d := range n.devs {
+			if tr := d.ModeledTime().Transfer; tr > m.uploadSec {
+				m.uploadSec = tr
+			}
+		}
+	}
+	return m, nil
+}
+
+// counter implements apriori.Counter by scattering each generation over
+// the nodes.
+type counter struct {
+	m           *Miner
+	simWall     time.Duration
+	generations int
+	perNode     []int
+	networkSec  float64
+	deviceSec   float64
+}
+
+// Name implements apriori.Counter.
+func (c *counter) Name() string {
+	return fmt.Sprintf("GPApriori(cluster %d×%d,%s)",
+		c.m.cfg.Nodes, c.m.cfg.GPUsPerNode, c.m.cfg.Network.Name)
+}
+
+// Count implements apriori.Counter.
+func (c *counter) Count(_ *trie.Trie, cands []trie.Candidate, k int) error {
+	start := time.Now()
+	defer func() { c.simWall += time.Since(start) }()
+	c.generations++
+
+	nodes := c.m.nodes
+	shard := (len(cands) + len(nodes) - 1) / len(nodes)
+	genNet := 0.0
+	genDev := 0.0
+	for ni, n := range nodes {
+		lo := ni * shard
+		if lo >= len(cands) {
+			break
+		}
+		hi := lo + shard
+		if hi > len(cands) {
+			hi = len(cands)
+		}
+		part := cands[lo:hi]
+		c.perNode[ni] += len(part)
+
+		// Link cost: candidate ids out (4 bytes per item id), supports
+		// back (4 bytes each). Nodes transfer concurrently on their own
+		// links; the generation pays for the slowest.
+		net := c.m.cfg.Network.transfer(len(part)*k*4) + c.m.cfg.Network.transfer(len(part)*4)
+		if net > genNet {
+			genNet = net
+		}
+
+		// Split the node's share across its GPUs, tracking the pool's
+		// modeled time delta (GPUs run concurrently).
+		before := make([]float64, len(n.devs))
+		for g, d := range n.devs {
+			before[g] = d.ModeledTime().Total()
+		}
+		gpuShard := (len(part) + len(n.devs) - 1) / len(n.devs)
+		for g, ddb := range n.ddbs {
+			glo := g * gpuShard
+			if glo >= len(part) {
+				break
+			}
+			ghi := glo + gpuShard
+			if ghi > len(part) {
+				ghi = len(part)
+			}
+			items := make([][]dataset.Item, 0, ghi-glo)
+			for _, cand := range part[glo:ghi] {
+				items = append(items, cand.Items)
+			}
+			sups, err := ddb.SupportCounts(items, c.m.cfg.Kernel)
+			if err != nil {
+				return err
+			}
+			for i, cand := range part[glo:ghi] {
+				cand.Node.Support = sups[i]
+			}
+		}
+		nodeDev := 0.0
+		for g, d := range n.devs {
+			if delta := d.ModeledTime().Total() - before[g]; delta > nodeDev {
+				nodeDev = delta
+			}
+		}
+		if nodeDev > genDev {
+			genDev = nodeDev
+		}
+	}
+	c.networkSec += genNet
+	c.deviceSec += genDev
+	return nil
+}
+
+// Mine runs the distributed miner at the given absolute minimum support.
+func (m *Miner) Mine(minSupport int, cfg apriori.Config) (Report, error) {
+	for _, n := range m.nodes {
+		for _, d := range n.devs {
+			d.ResetStats()
+		}
+	}
+	c := &counter{m: m, perNode: make([]int, len(m.nodes))}
+	t0 := time.Now()
+	rs, err := apriori.Mine(m.db, minSupport, c, cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	wall := time.Since(t0)
+	host := wall - c.simWall
+	if host < 0 {
+		host = 0
+	}
+	rep := Report{
+		Result:            rs,
+		HostSeconds:       host.Seconds(),
+		NetworkSeconds:    c.networkSec,
+		DeviceSeconds:     c.deviceSec,
+		CandidatesPerNode: c.perNode,
+		Generations:       c.generations,
+	}
+	// Broadcast: the master's uplink serializes one DB copy per node; the
+	// per-node H2D uploads then happen in parallel — take the slowest
+	// (captured at construction, before per-run stat resets).
+	rep.BroadcastSeconds = float64(len(m.nodes))*m.cfg.Network.transfer(m.dbBytes) + m.uploadSec
+	for _, n := range m.nodes {
+		pool := gpusim.TimeBreakdown{}
+		for _, d := range n.devs {
+			t := d.ModeledTime()
+			pool.Kernel += t.Kernel
+			pool.Memory += t.Memory
+			pool.Compute += t.Compute
+			pool.Launch += t.Launch
+			pool.Transfer += t.Transfer
+		}
+		rep.PerNode = append(rep.PerNode, pool)
+	}
+	return rep, nil
+}
+
+// MineRelative is Mine with a relative support threshold in (0,1].
+func (m *Miner) MineRelative(rel float64, cfg apriori.Config) (Report, error) {
+	return m.Mine(m.db.AbsoluteSupport(rel), cfg)
+}
+
+// Efficiency returns the parallel efficiency of this report against a
+// baseline single-node report: speedup / (nodes × gpusPerNode ratio).
+func Efficiency(single, multi Report, singleUnits, multiUnits int) float64 {
+	if multi.TotalSeconds() == 0 || multiUnits == 0 || singleUnits == 0 {
+		return 0
+	}
+	speedup := single.TotalSeconds() / multi.TotalSeconds()
+	return speedup / (float64(multiUnits) / float64(singleUnits))
+}

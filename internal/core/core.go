@@ -1,0 +1,194 @@
+// Package core implements GPApriori itself — the paper's contribution:
+// level-wise Apriori with trie-based candidate generation on the host and
+// complete-intersection support counting on the (simulated) GPU.
+//
+// The workflow follows Section IV:
+//
+//  1. Transpose the database into static bitsets and upload only the
+//     first-generation vectors to device memory (one H2D transfer).
+//  2. Each generation: generate candidates on the host trie, ship the
+//     candidate item lists to the device, launch the support-counting
+//     kernel (one block per candidate), copy the support array back, and
+//     prune the trie.
+//  3. Repeat until no generation survives.
+//
+// Timing is split the way the substitution requires (DESIGN.md §2): host
+// candidate generation is measured wall-clock; everything device-side is
+// modeled by gpusim's calibrated timing model. Report carries both.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"gpapriori/internal/apriori"
+	"gpapriori/internal/dataset"
+	"gpapriori/internal/gpusim"
+	"gpapriori/internal/kernels"
+	"gpapriori/internal/trie"
+	"gpapriori/internal/vertical"
+)
+
+// Options configures a GPApriori miner.
+type Options struct {
+	// Device is the simulated GPU configuration. Zero value = TeslaT10().
+	Device gpusim.Config
+	// Kernel carries the Section IV.3 tuning knobs (block size, candidate
+	// preloading, unrolling). Zero value = kernels.DefaultOptions().
+	Kernel kernels.Options
+	// DeviceMemWords overrides the device memory size in 32-bit words
+	// (0 = sized automatically from the dataset with scratch headroom).
+	DeviceMemWords int
+}
+
+// Miner is a GPApriori instance bound to one database: the vertical
+// bitsets live in device memory across mining runs, as in the paper.
+type Miner struct {
+	db  *dataset.DB
+	dev *gpusim.Device
+	ddb *kernels.DeviceDB
+	opt kernels.Options
+}
+
+// Report describes one mining run.
+type Report struct {
+	Result *dataset.ResultSet
+	// HostSeconds is measured wall-clock spent in host-side work
+	// (candidate trie generation and pruning).
+	HostSeconds float64
+	// Device is the modeled device time of the run (kernels, launches,
+	// transfers) from the gpusim timing model.
+	Device gpusim.TimeBreakdown
+	// DeviceStats are the raw device event counts of the run.
+	DeviceStats gpusim.Stats
+	// Generations is the number of candidate generations counted on the
+	// device (itemset lengths 2..Generations+1).
+	Generations int
+	// Candidates is the total number of candidates whose support the
+	// device computed.
+	Candidates int
+}
+
+// TotalSeconds is the modeled end-to-end time: measured host work plus
+// modeled device work.
+func (r Report) TotalSeconds() float64 { return r.HostSeconds + r.Device.Total() }
+
+// New builds a Miner over db: it transposes the database, creates the
+// simulated device, and uploads the first-generation bitsets.
+func New(db *dataset.DB, opt Options) (*Miner, error) {
+	if db.Len() == 0 || db.NumItems() == 0 {
+		return nil, fmt.Errorf("core: empty database")
+	}
+	cfg := opt.Device
+	if cfg.SMs == 0 {
+		cfg = gpusim.TeslaT10()
+	}
+	kopt := opt.Kernel
+	if kopt.BlockSize == 0 {
+		kopt = kernels.DefaultOptions()
+	}
+
+	v := vertical.BuildBitsets(db)
+	vecWords := len(v.Vectors) * v.WordsPerVector() * 2 // 32-bit words
+	memWords := opt.DeviceMemWords
+	if memWords == 0 {
+		// Vectors plus scratch headroom for the largest candidate batch.
+		scratch := vecWords
+		if scratch < 1<<20 {
+			scratch = 1 << 20
+		}
+		if scratch > 1<<25 {
+			scratch = 1 << 25
+		}
+		memWords = vecWords + scratch + 1024
+	}
+	dev := gpusim.NewDevice(cfg, memWords)
+	ddb, err := kernels.Upload(dev, v)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Miner{db: db, dev: dev, ddb: ddb, opt: kopt}, nil
+}
+
+// Device exposes the simulated device (for stats inspection in tools).
+func (m *Miner) Device() *gpusim.Device { return m.dev }
+
+// counter adapts the device kernel to the apriori.Counter interface,
+// chunking generations that exceed free device memory into multiple
+// launches and accounting the time spent simulating (to be excluded from
+// host-side wall-clock).
+type counter struct {
+	m           *Miner
+	simWall     time.Duration
+	generations int
+	candidates  int
+}
+
+// Name implements apriori.Counter.
+func (c *counter) Name() string { return "GPApriori(gpusim)" }
+
+// Count implements apriori.Counter.
+func (c *counter) Count(_ *trie.Trie, cands []trie.Candidate, k int) error {
+	start := time.Now()
+	defer func() { c.simWall += time.Since(start) }()
+	c.generations++
+	c.candidates += len(cands)
+
+	// A batch of n candidates needs n·k words (candidate ids) + n words
+	// (supports) + two buffers' alignment slack.
+	free := c.m.dev.MemWords() - c.m.dev.AllocatedWords()
+	maxBatch := (free - 32) / (k + 1)
+	if maxBatch < 1 {
+		return fmt.Errorf("core: device out of memory for generation %d (%d free words)", k, free)
+	}
+	items := make([][]dataset.Item, 0, len(cands))
+	for lo := 0; lo < len(cands); lo += maxBatch {
+		c.m.dev.TagNextLaunch(fmt.Sprintf("support-count gen %d", k))
+		hi := lo + maxBatch
+		if hi > len(cands) {
+			hi = len(cands)
+		}
+		items = items[:0]
+		for _, cand := range cands[lo:hi] {
+			items = append(items, cand.Items)
+		}
+		sups, err := c.m.ddb.SupportCounts(items, c.m.opt)
+		if err != nil {
+			return err
+		}
+		for i, cand := range cands[lo:hi] {
+			cand.Node.Support = sups[i]
+		}
+	}
+	return nil
+}
+
+// Mine runs GPApriori at the given absolute minimum support.
+func (m *Miner) Mine(minSupport int, cfg apriori.Config) (Report, error) {
+	m.dev.ResetStats()
+	c := &counter{m: m}
+	t0 := time.Now()
+	rs, err := apriori.Mine(m.db, minSupport, c, cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	wall := time.Since(t0)
+	host := wall - c.simWall
+	if host < 0 {
+		host = 0
+	}
+	stats := m.dev.Stats()
+	return Report{
+		Result:      rs,
+		HostSeconds: host.Seconds(),
+		Device:      m.dev.Config().Model(stats),
+		DeviceStats: stats,
+		Generations: c.generations,
+		Candidates:  c.candidates,
+	}, nil
+}
+
+// MineRelative is Mine with a relative support threshold in (0,1].
+func (m *Miner) MineRelative(rel float64, cfg apriori.Config) (Report, error) {
+	return m.Mine(m.db.AbsoluteSupport(rel), cfg)
+}

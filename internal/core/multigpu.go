@@ -1,0 +1,285 @@
+// Multi-GPU and hybrid CPU/GPU mining — the paper's stated future work
+// ("devise a load-balanced computation model across CPU/GPU platform and
+// GPU cluster"). The experimental platform, a Tesla S1070, carried four
+// T10 processors of which the paper used one; MultiMiner partitions each
+// generation's candidates across N simulated devices, and HybridSplit
+// additionally keeps a host share that is counted on the CPU while the
+// devices work.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"gpapriori/internal/apriori"
+	"gpapriori/internal/bitset"
+	"gpapriori/internal/dataset"
+	"gpapriori/internal/gpusim"
+	"gpapriori/internal/kernels"
+	"gpapriori/internal/trie"
+	"gpapriori/internal/vertical"
+)
+
+// MultiOptions configures a multi-device (and optionally hybrid) miner.
+type MultiOptions struct {
+	// Devices is the number of simulated GPUs (1–16). Each holds a full
+	// copy of the first-generation bitsets, as replication is how the
+	// S1070's independent memories would be used for this workload.
+	Devices int
+	// Device is the per-GPU configuration (zero value = TeslaT10()).
+	Device gpusim.Config
+	// Kernel carries the Section IV.3 knobs (zero value = defaults).
+	Kernel kernels.Options
+	// HybridCPUShare in [0,1) routes that fraction of every generation's
+	// candidates to the host CPU (bitset complete intersection, measured
+	// time) while the rest go to the devices — the paper's CPU/GPU
+	// co-processing model. 0 disables hybrid counting.
+	HybridCPUShare float64
+	// AutoBalance makes the hybrid share self-tune: after every
+	// generation the observed CPU candidate throughput (measured) and
+	// device pool throughput (modeled) set the next generation's split so
+	// both sides would finish together — the "load-balanced computation
+	// model across CPU/GPU platform" of the paper's future work.
+	// HybridCPUShare (or a small default) seeds the first generation.
+	AutoBalance bool
+	// MaxCPUShare caps the auto-balanced share (default 0.9).
+	MaxCPUShare float64
+	// CPUPopcount selects the host popcount for the hybrid share.
+	CPUPopcount bitset.PopcountKind
+}
+
+// MultiMiner mines with candidates partitioned across several simulated
+// devices, optionally sharing work with the host CPU.
+type MultiMiner struct {
+	db   *dataset.DB
+	bits *vertical.BitsetDB
+	devs []*gpusim.Device
+	ddbs []*kernels.DeviceDB
+	opt  MultiOptions
+}
+
+// MultiReport extends Report with per-device breakdowns.
+type MultiReport struct {
+	Result *dataset.ResultSet
+	// HostSeconds measures host-side work: candidate generation plus the
+	// hybrid CPU counting share.
+	HostSeconds float64
+	// CPUCountSeconds is the measured time of the hybrid CPU share alone.
+	CPUCountSeconds float64
+	// DeviceSeconds is the modeled wall time of the device pool per
+	// generation summed over generations: devices run concurrently, so
+	// each generation costs the *maximum* over devices.
+	DeviceSeconds float64
+	// PerDevice is each device's modeled total across the whole run.
+	PerDevice []gpusim.TimeBreakdown
+	// CandidatesPerDevice counts candidates routed to each device.
+	CandidatesPerDevice []int
+	// CandidatesCPU counts candidates counted by the hybrid host share.
+	CandidatesCPU int
+	Generations   int
+	// CPUShareByGeneration records the hybrid share used per generation
+	// (constant unless AutoBalance).
+	CPUShareByGeneration []float64
+}
+
+// TotalSeconds is the modeled end-to-end time.
+func (r MultiReport) TotalSeconds() float64 { return r.HostSeconds + r.DeviceSeconds }
+
+// NewMulti builds a MultiMiner over db.
+func NewMulti(db *dataset.DB, opt MultiOptions) (*MultiMiner, error) {
+	if db.Len() == 0 || db.NumItems() == 0 {
+		return nil, fmt.Errorf("core: empty database")
+	}
+	if opt.Devices < 1 || opt.Devices > 16 {
+		return nil, fmt.Errorf("core: %d devices out of range [1,16]", opt.Devices)
+	}
+	if opt.HybridCPUShare < 0 || opt.HybridCPUShare >= 1 {
+		return nil, fmt.Errorf("core: hybrid CPU share %v out of [0,1)", opt.HybridCPUShare)
+	}
+	if opt.MaxCPUShare == 0 {
+		opt.MaxCPUShare = 0.9
+	}
+	if opt.MaxCPUShare < 0 || opt.MaxCPUShare >= 1 {
+		return nil, fmt.Errorf("core: max CPU share %v out of [0,1)", opt.MaxCPUShare)
+	}
+	if opt.AutoBalance && opt.HybridCPUShare == 0 {
+		// Seed the balancer with a small probe share so it has a CPU
+		// throughput observation to work from.
+		opt.HybridCPUShare = 0.05
+	}
+	cfg := opt.Device
+	if cfg.SMs == 0 {
+		cfg = gpusim.TeslaT10()
+	}
+	if opt.Kernel.BlockSize == 0 {
+		opt.Kernel = kernels.DefaultOptions()
+	}
+	bits := vertical.BuildBitsets(db)
+	vecWords := len(bits.Vectors) * bits.WordsPerVector() * 2
+	scratch := vecWords
+	if scratch < 1<<20 {
+		scratch = 1 << 20
+	}
+	if scratch > 1<<25 {
+		scratch = 1 << 25
+	}
+	m := &MultiMiner{db: db, bits: bits, opt: opt}
+	for i := 0; i < opt.Devices; i++ {
+		dev := gpusim.NewDevice(cfg, vecWords+scratch+1024)
+		ddb, err := kernels.Upload(dev, bits)
+		if err != nil {
+			return nil, fmt.Errorf("core: device %d: %w", i, err)
+		}
+		m.devs = append(m.devs, dev)
+		m.ddbs = append(m.ddbs, ddb)
+	}
+	return m, nil
+}
+
+// multiCounter implements apriori.Counter by splitting each generation
+// between the host share and the device pool.
+type multiCounter struct {
+	m           *MultiMiner
+	simWall     time.Duration
+	cpuWall     time.Duration
+	generations int
+	perDevice   []int
+	cpuCands    int
+	// genDeviceSeconds accumulates, per generation, the max modeled
+	// device time — the pool works in parallel.
+	deviceSeconds float64
+	popc          func(uint64) int
+	// share is the current CPU fraction; sharesByGen records its history
+	// when auto-balancing.
+	share       float64
+	sharesByGen []float64
+}
+
+// Name implements apriori.Counter.
+func (c *multiCounter) Name() string {
+	return fmt.Sprintf("GPApriori(multi×%d,cpu=%.0f%%)", c.m.opt.Devices, c.m.opt.HybridCPUShare*100)
+}
+
+// Count implements apriori.Counter.
+func (c *multiCounter) Count(_ *trie.Trie, cands []trie.Candidate, k int) error {
+	start := time.Now()
+	defer func() { c.simWall += time.Since(start) }()
+	c.generations++
+
+	c.sharesByGen = append(c.sharesByGen, c.share)
+
+	// Host share first (it is measured, not simulated).
+	nCPU := int(float64(len(cands)) * c.share)
+	var cpuGen time.Duration
+	if nCPU > 0 {
+		t0 := time.Now()
+		vs := make([]*bitset.Bitset, k)
+		for _, cand := range cands[:nCPU] {
+			for i, item := range cand.Items {
+				vs[i] = c.m.bits.Vectors[item]
+			}
+			cand.Node.Support = bitset.IntersectCountManyWith(vs, c.popc)
+		}
+		cpuGen = time.Since(t0)
+		c.cpuWall += cpuGen
+		c.cpuCands += nCPU
+	}
+	rest := cands[nCPU:]
+	if len(rest) == 0 {
+		return nil
+	}
+
+	// Round-robin contiguous shards across the device pool.
+	n := len(c.m.ddbs)
+	shard := (len(rest) + n - 1) / n
+	genMax := 0.0
+	for d := 0; d < n; d++ {
+		lo := d * shard
+		if lo >= len(rest) {
+			break
+		}
+		hi := lo + shard
+		if hi > len(rest) {
+			hi = len(rest)
+		}
+		before := c.m.devs[d].ModeledTime().Total()
+		items := make([][]dataset.Item, 0, hi-lo)
+		for _, cand := range rest[lo:hi] {
+			items = append(items, cand.Items)
+		}
+		sups, err := c.m.ddbs[d].SupportCounts(items, c.m.opt.Kernel)
+		if err != nil {
+			return err
+		}
+		for i, cand := range rest[lo:hi] {
+			cand.Node.Support = sups[i]
+		}
+		c.perDevice[d] += hi - lo
+		delta := c.m.devs[d].ModeledTime().Total() - before
+		if delta > genMax {
+			genMax = delta
+		}
+	}
+	c.deviceSeconds += genMax
+
+	// Rebalance: pick the next generation's share so that, at the rates
+	// just observed (CPU measured, devices modeled), both sides finish
+	// together: share* = rateCPU / (rateCPU + rateDev). Smoothed to damp
+	// per-generation noise.
+	if c.m.opt.AutoBalance && nCPU > 0 && cpuGen > 0 && genMax > 0 {
+		rateCPU := float64(nCPU) / cpuGen.Seconds()
+		rateDev := float64(len(rest)) / genMax
+		target := rateCPU / (rateCPU + rateDev)
+		next := 0.5*c.share + 0.5*target
+		if next > c.m.opt.MaxCPUShare {
+			next = c.m.opt.MaxCPUShare
+		}
+		if next < 0.01 {
+			next = 0.01
+		}
+		c.share = next
+	}
+	return nil
+}
+
+// Mine runs the multi-device miner at the given absolute support.
+func (m *MultiMiner) Mine(minSupport int, cfg apriori.Config) (MultiReport, error) {
+	for _, d := range m.devs {
+		d.ResetStats()
+	}
+	c := &multiCounter{
+		m:         m,
+		perDevice: make([]int, len(m.devs)),
+		popc:      m.opt.CPUPopcount.Func(),
+		share:     m.opt.HybridCPUShare,
+	}
+	t0 := time.Now()
+	rs, err := apriori.Mine(m.db, minSupport, c, cfg)
+	if err != nil {
+		return MultiReport{}, err
+	}
+	wall := time.Since(t0)
+	host := wall - c.simWall + c.cpuWall
+	if host < 0 {
+		host = 0
+	}
+	rep := MultiReport{
+		Result:               rs,
+		HostSeconds:          host.Seconds(),
+		CPUCountSeconds:      c.cpuWall.Seconds(),
+		DeviceSeconds:        c.deviceSeconds,
+		CandidatesPerDevice:  c.perDevice,
+		CandidatesCPU:        c.cpuCands,
+		Generations:          c.generations,
+		CPUShareByGeneration: c.sharesByGen,
+	}
+	for _, d := range m.devs {
+		rep.PerDevice = append(rep.PerDevice, d.ModeledTime())
+	}
+	return rep, nil
+}
+
+// MineRelative is Mine with a relative support threshold in (0,1].
+func (m *MultiMiner) MineRelative(rel float64, cfg apriori.Config) (MultiReport, error) {
+	return m.Mine(m.db.AbsoluteSupport(rel), cfg)
+}

@@ -1,0 +1,235 @@
+// Package dataset provides the horizontal transaction database underlying
+// every miner in this repository, plus readers and writers for the FIMI
+// repository's whitespace-separated ".dat" format (the format of the
+// paper's benchmark files T40I10D100K, pumsb, chess and accidents).
+//
+// A transaction is a set of item ids; a database is an ordered list of
+// transactions. Items are dense non-negative integers. The package also
+// computes the dataset statistics reported in the paper's Table 2 (#items,
+// average transaction length, #transactions) together with a density
+// measure that distinguishes the dense UCI datasets from sparse synthetic
+// ones.
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Item is a single item identifier. Items are small dense integers; the
+// vertical builders allocate one bit vector per distinct item.
+type Item = uint32
+
+// Transaction is one database row: a strictly ascending set of items.
+type Transaction []Item
+
+// Clone returns an independent copy of the transaction.
+func (t Transaction) Clone() Transaction {
+	c := make(Transaction, len(t))
+	copy(c, t)
+	return c
+}
+
+// Contains reports whether the transaction contains item x, by binary
+// search over the sorted items.
+func (t Transaction) Contains(x Item) bool {
+	i := sort.Search(len(t), func(i int) bool { return t[i] >= x })
+	return i < len(t) && t[i] == x
+}
+
+// ContainsAll reports whether the transaction contains every item of the
+// sorted itemset s — the subset test at the heart of horizontal support
+// counting.
+func (t Transaction) ContainsAll(s []Item) bool {
+	j := 0
+	for _, want := range s {
+		for j < len(t) && t[j] < want {
+			j++
+		}
+		if j >= len(t) || t[j] != want {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// DB is a horizontal transaction database.
+type DB struct {
+	trans []Transaction
+	nItem int // 1 + max item id seen; the vertical width
+}
+
+// New builds a DB from raw transactions. Each transaction is copied,
+// sorted and deduplicated so the Transaction invariants hold regardless of
+// input order.
+func New(trans [][]Item) *DB {
+	db := &DB{trans: make([]Transaction, 0, len(trans))}
+	for _, raw := range trans {
+		db.Append(raw)
+	}
+	return db
+}
+
+// Append adds one transaction (copied, sorted, deduplicated) to the DB.
+func (db *DB) Append(raw []Item) {
+	t := make(Transaction, len(raw))
+	copy(t, raw)
+	sort.Slice(t, func(i, j int) bool { return t[i] < t[j] })
+	out := t[:0]
+	for i, v := range t {
+		if i == 0 || v != t[i-1] {
+			out = append(out, v)
+		}
+	}
+	t = out
+	if n := len(t); n > 0 && int(t[n-1])+1 > db.nItem {
+		db.nItem = int(t[n-1]) + 1
+	}
+	db.trans = append(db.trans, t)
+}
+
+// Len returns the number of transactions.
+func (db *DB) Len() int { return len(db.trans) }
+
+// NumItems returns the width of the item universe (1 + max item id).
+func (db *DB) NumItems() int { return db.nItem }
+
+// Transaction returns the i-th transaction. The returned slice must not be
+// modified.
+func (db *DB) Transaction(i int) Transaction { return db.trans[i] }
+
+// Transactions returns the backing transaction list. Callers must treat it
+// as read-only.
+func (db *DB) Transactions() []Transaction { return db.trans }
+
+// AbsoluteSupport converts a relative minimum-support threshold in (0,1]
+// into the minimum transaction count, rounding up as the FIM literature
+// does (support ratio ≥ threshold).
+func (db *DB) AbsoluteSupport(rel float64) int {
+	if rel <= 0 || rel > 1 {
+		panic(fmt.Sprintf("dataset: relative support %v out of (0,1]", rel))
+	}
+	abs := int(rel*float64(len(db.trans)) + 0.9999999)
+	if abs < 1 {
+		abs = 1
+	}
+	return abs
+}
+
+// ItemSupports returns the per-item occurrence counts — the first
+// generation of Apriori's support counting.
+func (db *DB) ItemSupports() []int {
+	sup := make([]int, db.nItem)
+	for _, t := range db.trans {
+		for _, it := range t {
+			sup[it]++
+		}
+	}
+	return sup
+}
+
+// Stats holds the dataset descriptors reported in the paper's Table 2.
+type Stats struct {
+	NumItems  int     // distinct items actually occurring
+	AvgLength float64 // average transaction length
+	NumTrans  int     // number of transactions
+	MaxLength int     // longest transaction
+	Density   float64 // avg length / distinct items; >0.3 is "dense"
+}
+
+// Stats computes Table 2-style statistics for the database.
+func (db *DB) Stats() Stats {
+	seen := make([]bool, db.nItem)
+	total := 0
+	maxLen := 0
+	for _, t := range db.trans {
+		total += len(t)
+		if len(t) > maxLen {
+			maxLen = len(t)
+		}
+		for _, it := range t {
+			seen[it] = true
+		}
+	}
+	distinct := 0
+	for _, s := range seen {
+		if s {
+			distinct++
+		}
+	}
+	st := Stats{NumItems: distinct, NumTrans: len(db.trans), MaxLength: maxLen}
+	if len(db.trans) > 0 {
+		st.AvgLength = float64(total) / float64(len(db.trans))
+	}
+	if distinct > 0 {
+		st.Density = st.AvgLength / float64(distinct)
+	}
+	return st
+}
+
+// Read parses the FIMI ".dat" format: one transaction per line, items as
+// base-10 integers separated by spaces or tabs. Blank lines are skipped
+// (they would otherwise become empty transactions that only inflate the
+// denominator).
+func Read(r io.Reader) (*DB, error) {
+	db := &DB{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line := 0
+	var row []Item
+	for sc.Scan() {
+		line++
+		row = row[:0]
+		text := sc.Bytes()
+		i := 0
+		for i < len(text) {
+			for i < len(text) && (text[i] == ' ' || text[i] == '\t' || text[i] == '\r') {
+				i++
+			}
+			start := i
+			for i < len(text) && text[i] != ' ' && text[i] != '\t' && text[i] != '\r' {
+				i++
+			}
+			if start == i {
+				continue
+			}
+			v, err := strconv.ParseUint(string(text[start:i]), 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: bad item %q: %v", line, text[start:i], err)
+			}
+			row = append(row, Item(v))
+		}
+		if len(row) > 0 {
+			db.Append(row)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: line %d: %v", line, err)
+	}
+	return db, nil
+}
+
+// Write serializes the database in FIMI ".dat" format.
+func (db *DB) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range db.trans {
+		for i, it := range t {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatUint(uint64(it), 10)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,235 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSortsAndDedups(t *testing.T) {
+	db := New([][]Item{{3, 1, 2, 1}, {5, 5}})
+	got := db.Transaction(0)
+	want := Transaction{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("transaction 0 = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("transaction 0 = %v, want %v", got, want)
+		}
+	}
+	if len(db.Transaction(1)) != 1 {
+		t.Fatalf("transaction 1 = %v, want single item", db.Transaction(1))
+	}
+	if db.NumItems() != 6 {
+		t.Fatalf("NumItems = %d, want 6", db.NumItems())
+	}
+}
+
+func TestTransactionContains(t *testing.T) {
+	tr := Transaction{1, 3, 5, 9}
+	for _, x := range []Item{1, 3, 5, 9} {
+		if !tr.Contains(x) {
+			t.Errorf("Contains(%d) = false", x)
+		}
+	}
+	for _, x := range []Item{0, 2, 4, 10} {
+		if tr.Contains(x) {
+			t.Errorf("Contains(%d) = true", x)
+		}
+	}
+}
+
+func TestContainsAll(t *testing.T) {
+	tr := Transaction{1, 2, 3, 7, 9}
+	cases := []struct {
+		sub  []Item
+		want bool
+	}{
+		{[]Item{}, true},
+		{[]Item{1}, true},
+		{[]Item{1, 9}, true},
+		{[]Item{2, 3, 7}, true},
+		{[]Item{1, 2, 3, 7, 9}, true},
+		{[]Item{4}, false},
+		{[]Item{1, 4}, false},
+		{[]Item{9, 10}, false},
+	}
+	for _, c := range cases {
+		if got := tr.ContainsAll(c.sub); got != c.want {
+			t.Errorf("ContainsAll(%v) = %v, want %v", c.sub, got, c.want)
+		}
+	}
+}
+
+func TestAbsoluteSupport(t *testing.T) {
+	db := New(make([][]Item, 0))
+	for i := 0; i < 100; i++ {
+		db.Append([]Item{Item(i % 5)})
+	}
+	cases := []struct {
+		rel  float64
+		want int
+	}{
+		{1.0, 100},
+		{0.5, 50},
+		{0.501, 51},
+		{0.001, 1},
+		{0.0001, 1},
+	}
+	for _, c := range cases {
+		if got := db.AbsoluteSupport(c.rel); got != c.want {
+			t.Errorf("AbsoluteSupport(%v) = %d, want %d", c.rel, got, c.want)
+		}
+	}
+}
+
+func TestAbsoluteSupportPanics(t *testing.T) {
+	db := New([][]Item{{1}})
+	for _, rel := range []float64{0, -0.1, 1.01} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for rel=%v", rel)
+				}
+			}()
+			db.AbsoluteSupport(rel)
+		}()
+	}
+}
+
+func TestItemSupports(t *testing.T) {
+	db := New([][]Item{{0, 1}, {1, 2}, {1}})
+	sup := db.ItemSupports()
+	want := []int{1, 3, 1}
+	for i := range want {
+		if sup[i] != want[i] {
+			t.Fatalf("ItemSupports = %v, want %v", sup, want)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	db := New([][]Item{{0, 1, 2, 3}, {0, 1}, {5, 6}})
+	st := db.Stats()
+	if st.NumTrans != 3 {
+		t.Errorf("NumTrans = %d, want 3", st.NumTrans)
+	}
+	if st.NumItems != 6 {
+		t.Errorf("NumItems = %d, want 6 (distinct occurring items)", st.NumItems)
+	}
+	if st.MaxLength != 4 {
+		t.Errorf("MaxLength = %d, want 4", st.MaxLength)
+	}
+	wantAvg := 8.0 / 3.0
+	if st.AvgLength < wantAvg-1e-9 || st.AvgLength > wantAvg+1e-9 {
+		t.Errorf("AvgLength = %v, want %v", st.AvgLength, wantAvg)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	st := New(nil).Stats()
+	if st.NumTrans != 0 || st.AvgLength != 0 || st.Density != 0 {
+		t.Fatalf("empty stats = %+v", st)
+	}
+}
+
+func TestReadBasic(t *testing.T) {
+	in := "1 2 3\n\n4 5\n 6\t7 \n"
+	db, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (blank line skipped)", db.Len())
+	}
+	if !db.Transaction(2).Contains(6) || !db.Transaction(2).Contains(7) {
+		t.Fatalf("transaction 2 = %v", db.Transaction(2))
+	}
+}
+
+func TestReadBadItem(t *testing.T) {
+	_, err := Read(strings.NewReader("1 2\n3 x 4\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want line-2 parse error", err)
+	}
+}
+
+func TestReadCRLF(t *testing.T) {
+	db, err := Read(strings.NewReader("1 2\r\n3\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 2 || db.Transaction(0)[1] != 2 {
+		t.Fatalf("CRLF parse produced %v", db.Transactions())
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	orig := New(nil)
+	for i := 0; i < 200; i++ {
+		n := 1 + rng.Intn(20)
+		row := make([]Item, n)
+		for j := range row {
+			row[j] = Item(rng.Intn(100))
+		}
+		orig.Append(row)
+	}
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("round trip Len = %d, want %d", back.Len(), orig.Len())
+	}
+	for i := 0; i < orig.Len(); i++ {
+		a, b := orig.Transaction(i), back.Transaction(i)
+		if len(a) != len(b) {
+			t.Fatalf("transaction %d: %v vs %v", i, a, b)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("transaction %d: %v vs %v", i, a, b)
+			}
+		}
+	}
+}
+
+// Property: ContainsAll(s) agrees with item-by-item Contains.
+func TestPropertyContainsAllAgrees(t *testing.T) {
+	f := func(items []uint8, sub []uint8) bool {
+		row := make([]Item, len(items))
+		for i, v := range items {
+			row[i] = Item(v)
+		}
+		db := New([][]Item{row})
+		tr := db.Transaction(0)
+		s := NewItemset(widen8(sub), 0)
+		want := true
+		for _, x := range s.Items {
+			if !tr.Contains(x) {
+				want = false
+				break
+			}
+		}
+		return tr.ContainsAll(s.Items) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func widen8(xs []uint8) []Item {
+	out := make([]Item, len(xs))
+	for i, v := range xs {
+		out[i] = Item(v)
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Dictionary maps human-readable item names (SKUs, attribute=value
+// strings) to the dense integer ids the miners operate on, and back.
+// Real-world basket data arrives with string items; the FIMI benchmark
+// files are already integer-encoded.
+type Dictionary struct {
+	names []string
+	ids   map[string]Item
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{ids: map[string]Item{}}
+}
+
+// Intern returns name's id, assigning the next free one on first sight.
+func (d *Dictionary) Intern(name string) Item {
+	if id, ok := d.ids[name]; ok {
+		return id
+	}
+	id := Item(len(d.names))
+	d.names = append(d.names, name)
+	d.ids[name] = id
+	return id
+}
+
+// Lookup returns name's id without interning.
+func (d *Dictionary) Lookup(name string) (Item, bool) {
+	id, ok := d.ids[name]
+	return id, ok
+}
+
+// Name returns the name of id, or "item-<id>" for ids the dictionary has
+// not seen (integer-encoded input mixed with named input).
+func (d *Dictionary) Name(id Item) string {
+	if int(id) < len(d.names) {
+		return d.names[id]
+	}
+	return fmt.Sprintf("item-%d", id)
+}
+
+// Len returns the number of interned names.
+func (d *Dictionary) Len() int { return len(d.names) }
+
+// Names renders a sorted itemset as its names, joined by " + ".
+func (d *Dictionary) Names(items []Item) string {
+	var b strings.Builder
+	for i, it := range items {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		b.WriteString(d.Name(it))
+	}
+	return b.String()
+}
+
+// ReadNamed parses a transaction file whose items are arbitrary
+// whitespace-separated tokens, interning each token in dict. Blank lines
+// are skipped. This is the entry point for raw basket exports; for FIMI
+// integer files use Read.
+func ReadNamed(r io.Reader, dict *Dictionary) (*DB, error) {
+	if dict == nil {
+		return nil, fmt.Errorf("dataset: ReadNamed needs a dictionary")
+	}
+	db := &DB{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line := 0
+	var row []Item
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		row = row[:0]
+		for _, f := range fields {
+			row = append(row, dict.Intern(f))
+		}
+		db.Append(row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: line %d: %v", line, err)
+	}
+	return db, nil
+}
+
+// WriteNamed serializes the database with item names from dict, one
+// transaction per line.
+func (db *DB) WriteNamed(w io.Writer, dict *Dictionary) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range db.trans {
+		for i, it := range t {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(dict.Name(it)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

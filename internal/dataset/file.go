@@ -1,0 +1,110 @@
+package dataset
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// ReadFile loads a FIMI ".dat" database from disk, transparently
+// decompressing gzip when the file ends in ".gz" or starts with the gzip
+// magic bytes — the FIMI repository distributes several benchmarks
+// compressed.
+func ReadFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, closer, err := maybeGzip(f, path)
+	if err != nil {
+		return nil, err
+	}
+	if closer != nil {
+		defer closer.Close()
+	}
+	db, err := Read(r)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return db, nil
+}
+
+// ReadNamedFile is ReadFile for named-item basket files.
+func ReadNamedFile(path string, dict *Dictionary) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, closer, err := maybeGzip(f, path)
+	if err != nil {
+		return nil, err
+	}
+	if closer != nil {
+		defer closer.Close()
+	}
+	db, err := ReadNamed(r, dict)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return db, nil
+}
+
+// WriteFile writes the database to disk, gzip-compressed when the path
+// ends in ".gz".
+func (db *DB) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var w io.Writer = f
+	var zw *gzip.Writer
+	if strings.HasSuffix(path, ".gz") {
+		zw = gzip.NewWriter(f)
+		w = zw
+	}
+	if err := db.Write(w); err != nil {
+		return err
+	}
+	if zw != nil {
+		if err := zw.Close(); err != nil {
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// maybeGzip wraps r in a gzip reader when the path suffix or magic bytes
+// indicate compression. The returned closer (possibly nil) must be closed
+// after reading.
+func maybeGzip(f *os.File, path string) (io.Reader, io.Closer, error) {
+	if strings.HasSuffix(path, ".gz") {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return zr, zr, nil
+	}
+	// Sniff the magic bytes for misnamed compressed files.
+	var magic [2]byte
+	n, err := io.ReadFull(f, magic[:])
+	if err != nil && n == 0 {
+		// Empty file: plain reader positioned at EOF is fine.
+		return f, nil, nil
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, nil, err
+	}
+	if n == 2 && magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return zr, zr, nil
+	}
+	return f, nil, nil
+}

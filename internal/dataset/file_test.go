@@ -1,0 +1,116 @@
+package dataset
+
+import (
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReadWriteFilePlain(t *testing.T) {
+	db := New([][]Item{{1, 2}, {3}})
+	path := filepath.Join(t.TempDir(), "db.dat")
+	if err := db.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 || back.NumItems() != 4 {
+		t.Fatalf("round trip shape: %d trans, %d items", back.Len(), back.NumItems())
+	}
+}
+
+func TestReadWriteFileGzip(t *testing.T) {
+	db := New([][]Item{{1, 2, 3}, {2, 3}, {9}})
+	path := filepath.Join(t.TempDir(), "db.dat.gz")
+	if err := db.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// The file must actually be gzip.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+		t.Fatal("WriteFile did not gzip a .gz path")
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != db.Len() {
+		t.Fatalf("gzip round trip lost transactions: %d vs %d", back.Len(), db.Len())
+	}
+}
+
+func TestReadFileSniffsMisnamedGzip(t *testing.T) {
+	// Gzip content without the .gz suffix must still load via magic-byte
+	// sniffing.
+	path := filepath.Join(t.TempDir(), "sneaky.dat")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw := gzip.NewWriter(f)
+	if _, err := zw.Write([]byte("5 6 7\n8\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 2 {
+		t.Fatalf("sniffed gzip read %d transactions, want 2", db.Len())
+	}
+}
+
+func TestReadFileErrors(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.dat")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	// Corrupt gzip with .gz suffix.
+	path := filepath.Join(t.TempDir(), "bad.gz")
+	if err := os.WriteFile(path, []byte("not gzip"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatal("corrupt gzip accepted")
+	}
+}
+
+func TestReadNamedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baskets.txt")
+	if err := os.WriteFile(path, []byte("tea scone\ntea\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dict := NewDictionary()
+	db, err := ReadNamedFile(path, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 2 || dict.Len() != 2 {
+		t.Fatalf("named file read: %d trans, %d names", db.Len(), dict.Len())
+	}
+}
+
+func TestReadFileEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.dat")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 0 {
+		t.Fatalf("empty file produced %d transactions", db.Len())
+	}
+}

@@ -1,0 +1,72 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks that the FIMI parser never panics and that everything
+// it accepts survives a write/read round trip unchanged.
+func FuzzRead(f *testing.F) {
+	f.Add("1 2 3\n4 5\n")
+	f.Add("")
+	f.Add("0\n")
+	f.Add(" 7\t8 \r\n9\n\n")
+	f.Add("4294967295\n")
+	f.Add("1 1 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		db, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := db.Write(&buf); err != nil {
+			t.Fatalf("Write after successful Read: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-Read of own output: %v", err)
+		}
+		if back.Len() != db.Len() {
+			t.Fatalf("round trip changed length: %d vs %d", back.Len(), db.Len())
+		}
+		for i := 0; i < db.Len(); i++ {
+			a, b := db.Transaction(i), back.Transaction(i)
+			if len(a) != len(b) {
+				t.Fatalf("transaction %d changed", i)
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("transaction %d changed", i)
+				}
+			}
+		}
+	})
+}
+
+// FuzzReadNamed checks the named parser: any accepted input must
+// round-trip through WriteNamed with a stable dictionary.
+func FuzzReadNamed(f *testing.F) {
+	f.Add("bread milk\neggs\n")
+	f.Add("a a a\n")
+	f.Add("\n\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		dict := NewDictionary()
+		db, err := ReadNamed(strings.NewReader(input), dict)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := db.WriteNamed(&buf, dict); err != nil {
+			t.Fatalf("WriteNamed: %v", err)
+		}
+		back, err := ReadNamed(&buf, dict)
+		if err != nil {
+			t.Fatalf("re-ReadNamed: %v", err)
+		}
+		if back.Len() != db.Len() {
+			t.Fatalf("round trip changed length")
+		}
+	})
+}

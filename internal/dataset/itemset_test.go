@@ -1,0 +1,101 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func TestNewItemsetCanonical(t *testing.T) {
+	s := NewItemset([]Item{5, 1, 3, 1}, 7)
+	if s.Key() != "1 3 5" {
+		t.Fatalf("Key = %q, want %q", s.Key(), "1 3 5")
+	}
+	if s.Support != 7 {
+		t.Fatalf("Support = %d, want 7", s.Support)
+	}
+	if s.String() != "{1 3 5}:7" {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestResultSetSortOrder(t *testing.T) {
+	var r ResultSet
+	r.Add([]Item{2, 1}, 1)
+	r.Add([]Item{3}, 1)
+	r.Add([]Item{1}, 1)
+	r.Add([]Item{1, 3}, 1)
+	r.Sort()
+	wantKeys := []string{"1", "3", "1 2", "1 3"}
+	for i, k := range wantKeys {
+		if r.Sets[i].Key() != k {
+			t.Fatalf("sorted[%d] = %q, want %q", i, r.Sets[i].Key(), k)
+		}
+	}
+}
+
+func TestResultSetEqual(t *testing.T) {
+	var a, b ResultSet
+	a.Add([]Item{1, 2}, 3)
+	a.Add([]Item{4}, 9)
+	b.Add([]Item{4}, 9)
+	b.Add([]Item{2, 1}, 3)
+	if !a.Equal(&b) {
+		t.Fatal("order-insensitive Equal failed")
+	}
+	b.Sets[0].Support = 8
+	if a.Equal(&b) {
+		t.Fatal("Equal ignored support mismatch")
+	}
+}
+
+func TestResultSetEqualLengthMismatch(t *testing.T) {
+	var a, b ResultSet
+	a.Add([]Item{1}, 1)
+	if a.Equal(&b) {
+		t.Fatal("Equal ignored length mismatch")
+	}
+}
+
+func TestResultSetDiff(t *testing.T) {
+	var a, b ResultSet
+	a.Add([]Item{1}, 5)
+	a.Add([]Item{2}, 5)
+	b.Add([]Item{1}, 4)
+	b.Add([]Item{3}, 5)
+	diff := a.Diff(&b)
+	if len(diff) != 3 {
+		t.Fatalf("Diff = %v, want 3 entries", diff)
+	}
+}
+
+func TestResultSetDiffEmptyWhenEqual(t *testing.T) {
+	var a, b ResultSet
+	a.Add([]Item{1, 2}, 3)
+	b.Add([]Item{1, 2}, 3)
+	if d := a.Diff(&b); len(d) != 0 {
+		t.Fatalf("Diff of equal sets = %v", d)
+	}
+}
+
+func TestMaxLenAndHistogram(t *testing.T) {
+	var r ResultSet
+	r.Add([]Item{1}, 1)
+	r.Add([]Item{2}, 1)
+	r.Add([]Item{1, 2, 3}, 1)
+	if r.MaxLen() != 3 {
+		t.Fatalf("MaxLen = %d, want 3", r.MaxLen())
+	}
+	h := r.CountBySize()
+	if h[1] != 2 || h[2] != 0 || h[3] != 1 {
+		t.Fatalf("CountBySize = %v", h)
+	}
+}
+
+func TestEmptyResultSet(t *testing.T) {
+	var r ResultSet
+	if r.MaxLen() != 0 || r.Len() != 0 {
+		t.Fatal("empty result set misbehaves")
+	}
+	if h := r.CountBySize(); len(h) != 1 {
+		t.Fatalf("CountBySize on empty = %v", h)
+	}
+}

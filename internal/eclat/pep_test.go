@@ -1,0 +1,122 @@
+package eclat
+
+import (
+	"testing"
+
+	"gpapriori/internal/dataset"
+
+	"gpapriori/internal/gen"
+	"gpapriori/internal/oracle"
+)
+
+func TestMineOptMatchesOracleAllModes(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		db := gen.Random(70, 12, 0.4, seed)
+		want := oracle.Mine(db, 8)
+		for _, mode := range []Mode{Tidsets, Diffsets} {
+			for _, pep := range []bool{false, true} {
+				got, _, err := MineOpt(db, 8, Options{Mode: mode, PerfectExtensionPruning: pep})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("seed %d mode %v pep %v: diff %v", seed, mode, pep, got.Diff(want))
+				}
+			}
+		}
+	}
+}
+
+func TestPEPTriggersOnDenseData(t *testing.T) {
+	// Build dense data with guaranteed perfect extensions: every row of a
+	// chess stand-in gets an echo item that mirrors item 0 exactly, so in
+	// the {0}-subtree the echo is perfect everywhere.
+	cfg := gen.Chess()
+	cfg.NumTrans = 200
+	raw := gen.AttributeValue(cfg)
+	db := raw
+	{
+		rows := make([][]uint32, raw.Len())
+		echo := uint32(raw.NumItems())
+		for i := 0; i < raw.Len(); i++ {
+			tr := raw.Transaction(i)
+			rows[i] = append([]uint32{}, tr...)
+			if tr.Contains(0) {
+				rows[i] = append(rows[i], echo)
+			}
+		}
+		db = newDB(rows)
+	}
+	minSup := db.AbsoluteSupport(0.8)
+
+	want, plain, err := MineOpt(db, minSup, Options{Mode: Diffsets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, pruned, err := MineOpt(db, minSup, Options{Mode: Diffsets, PerfectExtensionPruning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("PEP changed results: %v", got.Diff(want))
+	}
+	if pruned.PerfectExtensions == 0 {
+		t.Fatal("no perfect extensions found on dense data")
+	}
+	if pruned.Intersections >= plain.Intersections {
+		t.Fatalf("PEP did not reduce intersections: %d vs %d",
+			pruned.Intersections, plain.Intersections)
+	}
+	if pruned.ClassesExplored >= plain.ClassesExplored {
+		t.Fatalf("PEP did not shrink the search: %d vs %d classes",
+			pruned.ClassesExplored, plain.ClassesExplored)
+	}
+}
+
+func TestPEPExactDuplicateItems(t *testing.T) {
+	// Items 1 and 2 always co-occur: 2 is a perfect extension of 1
+	// everywhere. All combinations must still be enumerated with correct
+	// supports.
+	db := gen.Small() // items 3 and 4 co-occur in all 4 transactions
+	want := oracle.Mine(db, 2)
+	got, stats, err := MineOpt(db, 2, Options{Mode: Tidsets, PerfectExtensionPruning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("diff: %v", got.Diff(want))
+	}
+	if stats.PerfectExtensions == 0 {
+		t.Fatal("items 3/4 should yield perfect extensions")
+	}
+}
+
+func TestMineOptAgreesWithMine(t *testing.T) {
+	db := gen.Random(100, 14, 0.35, 9)
+	a, err := Mine(db, 10, Diffsets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := MineOpt(db, 10, Options{Mode: Diffsets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatalf("MineOpt differs from Mine: %v", a.Diff(b))
+	}
+}
+
+func TestMineOptValidation(t *testing.T) {
+	if _, _, err := MineOpt(gen.Small(), 0, Options{}); err == nil {
+		t.Fatal("minSupport 0 accepted")
+	}
+}
+
+// newDB adapts raw rows for the PEP dense test.
+func newDB(rows [][]uint32) *dataset.DB {
+	items := make([][]dataset.Item, len(rows))
+	for i, r := range rows {
+		items[i] = r
+	}
+	return dataset.New(items)
+}

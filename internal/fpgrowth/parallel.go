@@ -1,0 +1,163 @@
+package fpgrowth
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"gpapriori/internal/dataset"
+)
+
+// MineParallel is the task-parallel FP-Growth the paper's future work
+// gestures at ("how to parallelize other FIM algorithm such as FPGrowth").
+// The classic decomposition: after the two construction scans, each
+// frequent item's conditional pattern base is an independent mining task,
+// so the first-level conditional trees are distributed across worker
+// goroutines. Results are identical to Mine.
+func MineParallel(db *dataset.DB, minSupport, workers int) (*dataset.ResultSet, error) {
+	if minSupport < 1 {
+		return nil, fmt.Errorf("fpgrowth: minimum support %d must be ≥1", minSupport)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Scans 1–2, identical to the serial miner.
+	supports := db.ItemSupports()
+	order := make([]dataset.Item, 0, len(supports))
+	for it, s := range supports {
+		if s >= minSupport {
+			order = append(order, dataset.Item(it))
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if supports[a] != supports[b] {
+			return supports[a] > supports[b]
+		}
+		return a < b
+	})
+	rank := make(map[dataset.Item]int, len(order))
+	for i, it := range order {
+		rank[it] = i
+	}
+	t := newTree()
+	row := make([]dataset.Item, 0, 64)
+	for _, tr := range db.Transactions() {
+		row = row[:0]
+		for _, it := range tr {
+			if _, ok := rank[it]; ok {
+				row = append(row, it)
+			}
+		}
+		sort.Slice(row, func(i, j int) bool { return rank[row[i]] < rank[row[j]] })
+		if len(row) > 0 {
+			t.insert(row, 1)
+		}
+	}
+
+	// Fan the first-level suffixes out over workers. Each worker extracts
+	// its items' conditional trees from the shared (read-only) global tree
+	// and mines them with the serial recursion into a private result set.
+	items := make([]dataset.Item, 0, len(t.counts))
+	for it, c := range t.counts {
+		if c >= minSupport {
+			items = append(items, it)
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+
+	results := make([]*dataset.ResultSet, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rs := &dataset.ResultSet{}
+			for idx := w; idx < len(items); idx += workers {
+				it := items[idx]
+				rs.Add([]dataset.Item{it}, t.counts[it])
+				cond := conditionalTree(t, it, minSupport)
+				if len(cond.counts) > 0 {
+					mineSerial(cond, []dataset.Item{it}, minSupport, rs)
+				}
+			}
+			results[w] = rs
+		}(w)
+	}
+	wg.Wait()
+
+	out := &dataset.ResultSet{}
+	for _, rs := range results {
+		out.Sets = append(out.Sets, rs.Sets...)
+	}
+	return out, nil
+}
+
+// conditionalTree builds item's pruned conditional tree from t (read-only
+// traversal, safe for concurrent workers).
+func conditionalTree(t *tree, it dataset.Item, minSupport int) *tree {
+	cond := newTree()
+	for n := t.heads[it]; n != nil; n = n.next {
+		var path []dataset.Item
+		for p := n.parent; p != nil && p.parent != nil; p = p.parent {
+			path = append(path, p.item)
+		}
+		for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+			path[l], path[r] = path[r], path[l]
+		}
+		if len(path) > 0 {
+			cond.insert(path, n.count)
+		}
+	}
+	pruned := newTree()
+	prunedInsert(cond, pruned, minSupport)
+	return pruned
+}
+
+// mineSerial is the serial FP-Growth recursion over one conditional tree,
+// appending to rs. It mirrors the recursion in Mine.
+func mineSerial(t *tree, suffix []dataset.Item, minSupport int, rs *dataset.ResultSet) {
+	if path := t.singlePath(); path != nil {
+		var gen func(from int, chosen []dataset.Item, minCount int)
+		gen = func(from int, chosen []dataset.Item, minCount int) {
+			for i := from; i < len(path); i++ {
+				cnt := path[i].count
+				if cnt < minSupport {
+					continue
+				}
+				c := minCount
+				if cnt < c {
+					c = cnt
+				}
+				pick := append(chosen, path[i].item)
+				rs.Add(append(pick, suffix...), c)
+				gen(i+1, pick, c)
+				pick = pick[:len(pick)-1]
+			}
+		}
+		gen(0, make([]dataset.Item, 0, len(path)), int(^uint(0)>>1))
+		return
+	}
+	items := make([]dataset.Item, 0, len(t.counts))
+	for it, c := range t.counts {
+		if c >= minSupport {
+			items = append(items, it)
+		}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if t.counts[items[i]] != t.counts[items[j]] {
+			return t.counts[items[i]] < t.counts[items[j]]
+		}
+		return items[i] < items[j]
+	})
+	for _, it := range items {
+		newSuffix := append([]dataset.Item{it}, suffix...)
+		rs.Add(newSuffix, t.counts[it])
+		cond := conditionalTree(t, it, minSupport)
+		if len(cond.counts) > 0 {
+			mineSerial(cond, newSuffix, minSupport, rs)
+		}
+	}
+}

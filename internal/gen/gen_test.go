@@ -1,0 +1,261 @@
+package gen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuestDeterministic(t *testing.T) {
+	cfg := T40I10D100K()
+	cfg.NumTrans = 500
+	a := Quest(cfg)
+	b := Quest(cfg)
+	if a.Len() != b.Len() {
+		t.Fatalf("same seed produced %d vs %d transactions", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		ta, tb := a.Transaction(i), b.Transaction(i)
+		if len(ta) != len(tb) {
+			t.Fatalf("transaction %d differs: %v vs %v", i, ta, tb)
+		}
+		for j := range ta {
+			if ta[j] != tb[j] {
+				t.Fatalf("transaction %d differs: %v vs %v", i, ta, tb)
+			}
+		}
+	}
+}
+
+func TestQuestMatchesTable2Shape(t *testing.T) {
+	cfg := T40I10D100K()
+	cfg.NumTrans = 3000 // scaled; row structure is scale-invariant
+	db := Quest(cfg)
+	st := db.Stats()
+	if st.AvgLength < 30 || st.AvgLength > 50 {
+		t.Errorf("avg length = %.1f, want ≈40 (Table 2)", st.AvgLength)
+	}
+	if st.NumItems < 800 || st.NumItems > 942 {
+		t.Errorf("distinct items = %d, want ≈942 (Table 2)", st.NumItems)
+	}
+	if db.Len() < 2900 {
+		t.Errorf("transactions = %d, want ≈3000", db.Len())
+	}
+}
+
+func TestQuestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for NumItems=0")
+		}
+	}()
+	Quest(QuestConfig{NumItems: 0, NumTrans: 10})
+}
+
+func TestChessMatchesTable2(t *testing.T) {
+	cfg := Chess()
+	cfg.NumTrans = 800
+	db := AttributeValue(cfg)
+	st := db.Stats()
+	if st.AvgLength != 37 {
+		t.Errorf("avg length = %v, want exactly 37 (one value per attribute)", st.AvgLength)
+	}
+	if db.NumItems() != 75 {
+		t.Errorf("item universe = %d, want 75 (Table 2)", db.NumItems())
+	}
+	if st.Density < 0.3 {
+		t.Errorf("density = %.2f, chess must be dense", st.Density)
+	}
+}
+
+func TestPumsbMatchesTable2(t *testing.T) {
+	cfg := Pumsb()
+	cfg.NumTrans = 500
+	db := AttributeValue(cfg)
+	st := db.Stats()
+	if st.AvgLength != 74 {
+		t.Errorf("avg length = %v, want exactly 74 (Table 2)", st.AvgLength)
+	}
+	if db.NumItems() != 2113 {
+		t.Errorf("item universe = %d, want 2113 (Table 2)", db.NumItems())
+	}
+}
+
+func TestAccidentsMatchesTable2Shape(t *testing.T) {
+	cfg := Accidents()
+	cfg.NumTrans = 3000
+	db := Mixed(cfg)
+	st := db.Stats()
+	if math.Abs(st.AvgLength-34) > 5 {
+		t.Errorf("avg length = %.1f, want ≈34 (Table 2)", st.AvgLength)
+	}
+	if db.NumItems() > 468 {
+		t.Errorf("item universe = %d, want ≤468 (Table 2)", db.NumItems())
+	}
+	// The core items must be near-universal — that is what makes the real
+	// accidents file yield frequent itemsets at 40%+ support.
+	sup := db.ItemSupports()
+	for i := 0; i < cfg.CoreItems; i++ {
+		if float64(sup[i]) < 0.85*float64(db.Len()) {
+			t.Errorf("core item %d support %d/%d, want ≥85%%", i, sup[i], db.Len())
+		}
+	}
+}
+
+func TestAttributeValueDistinctRanges(t *testing.T) {
+	cfg := Chess()
+	cfg.NumTrans = 50
+	db := AttributeValue(cfg)
+	// Every transaction has exactly one item per attribute range.
+	bases := make([]int, 0, 38)
+	next := 0
+	for _, v := range cfg.ValuesPer {
+		bases = append(bases, next)
+		next += v
+	}
+	bases = append(bases, next)
+	for i := 0; i < db.Len(); i++ {
+		tr := db.Transaction(i)
+		for a := 0; a < cfg.NumAttrs; a++ {
+			cnt := 0
+			for _, it := range tr {
+				if int(it) >= bases[a] && int(it) < bases[a+1] {
+					cnt++
+				}
+			}
+			if cnt != 1 {
+				t.Fatalf("transaction %d has %d values for attribute %d", i, cnt, a)
+			}
+		}
+	}
+}
+
+func TestAttributeValueBadConfigPanics(t *testing.T) {
+	cases := []AttributeValueConfig{
+		{NumAttrs: 2, ValuesPer: []int{2}, Skew: 0.5, NumTrans: 1},
+		{NumAttrs: 1, ValuesPer: []int{2}, Skew: 0, NumTrans: 1},
+		{NumAttrs: 1, ValuesPer: []int{0}, Skew: 0.5, NumTrans: 1},
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			AttributeValue(cfg)
+		}()
+	}
+}
+
+func TestMixedBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when CoreItems > NumItems")
+		}
+	}()
+	Mixed(MixedConfig{NumItems: 5, CoreItems: 10, NumTrans: 1})
+}
+
+func TestPaperRegistry(t *testing.T) {
+	for _, name := range PaperDatasets {
+		db, err := Paper(name, 0.002)
+		if err != nil {
+			t.Fatalf("Paper(%q): %v", name, err)
+		}
+		if db.Len() == 0 {
+			t.Fatalf("Paper(%q) produced empty DB", name)
+		}
+		if _, err := SupportSweeps(name); err != nil {
+			t.Fatalf("SupportSweeps(%q): %v", name, err)
+		}
+	}
+	if _, err := Paper("nope", 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if _, err := Paper("chess", 0); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+	if _, err := SupportSweeps("nope"); err == nil {
+		t.Fatal("unknown sweep accepted")
+	}
+}
+
+func TestSmallMatchesFigure2(t *testing.T) {
+	db := Small()
+	if db.Len() != 4 {
+		t.Fatalf("Small has %d transactions, want 4", db.Len())
+	}
+	// Figure 2(B): item 3 and 4 appear in all four transactions.
+	sup := db.ItemSupports()
+	if sup[3] != 4 || sup[4] != 4 {
+		t.Fatalf("supports of items 3,4 = %d,%d, want 4,4", sup[3], sup[4])
+	}
+	if sup[7] != 1 {
+		t.Fatalf("support of item 7 = %d, want 1", sup[7])
+	}
+}
+
+func TestRandomRespectsProbability(t *testing.T) {
+	db := Random(2000, 50, 0.3, 9)
+	st := db.Stats()
+	if math.Abs(st.AvgLength-15) > 1.5 {
+		t.Errorf("avg length = %.2f, want ≈15 for p=0.3 over 50 items", st.AvgLength)
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(100, 20, 0.5, 42)
+	b := Random(100, 20, 0.5, 42)
+	if a.Len() != b.Len() {
+		t.Fatal("Random not deterministic")
+	}
+}
+
+func TestTopItemsByFrequency(t *testing.T) {
+	db := Small()
+	top := TopItemsByFrequency(db)
+	sup := db.ItemSupports()
+	for i := 1; i < len(top); i++ {
+		if sup[top[i-1]] < sup[top[i]] {
+			t.Fatalf("TopItemsByFrequency not descending at %d", i)
+		}
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	rng := newRand(5)
+	for _, mean := range []float64{0.5, 3, 10, 40, 100} {
+		n := 4000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += poisson(rng, mean)
+		}
+		got := float64(sum) / float64(n)
+		if math.Abs(got-mean) > 0.15*mean+0.2 {
+			t.Errorf("poisson mean %v: sample mean %.2f", mean, got)
+		}
+	}
+	if poisson(rng, 0) != 0 {
+		t.Error("poisson(0) != 0")
+	}
+}
+
+func TestTruncGeometricBounds(t *testing.T) {
+	rng := newRand(6)
+	counts := make([]int, 4)
+	for i := 0; i < 5000; i++ {
+		k := truncGeometric(rng, 0.5, 4)
+		if k < 0 || k >= 4 {
+			t.Fatalf("truncGeometric out of range: %d", k)
+		}
+		counts[k]++
+	}
+	// P(0)=0.5 must dominate and probabilities must fall monotonically
+	// (the pile-up at n-1 is q^3 = 0.125 = P(2)+tail, still below P(1)).
+	if !(counts[0] > counts[1] && counts[1] > counts[2]) {
+		t.Errorf("skew not descending: counts = %v", counts)
+	}
+	if truncGeometric(rng, 0.5, 1) != 0 {
+		t.Error("single-value attribute must return 0")
+	}
+}

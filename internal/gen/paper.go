@@ -1,0 +1,117 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"gpapriori/internal/dataset"
+)
+
+// PaperDatasets lists the names of the four Table 2 benchmark datasets in
+// the order the paper presents them (Figure 6 a–d).
+var PaperDatasets = []string{"T40I10D100K", "pumsb", "chess", "accidents"}
+
+// Paper generates the named Table 2 dataset stand-in at the given scale.
+// scale multiplies the transaction count (1.0 = the published size); the
+// item universe and per-row structure are unchanged so density and
+// item-frequency skew — the knobs Apriori cost depends on — stay faithful
+// at reduced scale. Scales above 1 are allowed (the generators simply run
+// longer).
+func Paper(name string, scale float64) (*dataset.DB, error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("gen: scale %v must be positive", scale)
+	}
+	switch name {
+	case "T40I10D100K":
+		cfg := T40I10D100K()
+		cfg.NumTrans = scaled(cfg.NumTrans, scale)
+		return Quest(cfg), nil
+	case "chess":
+		cfg := Chess()
+		cfg.NumTrans = scaled(cfg.NumTrans, scale)
+		return AttributeValue(cfg), nil
+	case "pumsb":
+		cfg := Pumsb()
+		cfg.NumTrans = scaled(cfg.NumTrans, scale)
+		return AttributeValue(cfg), nil
+	case "accidents":
+		cfg := Accidents()
+		cfg.NumTrans = scaled(cfg.NumTrans, scale)
+		return Mixed(cfg), nil
+	default:
+		return nil, fmt.Errorf("gen: unknown paper dataset %q (have %v)", name, PaperDatasets)
+	}
+}
+
+func scaled(n int, scale float64) int {
+	v := int(float64(n)*scale + 0.5)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// SupportSweeps returns, per dataset, the relative minimum-support points
+// swept in Figure 6. The paper sweeps high→low support (left to right on
+// its x-axes); dense datasets need much higher thresholds than the sparse
+// synthetic one to keep the pattern explosion bounded, exactly as in the
+// FIMI evaluations the paper follows.
+func SupportSweeps(name string) ([]float64, error) {
+	switch name {
+	case "T40I10D100K":
+		return []float64{0.05, 0.04, 0.03, 0.02, 0.015, 0.01}, nil
+	case "pumsb":
+		return []float64{0.95, 0.925, 0.9, 0.875, 0.85}, nil
+	case "chess":
+		return []float64{0.9, 0.85, 0.8, 0.75, 0.7}, nil
+	case "accidents":
+		return []float64{0.6, 0.5, 0.45, 0.4, 0.35}, nil
+	default:
+		return nil, fmt.Errorf("gen: unknown paper dataset %q", name)
+	}
+}
+
+// Small returns a tiny deterministic database handy for examples and unit
+// tests: the worked example of the paper's Figure 2.
+func Small() *dataset.DB {
+	// Figure 2(A): four transactions over items 1..7.
+	return dataset.New([][]dataset.Item{
+		{1, 2, 3, 4, 5},
+		{2, 3, 4, 5, 6},
+		{3, 4, 6, 7},
+		{1, 3, 4, 5, 6},
+	})
+}
+
+// Random produces a uniform random database for property tests: numTrans
+// transactions, each a uniform subset of [0,numItems) with inclusion
+// probability p, seeded deterministically.
+func Random(numTrans, numItems int, p float64, seed int64) *dataset.DB {
+	rng := newRand(seed)
+	db := dataset.New(nil)
+	row := make([]dataset.Item, 0, numItems)
+	for t := 0; t < numTrans; t++ {
+		row = row[:0]
+		for i := 0; i < numItems; i++ {
+			if rng.Float64() < p {
+				row = append(row, dataset.Item(i))
+			}
+		}
+		if len(row) > 0 {
+			db.Append(row)
+		}
+	}
+	return db
+}
+
+// TopItemsByFrequency returns item ids ordered by descending support,
+// useful for inspecting generated skew in tests and examples.
+func TopItemsByFrequency(db *dataset.DB) []dataset.Item {
+	sup := db.ItemSupports()
+	ids := make([]dataset.Item, len(sup))
+	for i := range ids {
+		ids[i] = dataset.Item(i)
+	}
+	sort.SliceStable(ids, func(a, b int) bool { return sup[ids[a]] > sup[ids[b]] })
+	return ids
+}

@@ -1,0 +1,10 @@
+package gen
+
+import "math/rand"
+
+// newRand returns a deterministic PRNG for the given seed. Centralized so
+// every generator draws from the same source type and experiments are
+// reproducible across Go versions that keep math/rand's legacy stream.
+func newRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

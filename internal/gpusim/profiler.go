@@ -1,0 +1,157 @@
+package gpusim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Profiler records per-launch and per-transfer events on a device, in the
+// style of nvprof: each kernel launch's geometry, event counts and modeled
+// time, plus aggregate summaries. Attach with Device.AttachProfiler;
+// recording adds no modeled time (profiling is free in simulation).
+type Profiler struct {
+	mu      sync.Mutex
+	device  *Device
+	records []LaunchRecord
+	names   map[int]string // launch ordinal → kernel name
+	nextTag string
+}
+
+// LaunchRecord is one kernel launch's profile entry.
+type LaunchRecord struct {
+	Ordinal int    // 0-based launch index on the device
+	Name    string // tag set via TagNextLaunch, or "kernel"
+	Grid    int
+	Block   int
+	Stats   Stats
+	Modeled TimeBreakdown
+}
+
+// AttachProfiler starts recording launches on the device and returns the
+// profiler. Only one profiler can be attached; attaching again returns
+// the existing one.
+func (d *Device) AttachProfiler() *Profiler {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.profiler == nil {
+		d.profiler = &Profiler{device: d, names: map[int]string{}}
+	}
+	return d.profiler
+}
+
+// TagNextLaunch on the device is a convenience that forwards to the
+// attached profiler and no-ops when none is attached, so instrumented
+// call sites need no profiler plumbing.
+func (d *Device) TagNextLaunch(name string) {
+	d.mu.Lock()
+	prof := d.profiler
+	d.mu.Unlock()
+	if prof != nil {
+		prof.TagNextLaunch(name)
+	}
+}
+
+// TagNextLaunch names the next kernel launch in profile reports
+// ("support-count gen 3"). Without a tag, launches are named "kernel".
+func (p *Profiler) TagNextLaunch(name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.nextTag = name
+}
+
+// record is called by Device.Launch under no device lock.
+func (p *Profiler) record(cfg LaunchConfig, s Stats) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	name := p.nextTag
+	if name == "" {
+		name = "kernel"
+	}
+	p.nextTag = ""
+	p.records = append(p.records, LaunchRecord{
+		Ordinal: len(p.records),
+		Name:    name,
+		Grid:    cfg.Grid,
+		Block:   cfg.Block,
+		Stats:   s,
+		Modeled: p.device.cfg.Model(s),
+	})
+}
+
+// Records returns a copy of all launch records so far.
+func (p *Profiler) Records() []LaunchRecord {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]LaunchRecord, len(p.records))
+	copy(out, p.records)
+	return out
+}
+
+// Reset clears recorded launches.
+func (p *Profiler) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.records = p.records[:0]
+	p.nextTag = ""
+}
+
+// Summary aggregates records by kernel name.
+type Summary struct {
+	Name         string
+	Launches     int
+	Blocks       int64
+	Transactions int64
+	ModeledSec   float64
+}
+
+// Summaries returns per-name aggregates sorted by descending modeled time
+// — the "top kernels" view of a profiler.
+func (p *Profiler) Summaries() []Summary {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	agg := map[string]*Summary{}
+	for _, r := range p.records {
+		s, ok := agg[r.Name]
+		if !ok {
+			s = &Summary{Name: r.Name}
+			agg[r.Name] = s
+		}
+		s.Launches++
+		s.Blocks += r.Stats.BlocksRun
+		s.Transactions += r.Stats.Transactions
+		s.ModeledSec += r.Modeled.Kernel
+	}
+	out := make([]Summary, 0, len(agg))
+	for _, s := range agg {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ModeledSec != out[j].ModeledSec {
+			return out[i].ModeledSec > out[j].ModeledSec
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// WriteReport prints an nvprof-style table: one row per launch plus the
+// per-kernel summary.
+func (p *Profiler) WriteReport(w io.Writer) {
+	records := p.Records()
+	fmt.Fprintf(w, "%-4s %-24s %9s %7s %12s %12s %10s %12s\n",
+		"#", "kernel", "grid", "block", "txns", "uncoal", "barriers", "modeled")
+	for _, r := range records {
+		fmt.Fprintf(w, "%-4d %-24s %9d %7d %12d %12d %10d %10.3gs\n",
+			r.Ordinal, r.Name, r.Grid, r.Block,
+			r.Stats.Transactions, r.Stats.UncoalescedExtra, r.Stats.Barriers,
+			r.Modeled.Kernel)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-24s %9s %12s %14s %12s\n", "summary", "launches", "blocks", "txns", "modeled")
+	for _, s := range p.Summaries() {
+		fmt.Fprintf(w, "%-24s %9d %12d %14d %10.3gs\n",
+			s.Name, s.Launches, s.Blocks, s.Transactions, s.ModeledSec)
+	}
+}

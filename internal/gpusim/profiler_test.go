@@ -1,0 +1,98 @@
+package gpusim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestProfilerRecordsLaunches(t *testing.T) {
+	d := testDevice(1024)
+	p := d.AttachProfiler()
+	buf, _ := d.Malloc(64)
+	p.TagNextLaunch("scan")
+	d.Launch(LaunchConfig{Grid: 2, Block: 16}, func(ctx *Ctx) {
+		ctx.LoadGlobal(buf, ctx.ThreadIdx)
+	})
+	d.Launch(LaunchConfig{Grid: 1, Block: 8}, func(ctx *Ctx) {})
+	recs := p.Records()
+	if len(recs) != 2 {
+		t.Fatalf("recorded %d launches, want 2", len(recs))
+	}
+	if recs[0].Name != "scan" || recs[1].Name != "kernel" {
+		t.Fatalf("names = %q, %q", recs[0].Name, recs[1].Name)
+	}
+	if recs[0].Grid != 2 || recs[0].Block != 16 {
+		t.Fatalf("geometry = %d×%d", recs[0].Grid, recs[0].Block)
+	}
+	if recs[0].Stats.GlobalLoads != 32 {
+		t.Fatalf("loads = %d, want 32", recs[0].Stats.GlobalLoads)
+	}
+	if recs[0].Modeled.Kernel <= 0 {
+		t.Fatal("no modeled time in record")
+	}
+}
+
+func TestProfilerSummariesAggregate(t *testing.T) {
+	d := testDevice(1024)
+	p := d.AttachProfiler()
+	buf, _ := d.Malloc(64)
+	for i := 0; i < 3; i++ {
+		p.TagNextLaunch("support-count")
+		d.Launch(LaunchConfig{Grid: 4, Block: 16}, func(ctx *Ctx) {
+			ctx.LoadGlobal(buf, ctx.ThreadIdx)
+		})
+	}
+	sums := p.Summaries()
+	if len(sums) != 1 {
+		t.Fatalf("summaries = %+v", sums)
+	}
+	if sums[0].Launches != 3 || sums[0].Blocks != 12 {
+		t.Fatalf("summary = %+v", sums[0])
+	}
+}
+
+func TestProfilerAttachIdempotent(t *testing.T) {
+	d := testDevice(64)
+	a := d.AttachProfiler()
+	b := d.AttachProfiler()
+	if a != b {
+		t.Fatal("second AttachProfiler returned a new profiler")
+	}
+}
+
+func TestProfilerResetAndReport(t *testing.T) {
+	d := testDevice(1024)
+	p := d.AttachProfiler()
+	buf, _ := d.Malloc(64)
+	p.TagNextLaunch("warmup")
+	d.Launch(LaunchConfig{Grid: 1, Block: 4}, func(ctx *Ctx) {
+		ctx.LoadGlobal(buf, 0)
+	})
+	var out bytes.Buffer
+	p.WriteReport(&out)
+	if !strings.Contains(out.String(), "warmup") {
+		t.Fatalf("report missing kernel name:\n%s", out.String())
+	}
+	p.Reset()
+	if len(p.Records()) != 0 {
+		t.Fatal("Reset did not clear records")
+	}
+}
+
+func TestProfilerDoesNotChangeModeledTime(t *testing.T) {
+	run := func(attach bool) TimeBreakdown {
+		d := testDevice(1024)
+		if attach {
+			d.AttachProfiler()
+		}
+		buf, _ := d.Malloc(128)
+		d.Launch(LaunchConfig{Grid: 4, Block: 32}, func(ctx *Ctx) {
+			ctx.LoadGlobal(buf, ctx.ThreadIdx)
+		})
+		return d.ModeledTime()
+	}
+	if run(true) != run(false) {
+		t.Fatal("profiling changed modeled time")
+	}
+}

@@ -1,0 +1,89 @@
+package gpusim
+
+import "fmt"
+
+// Stats accumulates simulated-device event counts. All counts are exact
+// and deterministic for a given program; seconds are derived on demand by
+// the timing model (timing.go), never measured from the host clock.
+type Stats struct {
+	// Kernel-side events.
+	KernelLaunches int64
+	BlocksRun      int64
+	WarpsRun       int64
+	ThreadsRun     int64
+
+	GlobalLoads  int64 // per-lane load instructions
+	GlobalStores int64 // per-lane store instructions
+	// Transactions are 64-byte global-memory transactions after half-warp
+	// coalescing. Coalesced+Uncoalesced == Transactions.
+	Transactions             int64
+	PerfectlyCoalescedGroups int64 // half-warp access groups needing 1 segment
+	UncoalescedExtra         int64 // transactions beyond 1 per access group
+
+	SharedAccesses int64
+	ALULaneOps     int64 // lane-ops after warp-lockstep padding
+	Barriers       int64
+	// BranchesExecuted counts per-warp annotated branch steps;
+	// DivergentBranches those where lanes of one warp disagreed (both
+	// paths serialize on SIMT hardware).
+	BranchesExecuted  int64
+	DivergentBranches int64
+	// OccupancyMilliWarps accumulates, per launch, the modeled number of
+	// warps resident per SM ×1000 (bounded by the launch's grid, the
+	// shared-memory footprint and the hardware residency caps). Zero means
+	// "unknown" (hand-built stats) and the timing model falls back to its
+	// coarse launch-width heuristic.
+	OccupancyMilliWarps int64
+
+	// Host link events.
+	H2DBytes int64
+	D2HBytes int64
+	H2DCalls int64
+	D2HCalls int64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.KernelLaunches += o.KernelLaunches
+	s.BlocksRun += o.BlocksRun
+	s.WarpsRun += o.WarpsRun
+	s.ThreadsRun += o.ThreadsRun
+	s.GlobalLoads += o.GlobalLoads
+	s.GlobalStores += o.GlobalStores
+	s.Transactions += o.Transactions
+	s.PerfectlyCoalescedGroups += o.PerfectlyCoalescedGroups
+	s.UncoalescedExtra += o.UncoalescedExtra
+	s.SharedAccesses += o.SharedAccesses
+	s.ALULaneOps += o.ALULaneOps
+	s.Barriers += o.Barriers
+	s.BranchesExecuted += o.BranchesExecuted
+	s.DivergentBranches += o.DivergentBranches
+	s.OccupancyMilliWarps += o.OccupancyMilliWarps
+	s.H2DBytes += o.H2DBytes
+	s.D2HBytes += o.D2HBytes
+	s.H2DCalls += o.H2DCalls
+	s.D2HCalls += o.D2HCalls
+}
+
+// Stats returns a snapshot of the device's accumulated statistics.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the accumulated statistics (memory contents and
+// allocations are untouched).
+func (d *Device) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = Stats{}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"launches=%d blocks=%d warps=%d loads=%d stores=%d txns=%d (uncoalesced extra %d) shared=%d alu=%d barriers=%d h2d=%dB d2h=%dB",
+		s.KernelLaunches, s.BlocksRun, s.WarpsRun, s.GlobalLoads, s.GlobalStores,
+		s.Transactions, s.UncoalescedExtra, s.SharedAccesses, s.ALULaneOps, s.Barriers,
+		s.H2DBytes, s.D2HBytes)
+}

@@ -1,0 +1,188 @@
+// Package hashtree implements the candidate hash tree of Park, Chen & Yu
+// (SIGMOD'95) — the classical structure for counting candidate supports
+// against a horizontal database, and the historical alternative to
+// Bodon's trie. Interior nodes hash the next transaction item to a child;
+// leaves hold small candidate lists that are checked exhaustively. One
+// pass visits, for every transaction, exactly the leaves that could hold
+// a contained candidate.
+package hashtree
+
+import (
+	"fmt"
+
+	"gpapriori/internal/dataset"
+)
+
+// Tree is a hash tree over candidates of one fixed length.
+type Tree struct {
+	root    *node
+	k       int // candidate length
+	fanout  int
+	leafCap int
+	cands   [][]dataset.Item
+	counts  []int
+	stamp   int // current transaction id for leaf-visit deduplication
+}
+
+type node struct {
+	// children is non-nil for interior nodes (len == fanout).
+	children []*node
+	// leaf candidates, stored as indices into Tree.cands.
+	leaf  []int
+	depth int
+	// lastVisit dedupes leaf checks within one transaction: several hash
+	// paths of the subset enumeration can reach the same leaf.
+	lastVisit int
+}
+
+// Config controls tree shape.
+type Config struct {
+	// Fanout is the hash width of interior nodes (default 8).
+	Fanout int
+	// LeafCap is the split threshold for leaves (default 16). A leaf at
+	// depth k cannot split further and may exceed the cap.
+	LeafCap int
+}
+
+// New builds a hash tree over candidates, all of which must share one
+// length k ≥ 1.
+func New(cands [][]dataset.Item, cfg Config) (*Tree, error) {
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("hashtree: no candidates")
+	}
+	k := len(cands[0])
+	if k == 0 {
+		return nil, fmt.Errorf("hashtree: empty candidate")
+	}
+	if cfg.Fanout <= 1 {
+		cfg.Fanout = 8
+	}
+	if cfg.LeafCap <= 0 {
+		cfg.LeafCap = 16
+	}
+	t := &Tree{
+		root:    &node{},
+		k:       k,
+		fanout:  cfg.Fanout,
+		leafCap: cfg.LeafCap,
+		cands:   cands,
+		counts:  make([]int, len(cands)),
+	}
+	for i, c := range cands {
+		if len(c) != k {
+			return nil, fmt.Errorf("hashtree: candidate %d has length %d, want %d", i, len(c), k)
+		}
+		t.insert(t.root, i)
+	}
+	return t, nil
+}
+
+func (t *Tree) hash(item dataset.Item) int { return int(item) % t.fanout }
+
+// insert places candidate index ci under n, splitting leaves as needed.
+func (t *Tree) insert(n *node, ci int) {
+	for n.children != nil {
+		n = n.children[t.hash(t.cands[ci][n.depth])]
+	}
+	n.leaf = append(n.leaf, ci)
+	// Split when over capacity, unless already hashing on the last item.
+	if len(n.leaf) > t.leafCap && n.depth < t.k-1 {
+		n.children = make([]*node, t.fanout)
+		for i := range n.children {
+			n.children[i] = &node{depth: n.depth + 1}
+		}
+		leaf := n.leaf
+		n.leaf = nil
+		for _, idx := range leaf {
+			n.children[t.hash(t.cands[idx][n.depth])].leaf =
+				append(n.children[t.hash(t.cands[idx][n.depth])].leaf, idx)
+		}
+		// A pathological split can leave one child over capacity; it will
+		// split on the next insert that lands there. Re-check each child
+		// once here so construction order cannot produce oversized leaves.
+		for _, c := range n.children {
+			if len(c.leaf) > t.leafCap && c.depth < t.k-1 {
+				// Recursive split via re-insert of the last element.
+				last := c.leaf[len(c.leaf)-1]
+				c.leaf = c.leaf[:len(c.leaf)-1]
+				t.insert(c, last)
+			}
+		}
+	}
+}
+
+// CountTransaction adds tr's contribution to every candidate it contains.
+func (t *Tree) CountTransaction(tr dataset.Transaction) {
+	if len(tr) < t.k {
+		return
+	}
+	t.stamp++
+	t.visit(t.root, tr, 0)
+}
+
+// visit descends the tree with the standard subset enumeration: an
+// interior node at depth d is entered once for every choice of tr[i] as
+// the d-th candidate item, restricted to positions leaving enough items.
+func (t *Tree) visit(n *node, tr dataset.Transaction, from int) {
+	if n.children == nil {
+		if n.lastVisit == t.stamp {
+			return // already checked against this transaction
+		}
+		n.lastVisit = t.stamp
+		for _, ci := range n.leaf {
+			if tr.ContainsAll(t.cands[ci]) {
+				t.counts[ci]++
+			}
+		}
+		return
+	}
+	need := t.k - n.depth
+	for i := from; i+need <= len(tr); i++ {
+		t.visit(n.children[t.hash(tr[i])], tr, i+1)
+	}
+}
+
+// Counts returns the per-candidate supports accumulated so far, indexed
+// like the candidates passed to New.
+func (t *Tree) Counts() []int { return t.counts }
+
+// Reset zeroes all counts.
+func (t *Tree) Reset() {
+	for i := range t.counts {
+		t.counts[i] = 0
+	}
+}
+
+// Depth returns the maximum node depth — a diagnostics helper.
+func (t *Tree) Depth() int {
+	var walk func(n *node) int
+	walk = func(n *node) int {
+		if n.children == nil {
+			return n.depth
+		}
+		max := n.depth
+		for _, c := range n.children {
+			if d := walk(c); d > max {
+				max = d
+			}
+		}
+		return max
+	}
+	return walk(t.root)
+}
+
+// LeafCount returns the number of leaves — a diagnostics helper.
+func (t *Tree) LeafCount() int {
+	var walk func(n *node) int
+	walk = func(n *node) int {
+		if n.children == nil {
+			return 1
+		}
+		total := 0
+		for _, c := range n.children {
+			total += walk(c)
+		}
+		return total
+	}
+	return walk(t.root)
+}

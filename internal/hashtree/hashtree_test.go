@@ -1,0 +1,139 @@
+package hashtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"gpapriori/internal/dataset"
+	"gpapriori/internal/gen"
+)
+
+func TestCountsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	db := gen.Random(300, 20, 0.3, 8)
+	// Random 3-item candidates.
+	seen := map[string]bool{}
+	var cands [][]dataset.Item
+	for len(cands) < 60 {
+		s := dataset.NewItemset([]dataset.Item{
+			dataset.Item(rng.Intn(20)), dataset.Item(rng.Intn(20)), dataset.Item(rng.Intn(20)),
+		}, 0)
+		if len(s.Items) != 3 || seen[s.Key()] {
+			continue
+		}
+		seen[s.Key()] = true
+		cands = append(cands, s.Items)
+	}
+	tree, err := New(cands, Config{Fanout: 4, LeafCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range db.Transactions() {
+		tree.CountTransaction(tr)
+	}
+	for i, c := range cands {
+		want := 0
+		for _, tr := range db.Transactions() {
+			if tr.ContainsAll(c) {
+				want++
+			}
+		}
+		if got := tree.Counts()[i]; got != want {
+			t.Fatalf("candidate %v: hash tree %d, brute force %d", c, got, want)
+		}
+	}
+}
+
+func TestSplitsProduceInteriorNodes(t *testing.T) {
+	// 100 pair candidates with LeafCap 4 must split the root.
+	var cands [][]dataset.Item
+	for i := 0; i < 20; i++ {
+		for j := i + 1; j < 12; j++ {
+			cands = append(cands, []dataset.Item{dataset.Item(i), dataset.Item(j)})
+		}
+	}
+	tree, err := New(cands, Config{Fanout: 4, LeafCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.LeafCount() < 2 {
+		t.Fatalf("tree never split: %d leaves", tree.LeafCount())
+	}
+	if tree.Depth() < 1 {
+		t.Fatalf("tree depth = %d", tree.Depth())
+	}
+}
+
+func TestShortTransactionsSkipped(t *testing.T) {
+	cands := [][]dataset.Item{{1, 2, 3}}
+	tree, err := New(cands, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.CountTransaction(dataset.Transaction{1, 2})
+	if tree.Counts()[0] != 0 {
+		t.Fatal("short transaction counted")
+	}
+	tree.CountTransaction(dataset.Transaction{1, 2, 3})
+	if tree.Counts()[0] != 1 {
+		t.Fatal("exact transaction not counted")
+	}
+}
+
+func TestReset(t *testing.T) {
+	cands := [][]dataset.Item{{1}, {2}}
+	tree, err := New(cands, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.CountTransaction(dataset.Transaction{1, 2})
+	tree.Reset()
+	for i, c := range tree.Counts() {
+		if c != 0 {
+			t.Fatalf("count %d = %d after Reset", i, c)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Fatal("no candidates accepted")
+	}
+	if _, err := New([][]dataset.Item{{}}, Config{}); err == nil {
+		t.Fatal("empty candidate accepted")
+	}
+	if _, err := New([][]dataset.Item{{1, 2}, {3}}, Config{}); err == nil {
+		t.Fatal("ragged candidates accepted")
+	}
+}
+
+func TestDeepCandidatesDenseTransactions(t *testing.T) {
+	// Dense rows exercise the subset enumeration bounds (i+need ≤ len).
+	cfg := gen.Chess()
+	cfg.NumTrans = 60
+	db := gen.AttributeValue(cfg)
+	var cands [][]dataset.Item
+	// 5-item prefixes of the first transactions as candidates.
+	for i := 0; i < 20 && i < db.Len(); i++ {
+		tr := db.Transaction(i)
+		cands = append(cands, append([]dataset.Item{}, tr[:5]...))
+	}
+	tree, err := New(cands, Config{Fanout: 8, LeafCap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range db.Transactions() {
+		tree.CountTransaction(tr)
+	}
+	for i, c := range cands {
+		want := 0
+		for _, tr := range db.Transactions() {
+			if tr.ContainsAll(c) {
+				want++
+			}
+		}
+		if got := tree.Counts()[i]; got != want {
+			t.Fatalf("candidate %v: %d, want %d", c, got, want)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package kernels
+
+import (
+	"fmt"
+
+	"gpapriori/internal/dataset"
+	"gpapriori/internal/gpusim"
+	"gpapriori/internal/vertical"
+)
+
+// TuneResult records one probed configuration and its modeled cost.
+type TuneResult struct {
+	Options    Options
+	ModeledSec float64
+}
+
+// AutoTune automates the paper's Section IV.3 hand-tuning: it probes the
+// support-counting kernel over a grid of block sizes, preload settings
+// and unroll factors on a scratch device (the production device's stats
+// are untouched), and returns the configuration with the lowest modeled
+// device time, together with every probe's result for inspection.
+//
+// probe is a representative candidate batch (one generation's worth, or a
+// slice of it); v is the vertical database the kernel will run against;
+// cfg is the device model to tune for.
+func AutoTune(v *vertical.BitsetDB, cfg gpusim.Config, probe [][]dataset.Item) (Options, []TuneResult, error) {
+	if len(probe) == 0 {
+		return Options{}, nil, fmt.Errorf("kernels: AutoTune needs a probe batch")
+	}
+	if cfg.SMs == 0 {
+		cfg = gpusim.TeslaT10()
+	}
+	k := len(probe[0])
+
+	blockSizes := []int{32, 64, 128, 256, 512}
+	var results []TuneResult
+	best := Options{}
+	bestTime := 0.0
+
+	for _, bs := range blockSizes {
+		if bs > cfg.MaxThreadsPerBlock {
+			continue
+		}
+		for _, preload := range []bool{true, false} {
+			for _, unroll := range []int{1, 4} {
+				opt := Options{BlockSize: bs, Preload: preload, Unroll: unroll}
+				sec, err := probeOnce(v, cfg, probe, k, opt)
+				if err != nil {
+					return Options{}, nil, err
+				}
+				results = append(results, TuneResult{Options: opt, ModeledSec: sec})
+				if bestTime == 0 || sec < bestTime {
+					bestTime = sec
+					best = opt
+				}
+			}
+		}
+	}
+	return best, results, nil
+}
+
+// probeOnce runs the probe batch under one configuration on a fresh
+// scratch device and returns the modeled kernel+launch time (transfers
+// excluded: they are configuration-independent).
+func probeOnce(v *vertical.BitsetDB, cfg gpusim.Config, probe [][]dataset.Item, k int, opt Options) (float64, error) {
+	vecWords := len(v.Vectors) * v.WordsPerVector() * 2
+	scratch := len(probe)*(k+1) + 1024
+	dev := gpusim.NewDevice(cfg, vecWords+scratch)
+	ddb, err := Upload(dev, v)
+	if err != nil {
+		return 0, err
+	}
+	dev.ResetStats()
+	if _, err := ddb.SupportCounts(probe, opt); err != nil {
+		return 0, err
+	}
+	t := dev.ModeledTime()
+	return t.Kernel + t.Launch, nil
+}

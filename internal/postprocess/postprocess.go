@@ -1,0 +1,136 @@
+// Package postprocess condenses mined frequent-itemset collections into
+// the two classical lossy/lossless summaries of the FIM literature the
+// paper's related work draws on: closed itemsets (Zaki & Hsiao — lossless,
+// an itemset is closed iff no superset has the same support) and maximal
+// itemsets (MAFIA, Burdick et al. — lossy, an itemset is maximal iff no
+// superset is frequent). Both operate on complete, downward-closed result
+// sets such as those produced by every miner in this repository.
+package postprocess
+
+import (
+	"sort"
+
+	"gpapriori/internal/dataset"
+)
+
+// Closed returns the closed itemsets of rs: those with no proper superset
+// of identical support. The result is sorted canonically.
+func Closed(rs *dataset.ResultSet) *dataset.ResultSet {
+	return filterBySupersets(rs, func(sup, superSup int) bool { return superSup == sup })
+}
+
+// Maximal returns the maximal itemsets of rs: those with no frequent
+// proper superset at all. The result is sorted canonically.
+func Maximal(rs *dataset.ResultSet) *dataset.ResultSet {
+	return filterBySupersets(rs, func(int, int) bool { return true })
+}
+
+// filterBySupersets keeps itemsets for which no immediate frequent
+// superset satisfies kill(sup, superSup). Checking only supersets one item
+// larger suffices: closedness and maximality both propagate through the
+// superset lattice level by level (if a (k+2)-superset kills a set, some
+// (k+1)-superset does too, because rs is downward-closed and support is
+// monotone).
+func filterBySupersets(rs *dataset.ResultSet, kill func(sup, superSup int) bool) *dataset.ResultSet {
+	// Index supersets by size for one-larger lookups.
+	bySize := map[int][]dataset.Itemset{}
+	maxLen := 0
+	for _, s := range rs.Sets {
+		bySize[len(s.Items)] = append(bySize[len(s.Items)], s)
+		if len(s.Items) > maxLen {
+			maxLen = len(s.Items)
+		}
+	}
+	index := make(map[string]int, rs.Len())
+	for _, s := range rs.Sets {
+		index[s.Key()] = s.Support
+	}
+
+	out := &dataset.ResultSet{}
+	for _, s := range rs.Sets {
+		killed := false
+		// Try extending s by each item present in any same-size+1 set:
+		// cheaper and simpler — check every superset candidate obtained by
+		// inserting one item drawn from the supersets' item pool. Instead
+		// of scanning the universe we scan the actual (k+1)-sets and test
+		// whether s ⊂ super.
+		for _, super := range bySize[len(s.Items)+1] {
+			if kill(s.Support, super.Support) && contains(super.Items, s.Items) {
+				killed = true
+				break
+			}
+		}
+		if !killed {
+			out.Add(s.Items, s.Support)
+		}
+	}
+	out.Sort()
+	return out
+}
+
+// contains reports whether the sorted slice sup contains all of sub.
+func contains(sup, sub []dataset.Item) bool {
+	j := 0
+	for _, want := range sub {
+		for j < len(sup) && sup[j] < want {
+			j++
+		}
+		if j >= len(sup) || sup[j] != want {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// CompressionRatio reports |condensed| / |full| — the headline metric of
+// condensed-representation papers. Returns 1 for empty input.
+func CompressionRatio(full, condensed *dataset.ResultSet) float64 {
+	if full.Len() == 0 {
+		return 1
+	}
+	return float64(condensed.Len()) / float64(full.Len())
+}
+
+// RestoreFromClosed reconstructs the full frequent-itemset collection
+// (with exact supports) from a closed-itemset summary — the losslessness
+// property: every frequent itemset's support is the maximum support among
+// the closed supersets containing it.
+func RestoreFromClosed(closed *dataset.ResultSet, minSupport int) *dataset.ResultSet {
+	type entry struct {
+		items []dataset.Item
+		sup   int
+	}
+	seen := map[string]int{}
+	var order []string
+	itemsOf := map[string][]dataset.Item{}
+	// Enumerate all subsets of each closed set; keep max support.
+	var gen func(items []dataset.Item, sup int, from int, cur []dataset.Item)
+	gen = func(items []dataset.Item, sup int, from int, cur []dataset.Item) {
+		for i := from; i < len(items); i++ {
+			next := append(cur, items[i])
+			key := dataset.NewItemset(next, 0).Key()
+			if old, ok := seen[key]; !ok {
+				seen[key] = sup
+				order = append(order, key)
+				itemsOf[key] = append([]dataset.Item{}, next...)
+			} else if sup > old {
+				seen[key] = sup
+			}
+			gen(items, sup, i+1, next)
+			cur = next[:len(next)-1]
+		}
+	}
+	for _, c := range closed.Sets {
+		gen(c.Items, c.Support, 0, make([]dataset.Item, 0, len(c.Items)))
+	}
+	out := &dataset.ResultSet{}
+	sort.Strings(order)
+	for _, key := range order {
+		if seen[key] >= minSupport {
+			out.Add(itemsOf[key], seen[key])
+		}
+	}
+	out.Sort()
+	return out
+}

@@ -1,0 +1,137 @@
+package postprocess
+
+import (
+	"testing"
+
+	"gpapriori/internal/dataset"
+	"gpapriori/internal/gen"
+	"gpapriori/internal/oracle"
+)
+
+func TestClosedDefinition(t *testing.T) {
+	db := gen.Small()
+	full := oracle.Mine(db, 2)
+	closed := Closed(full)
+
+	index := map[string]int{}
+	for _, s := range full.Sets {
+		index[s.Key()] = s.Support
+	}
+	inClosed := map[string]bool{}
+	for _, s := range closed.Sets {
+		inClosed[s.Key()] = true
+	}
+	// Every itemset in `closed` must have no superset of equal support;
+	// every itemset excluded must have one.
+	for _, s := range full.Sets {
+		hasEqualSuper := false
+		for _, super := range full.Sets {
+			if len(super.Items) == len(s.Items)+1 &&
+				super.Support == s.Support && contains(super.Items, s.Items) {
+				hasEqualSuper = true
+				break
+			}
+		}
+		if inClosed[s.Key()] == hasEqualSuper {
+			t.Fatalf("itemset %v closed=%v but hasEqualSuper=%v",
+				s.Items, inClosed[s.Key()], hasEqualSuper)
+		}
+	}
+}
+
+func TestMaximalDefinition(t *testing.T) {
+	db := gen.Small()
+	full := oracle.Mine(db, 2)
+	maximal := Maximal(full)
+	inMax := map[string]bool{}
+	for _, s := range maximal.Sets {
+		inMax[s.Key()] = true
+	}
+	for _, s := range full.Sets {
+		hasFreqSuper := false
+		for _, super := range full.Sets {
+			if len(super.Items) == len(s.Items)+1 && contains(super.Items, s.Items) {
+				hasFreqSuper = true
+				break
+			}
+		}
+		if inMax[s.Key()] == hasFreqSuper {
+			t.Fatalf("itemset %v maximal=%v but hasFreqSuper=%v",
+				s.Items, inMax[s.Key()], hasFreqSuper)
+		}
+	}
+}
+
+func TestMaximalSubsetOfClosed(t *testing.T) {
+	// Maximal ⊆ closed always (a maximal set has no frequent superset at
+	// all, hence none with equal support).
+	db := gen.Random(120, 14, 0.4, 5)
+	full := oracle.Mine(db, 15)
+	closed := Closed(full)
+	maximal := Maximal(full)
+	inClosed := map[string]bool{}
+	for _, s := range closed.Sets {
+		inClosed[s.Key()] = true
+	}
+	for _, s := range maximal.Sets {
+		if !inClosed[s.Key()] {
+			t.Fatalf("maximal set %v not closed", s.Items)
+		}
+	}
+	if maximal.Len() > closed.Len() || closed.Len() > full.Len() {
+		t.Fatalf("sizes violate maximal ≤ closed ≤ full: %d, %d, %d",
+			maximal.Len(), closed.Len(), full.Len())
+	}
+}
+
+func TestDenseDataCompresses(t *testing.T) {
+	// On conformity-correlated dense data the closed/maximal summaries
+	// must be much smaller than the full collection.
+	cfg := gen.Chess()
+	cfg.NumTrans = 200
+	db := gen.AttributeValue(cfg)
+	full := oracle.Mine(db, db.AbsoluteSupport(0.8))
+	if full.Len() < 50 {
+		t.Skipf("only %d itemsets; dataset too small to judge compression", full.Len())
+	}
+	maximal := Maximal(full)
+	if r := CompressionRatio(full, maximal); r > 0.5 {
+		t.Fatalf("maximal compression ratio %.2f, expected < 0.5 on dense data", r)
+	}
+}
+
+func TestRestoreFromClosedLossless(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		db := gen.Random(80, 10, 0.45, seed)
+		minSup := 10
+		full := oracle.Mine(db, minSup)
+		closed := Closed(full)
+		restored := RestoreFromClosed(closed, minSup)
+		if !restored.Equal(full) {
+			t.Fatalf("seed %d: restore not lossless: %v", seed, restored.Diff(full))
+		}
+	}
+}
+
+func TestCompressionRatioEmpty(t *testing.T) {
+	if r := CompressionRatio(&dataset.ResultSet{}, &dataset.ResultSet{}); r != 1 {
+		t.Fatalf("empty ratio = %v", r)
+	}
+}
+
+func TestContains(t *testing.T) {
+	cases := []struct {
+		sup, sub []dataset.Item
+		want     bool
+	}{
+		{[]dataset.Item{1, 2, 3}, []dataset.Item{1, 3}, true},
+		{[]dataset.Item{1, 2, 3}, []dataset.Item{}, true},
+		{[]dataset.Item{1, 2, 3}, []dataset.Item{4}, false},
+		{[]dataset.Item{1, 3}, []dataset.Item{1, 2, 3}, false},
+	}
+	for _, c := range cases {
+		if got := contains(c.sup, c.sub); got != c.want {
+			t.Errorf("contains(%v, %v) = %v", c.sup, c.sub, got)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Package resultio serializes mined frequent-itemset collections to disk
+// and back. Long mining runs (or the fimbench sweeps) produce result sets
+// worth caching: the text format is one itemset per line — space-
+// separated items, a colon, the absolute support — stable, diffable, and
+// independent of mining order.
+package resultio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"gpapriori/internal/dataset"
+)
+
+// Write serializes rs in canonical order.
+func Write(w io.Writer, rs *dataset.ResultSet) error {
+	rs.Sort()
+	bw := bufio.NewWriter(w)
+	for _, s := range rs.Sets {
+		for i, it := range s.Items {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatUint(uint64(it), 10)); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString(" : " + strconv.Itoa(s.Support) + "\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the Write format. Malformed lines are errors (results are
+// machine-written; silent skips would hide corruption).
+func Read(r io.Reader) (*dataset.ResultSet, error) {
+	rs := &dataset.ResultSet{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		parts := strings.SplitN(text, " : ", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("resultio: line %d: missing ' : ' separator", line)
+		}
+		sup, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return nil, fmt.Errorf("resultio: line %d: bad support: %v", line, err)
+		}
+		fields := strings.Fields(parts[0])
+		if len(fields) == 0 {
+			return nil, fmt.Errorf("resultio: line %d: empty itemset", line)
+		}
+		items := make([]dataset.Item, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseUint(f, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("resultio: line %d: bad item %q: %v", line, f, err)
+			}
+			items[i] = dataset.Item(v)
+		}
+		rs.Add(items, sup)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
+
+// Verify checks a stored result set against a database: every itemset's
+// support must equal its exact support in db. Returns the first
+// discrepancy as an error (nil when everything matches) — how a cached
+// result is validated before reuse.
+func Verify(rs *dataset.ResultSet, db *dataset.DB) error {
+	for _, s := range rs.Sets {
+		want := 0
+		for _, tr := range db.Transactions() {
+			if tr.ContainsAll(s.Items) {
+				want++
+			}
+		}
+		if s.Support != want {
+			return fmt.Errorf("resultio: itemset %v stored support %d, database says %d",
+				s.Items, s.Support, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package rules
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// Measures are the extended interestingness measures of the
+// rule-quality literature, computable from a Rule's probabilities.
+// Writing P(X) for antecedent support ratio and P(Y) for consequent:
+//
+//	conviction = (1 − P(Y)) / (1 − confidence)   (∞ for exact rules)
+//	leverage   = P(XY) − P(X)·P(Y)
+//	jaccard    = P(XY) / (P(X) + P(Y) − P(XY))
+type Measures struct {
+	Conviction float64 // +Inf when confidence == 1
+	Leverage   float64
+	Jaccard    float64
+}
+
+// MeasuresOf derives the extended measures from a rule's recorded
+// support, confidence and lift. The derivation uses the identities
+// P(X) = sup/conf and P(Y) = conf/lift.
+func MeasuresOf(r Rule) Measures {
+	pXY := r.Support
+	pX := 0.0
+	if r.Confidence > 0 {
+		pX = pXY / r.Confidence
+	}
+	pY := 0.0
+	if r.Lift > 0 {
+		pY = r.Confidence / r.Lift
+	}
+	var m Measures
+	if r.Confidence >= 1 {
+		m.Conviction = math.Inf(1)
+	} else {
+		m.Conviction = (1 - pY) / (1 - r.Confidence)
+	}
+	m.Leverage = pXY - pX*pY
+	if den := pX + pY - pXY; den > 0 {
+		m.Jaccard = pXY / den
+	}
+	return m
+}
+
+// TopK returns the k best rules under the given ordering key: one of
+// "confidence", "lift", "support", "leverage", "conviction". Input order
+// is preserved for ties.
+func TopK(rules []Rule, k int, key string) ([]Rule, error) {
+	score, err := scorer(key)
+	if err != nil {
+		return nil, err
+	}
+	out := append([]Rule{}, rules...)
+	// Stable selection sort of the top k — k is small in practice and
+	// stability keeps tie order deterministic.
+	if k > len(out) {
+		k = len(out)
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(out); j++ {
+			if score(out[j]) > score(out[best]) {
+				best = j
+			}
+		}
+		if best != i {
+			r := out[best]
+			copy(out[i+1:best+1], out[i:best])
+			out[i] = r
+		}
+	}
+	return out[:k], nil
+}
+
+func scorer(key string) (func(Rule) float64, error) {
+	switch key {
+	case "confidence":
+		return func(r Rule) float64 { return r.Confidence }, nil
+	case "lift":
+		return func(r Rule) float64 { return r.Lift }, nil
+	case "support":
+		return func(r Rule) float64 { return r.Support }, nil
+	case "leverage":
+		return func(r Rule) float64 { return MeasuresOf(r).Leverage }, nil
+	case "conviction":
+		return func(r Rule) float64 { return MeasuresOf(r).Conviction }, nil
+	default:
+		return nil, fmt.Errorf("rules: unknown ranking key %q", key)
+	}
+}
+
+// WriteCSV exports rules with all measures, one per row, with a header.
+func WriteCSV(w io.Writer, rules []Rule) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"antecedent", "consequent", "support", "confidence", "lift",
+		"conviction", "leverage", "jaccard",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rules {
+		m := MeasuresOf(r)
+		conv := "inf"
+		if !math.IsInf(m.Conviction, 1) {
+			conv = strconv.FormatFloat(m.Conviction, 'g', 6, 64)
+		}
+		rec := []string{
+			itemsField(r.Antecedent),
+			itemsField(r.Consequent),
+			strconv.FormatFloat(r.Support, 'g', 6, 64),
+			strconv.FormatFloat(r.Confidence, 'g', 6, 64),
+			strconv.FormatFloat(r.Lift, 'g', 6, 64),
+			conv,
+			strconv.FormatFloat(m.Leverage, 'g', 6, 64),
+			strconv.FormatFloat(m.Jaccard, 'g', 6, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func itemsField(items []uint32) string {
+	s := ""
+	for i, it := range items {
+		if i > 0 {
+			s += " "
+		}
+		s += strconv.FormatUint(uint64(it), 10)
+	}
+	return s
+}
+
+// ruleJSON is the JSON export shape (conviction omitted when infinite).
+type ruleJSON struct {
+	Antecedent []uint32 `json:"antecedent"`
+	Consequent []uint32 `json:"consequent"`
+	Support    float64  `json:"support"`
+	Confidence float64  `json:"confidence"`
+	Lift       float64  `json:"lift"`
+	Conviction *float64 `json:"conviction,omitempty"`
+	Leverage   float64  `json:"leverage"`
+	Jaccard    float64  `json:"jaccard"`
+}
+
+// WriteJSON exports rules as a JSON array with all measures.
+func WriteJSON(w io.Writer, rules []Rule) error {
+	out := make([]ruleJSON, len(rules))
+	for i, r := range rules {
+		m := MeasuresOf(r)
+		out[i] = ruleJSON{
+			Antecedent: r.Antecedent,
+			Consequent: r.Consequent,
+			Support:    r.Support,
+			Confidence: r.Confidence,
+			Lift:       r.Lift,
+			Leverage:   m.Leverage,
+			Jaccard:    m.Jaccard,
+		}
+		if !math.IsInf(m.Conviction, 1) {
+			c := m.Conviction
+			out[i].Conviction = &c
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,160 @@
+package rules
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"gpapriori/internal/dataset"
+	"gpapriori/internal/gen"
+	"gpapriori/internal/oracle"
+)
+
+func sampleRules(t *testing.T) []Rule {
+	t.Helper()
+	db := gen.Small()
+	rs := oracle.Mine(db, 1)
+	rules, err := Generate(rs, db.Len(), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) == 0 {
+		t.Fatal("no sample rules")
+	}
+	return rules
+}
+
+func TestMeasuresHandDerived(t *testing.T) {
+	// P(X)=0.5, P(Y)=0.5, P(XY)=0.4 → conf 0.8, lift 1.6.
+	r := Rule{Support: 0.4, Confidence: 0.8, Lift: 1.6}
+	m := MeasuresOf(r)
+	if math.Abs(m.Conviction-(1-0.5)/(1-0.8)) > 1e-12 {
+		t.Fatalf("conviction = %v, want 2.5", m.Conviction)
+	}
+	if math.Abs(m.Leverage-(0.4-0.25)) > 1e-12 {
+		t.Fatalf("leverage = %v, want 0.15", m.Leverage)
+	}
+	if math.Abs(m.Jaccard-0.4/0.6) > 1e-12 {
+		t.Fatalf("jaccard = %v, want 2/3", m.Jaccard)
+	}
+}
+
+func TestMeasuresExactRuleConvictionInf(t *testing.T) {
+	r := Rule{Support: 0.5, Confidence: 1.0, Lift: 2.0}
+	if m := MeasuresOf(r); !math.IsInf(m.Conviction, 1) {
+		t.Fatalf("conviction = %v, want +Inf", m.Conviction)
+	}
+}
+
+func TestMeasuresIndependentRule(t *testing.T) {
+	// Independence: lift 1 → leverage 0.
+	r := Rule{Support: 0.25, Confidence: 0.5, Lift: 1.0}
+	if m := MeasuresOf(r); math.Abs(m.Leverage) > 1e-12 {
+		t.Fatalf("leverage of independent rule = %v", m.Leverage)
+	}
+}
+
+func TestTopKOrdersByKey(t *testing.T) {
+	rules := sampleRules(t)
+	for _, key := range []string{"confidence", "lift", "support", "leverage", "conviction"} {
+		top, err := TopK(rules, 5, key)
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		if len(top) > 5 {
+			t.Fatalf("%s: TopK returned %d", key, len(top))
+		}
+		score, _ := scorer(key)
+		for i := 1; i < len(top); i++ {
+			if score(top[i-1]) < score(top[i]) {
+				t.Fatalf("%s: not descending at %d", key, i)
+			}
+		}
+	}
+	if _, err := TopK(rules, 3, "nope"); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+}
+
+func TestTopKLargerThanInput(t *testing.T) {
+	rules := sampleRules(t)
+	top, err := TopK(rules, len(rules)+100, "lift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != len(rules) {
+		t.Fatalf("TopK padded: %d vs %d", len(top), len(rules))
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	rules := sampleRules(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rules); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(rules)+1 {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), len(rules)+1)
+	}
+	if !strings.HasPrefix(lines[0], "antecedent,consequent,support") {
+		t.Fatalf("header = %q", lines[0])
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	rules := sampleRules(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, rules); err != nil {
+		t.Fatal(err)
+	}
+	var back []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(rules) {
+		t.Fatalf("JSON has %d rules, want %d", len(back), len(rules))
+	}
+	for _, r := range back {
+		if _, ok := r["confidence"]; !ok {
+			t.Fatal("JSON rule missing confidence")
+		}
+	}
+}
+
+func TestMeasuresConsistentWithGenerate(t *testing.T) {
+	// Leverage recomputed from first principles must match MeasuresOf for
+	// rules produced by Generate.
+	db := dataset.New([][]dataset.Item{
+		{0, 1}, {0, 1}, {0}, {1}, {2},
+	})
+	rs := oracle.Mine(db, 1)
+	rules, err := Generate(rs, db.Len(), 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rules {
+		if len(r.Antecedent) != 1 || len(r.Consequent) != 1 {
+			continue
+		}
+		supOf := func(items []dataset.Item) float64 {
+			n := 0
+			for _, tr := range db.Transactions() {
+				if tr.ContainsAll(items) {
+					n++
+				}
+			}
+			return float64(n) / float64(db.Len())
+		}
+		pX := supOf(r.Antecedent)
+		pY := supOf(r.Consequent)
+		union := dataset.NewItemset(append(append([]dataset.Item{}, r.Antecedent...), r.Consequent...), 0)
+		pXY := supOf(union.Items)
+		m := MeasuresOf(r)
+		if math.Abs(m.Leverage-(pXY-pX*pY)) > 1e-9 {
+			t.Fatalf("rule %v: leverage %v, first-principles %v", r, m.Leverage, pXY-pX*pY)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Package sampling implements Toivonen-style sampling-based frequent
+// itemset mining (VLDB'96 family, referenced throughout the paper's
+// related work): mine a random sample at a lowered threshold, then verify
+// the candidates against the full database in a single scan. The result
+// is exact whenever the sample's negative border holds — and the miner
+// reports when it cannot certify exactness so the caller can fall back.
+package sampling
+
+import (
+	"fmt"
+
+	"gpapriori/internal/apriori"
+	"gpapriori/internal/bitset"
+	"gpapriori/internal/dataset"
+)
+
+// Options configures a sampling run.
+type Options struct {
+	// SampleFraction of transactions to mine first (default 0.1).
+	SampleFraction float64
+	// Slack lowers the sample threshold multiplicatively (default 0.8:
+	// sample minsup = 0.8 × scaled threshold) to reduce false negatives.
+	Slack float64
+	// Seed drives the deterministic sampler.
+	Seed int64
+}
+
+// Result carries the verified itemsets plus the certificate state.
+type Result struct {
+	Sets *dataset.ResultSet
+	// SampleSize is the number of transactions in the mined sample.
+	SampleSize int
+	// CandidateCount is how many sample-frequent itemsets were verified
+	// against the full database.
+	CandidateCount int
+	// Exact reports whether the negative-border check passed: no itemset
+	// just below the sample threshold turned out globally frequent. When
+	// false, Sets may be missing itemsets and the caller should re-mine
+	// exactly.
+	Exact bool
+}
+
+// Mine runs sampling-based mining on db at the given absolute support.
+func Mine(db *dataset.DB, minSupport int, opt Options) (*Result, error) {
+	if minSupport < 1 {
+		return nil, fmt.Errorf("sampling: minimum support %d must be ≥1", minSupport)
+	}
+	if opt.SampleFraction == 0 {
+		opt.SampleFraction = 0.1
+	}
+	if opt.SampleFraction <= 0 || opt.SampleFraction > 1 {
+		return nil, fmt.Errorf("sampling: fraction %v out of (0,1]", opt.SampleFraction)
+	}
+	if opt.Slack == 0 {
+		opt.Slack = 0.8
+	}
+	if opt.Slack <= 0 || opt.Slack > 1 {
+		return nil, fmt.Errorf("sampling: slack %v out of (0,1]", opt.Slack)
+	}
+
+	sample, err := dataset.Sample(db, opt.SampleFraction, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if sample.Len() == 0 {
+		return nil, fmt.Errorf("sampling: empty sample (fraction %v of %d transactions)",
+			opt.SampleFraction, db.Len())
+	}
+
+	// Scaled, slack-lowered threshold on the sample.
+	scaled := float64(minSupport) * float64(sample.Len()) / float64(db.Len())
+	sampleSup := int(opt.Slack*scaled + 0.5)
+	if sampleSup < 1 {
+		sampleSup = 1
+	}
+
+	counter := apriori.NewCPUBitset(sample, bitset.PopcountHardware)
+	sampleRes, err := apriori.Mine(sample, sampleSup, counter, apriori.Config{})
+	if err != nil {
+		return nil, err
+	}
+
+	// One full-database scan verifies every sample candidate exactly.
+	out := &Result{SampleSize: sample.Len(), CandidateCount: sampleRes.Len(), Exact: true}
+	out.Sets = &dataset.ResultSet{}
+	borderHit := false
+	full := bitsetSupports(db, sampleRes)
+	for i, s := range sampleRes.Sets {
+		sup := full[i]
+		if sup >= minSupport {
+			out.Sets.Add(s.Items, sup)
+			// Negative-border check: a globally frequent itemset whose
+			// sample support sat below the *unslacked* scaled threshold
+			// means the slack was load-bearing; an itemset outside even
+			// the slacked border could have been missed entirely.
+			if float64(s.Support) < scaled {
+				borderHit = true
+			}
+		}
+	}
+	// If frequent itemsets hugged the border, missing ones are plausible.
+	out.Exact = !borderHit
+	out.Sets.Sort()
+	return out, nil
+}
+
+// bitsetSupports computes exact supports for all candidate itemsets in
+// one pass over db using the static-bitset layout.
+func bitsetSupports(db *dataset.DB, rs *dataset.ResultSet) []int {
+	v := newBitsetIndex(db)
+	out := make([]int, rs.Len())
+	for i, s := range rs.Sets {
+		out[i] = v.supportOf(s.Items)
+	}
+	return out
+}
+
+// bitsetIndex is a minimal vertical index for verification scans.
+type bitsetIndex struct {
+	vectors []*bitset.Bitset
+	n       int
+}
+
+func newBitsetIndex(db *dataset.DB) *bitsetIndex {
+	idx := &bitsetIndex{vectors: make([]*bitset.Bitset, db.NumItems()), n: db.Len()}
+	for i := range idx.vectors {
+		idx.vectors[i] = bitset.New(db.Len())
+	}
+	for tid, tr := range db.Transactions() {
+		for _, it := range tr {
+			idx.vectors[it].Set(tid)
+		}
+	}
+	return idx
+}
+
+func (v *bitsetIndex) supportOf(items []dataset.Item) int {
+	if len(items) == 0 {
+		return v.n
+	}
+	vs := make([]*bitset.Bitset, len(items))
+	for i, it := range items {
+		vs[i] = v.vectors[it]
+	}
+	return bitset.IntersectCountMany(vs)
+}

@@ -1,0 +1,40 @@
+package gpapriori
+
+import (
+	"gpapriori/internal/dataset"
+	"gpapriori/internal/postprocess"
+)
+
+// ClosedItemsets condenses a mining result to its closed itemsets — those
+// with no proper superset of identical support. The summary is lossless:
+// the full collection (with supports) is recoverable from it.
+func ClosedItemsets(res *Result) *Result {
+	return condense(res, postprocess.Closed)
+}
+
+// MaximalItemsets condenses a mining result to its maximal itemsets —
+// those with no frequent proper superset. Smaller than the closed summary
+// but lossy (subset supports are not recoverable).
+func MaximalItemsets(res *Result) *Result {
+	return condense(res, postprocess.Maximal)
+}
+
+func condense(res *Result, f func(*dataset.ResultSet) *dataset.ResultSet) *Result {
+	if res == nil {
+		return nil
+	}
+	rs := &dataset.ResultSet{}
+	for _, s := range res.Itemsets {
+		rs.Add(s.Items, s.Support)
+	}
+	out := f(rs)
+	condensed := &Result{
+		Algorithm:  res.Algorithm,
+		MinSupport: res.MinSupport,
+		Itemsets:   make([]Itemset, out.Len()),
+	}
+	for i, s := range out.Sets {
+		condensed.Itemsets[i] = Itemset{Items: s.Items, Support: s.Support}
+	}
+	return condensed
+}

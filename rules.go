@@ -1,0 +1,68 @@
+package gpapriori
+
+import (
+	"fmt"
+
+	"gpapriori/internal/dataset"
+	"gpapriori/internal/rules"
+)
+
+// Rule is an association rule X ⇒ Y derived from frequent itemsets.
+type Rule struct {
+	Antecedent []Item  // X
+	Consequent []Item  // Y (disjoint from X)
+	Support    float64 // support(X∪Y) / |DB|
+	Confidence float64 // support(X∪Y) / support(X)
+	Lift       float64 // Confidence / (support(Y)/|DB|)
+}
+
+// String renders "1 2 => 3 (sup=0.40 conf=0.80 lift=1.33)".
+func (r Rule) String() string {
+	return rules.Rule{
+		Antecedent: r.Antecedent,
+		Consequent: r.Consequent,
+		Support:    r.Support,
+		Confidence: r.Confidence,
+		Lift:       r.Lift,
+	}.String()
+}
+
+// GenerateRules derives every association rule with confidence ≥
+// minConfidence from a mining result, sorted by descending confidence.
+// The result must come from an unbounded (MaxLen == 0) run so the itemset
+// collection is downward-closed.
+func GenerateRules(res *Result, db *Database, minConfidence float64) ([]Rule, error) {
+	if res == nil || db == nil {
+		return nil, fmt.Errorf("gpapriori: GenerateRules needs a result and its database")
+	}
+	rs := &dataset.ResultSet{}
+	for _, s := range res.Itemsets {
+		rs.Add(s.Items, s.Support)
+	}
+	raw, err := rules.Generate(rs, db.Len(), minConfidence)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Rule, len(raw))
+	for i, r := range raw {
+		out[i] = Rule{
+			Antecedent: r.Antecedent,
+			Consequent: r.Consequent,
+			Support:    r.Support,
+			Confidence: r.Confidence,
+			Lift:       r.Lift,
+		}
+	}
+	return out, nil
+}
+
+// FilterRulesByLift keeps rules whose lift is at least minLift.
+func FilterRulesByLift(rs []Rule, minLift float64) []Rule {
+	out := make([]Rule, 0, len(rs))
+	for _, r := range rs {
+		if r.Lift >= minLift {
+			out = append(out, r)
+		}
+	}
+	return out
+}
