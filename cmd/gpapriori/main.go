@@ -35,6 +35,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker count for parallel-cpu / count-distribution (0 = GOMAXPROCS)")
 		devices  = flag.Int("devices", 0, "simulated GPU count for gpapriori (0/1 = single)")
 		cpuShare = flag.Float64("cpushare", 0, "hybrid CPU share in [0,1) for gpapriori")
+		faults   = flag.String("faults", "", `inject device faults, e.g. "dev1:kernel-fail@gen3,dev2:dead@gen2" (kinds: kernel-fail, xfer-fail, hang[=sec], dead)`)
+		seed     = flag.Int64("seed", 0, "fault-injector seed for reproducible fault runs")
 		minConf  = flag.Float64("rules", 0, "also derive association rules at this confidence (0 = off)")
 		condense = flag.String("condense", "", "condense output: closed or maximal")
 		approx   = flag.Float64("approx", 0, "approximate mining: sample this fraction first (0 = exact)")
@@ -50,6 +52,7 @@ func main() {
 		devices: *devices, cpuShare: *cpuShare, minConf: *minConf,
 		condense: *condense, approx: *approx, jsonOut: *jsonOut,
 		top: *top, quiet: *quiet, topk: *topk,
+		faults: *faults, seed: *seed,
 	}
 	if err := run(os.Stdout, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "gpapriori:", err)
@@ -66,6 +69,8 @@ type runOpts struct {
 	condense                  string
 	jsonOut, quiet            bool
 	top, topk                 int
+	faults                    string
+	seed                      int64
 }
 
 // jsonReport is the machine-readable output shape.
@@ -78,6 +83,19 @@ type jsonReport struct {
 	HostSeconds   float64       `json:"host_seconds"`
 	DeviceSeconds float64       `json:"device_seconds,omitempty"`
 	Approx        *jsonApprox   `json:"approx,omitempty"`
+	Faults        *jsonFaults   `json:"fault_stats,omitempty"`
+}
+
+type jsonFaults struct {
+	Injected           int     `json:"injected"`
+	KernelFaults       int     `json:"kernel_faults"`
+	TransferFaults     int     `json:"transfer_faults"`
+	Hangs              int     `json:"hangs"`
+	Retries            int     `json:"retries"`
+	Failovers          int     `json:"failovers"`
+	DegradedCandidates int     `json:"degraded_candidates"`
+	RecoverySeconds    float64 `json:"recovery_seconds"`
+	DeadDevices        []int   `json:"dead_devices,omitempty"`
 }
 
 type jsonItemset struct {
@@ -114,6 +132,8 @@ func run(w io.Writer, o runOpts) error {
 		Workers:        o.workers,
 		Devices:        o.devices,
 		HybridCPUShare: o.cpuShare,
+		Faults:         o.faults,
+		FaultSeed:      o.seed,
 	}
 	if o.minsup < 1 {
 		cfg.RelativeSupport = o.minsup
@@ -179,6 +199,16 @@ func emitJSON(w io.Writer, db *gpapriori.Database, dict *gpapriori.Dictionary, r
 		DeviceSeconds: res.DeviceSeconds,
 		Approx:        approx,
 	}
+	if f := res.Faults; f != nil {
+		rep.Faults = &jsonFaults{
+			Injected: f.Injected, KernelFaults: f.KernelFaults,
+			TransferFaults: f.TransferFaults, Hangs: f.Hangs,
+			Retries: f.Retries, Failovers: f.Failovers,
+			DegradedCandidates: f.DegradedCandidates,
+			RecoverySeconds:    f.RecoverySeconds,
+			DeadDevices:        f.DeadDevices,
+		}
+	}
 	for _, s := range res.Itemsets {
 		js := jsonItemset{Items: s.Items, Support: s.Support}
 		if dict != nil {
@@ -213,6 +243,9 @@ func emitText(w io.Writer, db *gpapriori.Database, dict *gpapriori.Dictionary, r
 		fmt.Fprintf(w, "  modeled device time: %.4gs", res.DeviceSeconds)
 	}
 	fmt.Fprintln(w)
+	if res.Faults != nil {
+		fmt.Fprintf(w, "faults: %s\n", res.Faults)
+	}
 
 	if !o.quiet {
 		limit := len(res.Itemsets)

@@ -164,3 +164,68 @@ func TestRunTopK(t *testing.T) {
 		t.Fatalf("output:\n%s", out.String())
 	}
 }
+
+func TestRunWithFaults(t *testing.T) {
+	path := writeTempFile(t, "fig2.dat", figure2Dat)
+	var clean, faulty bytes.Buffer
+	if err := run(&clean, runOpts{input: path, minsup: 0.75, algo: "gpapriori", quiet: true}); err != nil {
+		t.Fatal(err)
+	}
+	err := run(&faulty, runOpts{
+		input: path, minsup: 0.75, algo: "gpapriori", quiet: true,
+		faults: "dev0:kernel-fail@gen2", seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := faulty.String()
+	if !strings.Contains(s, "11 frequent itemsets") {
+		t.Fatalf("fault run changed the result:\n%s", s)
+	}
+	if !strings.Contains(s, "faults: injected=1 (kernel=1") {
+		t.Fatalf("missing fault stats line:\n%s", s)
+	}
+	if strings.Contains(clean.String(), "faults:") {
+		t.Fatalf("clean run printed fault stats:\n%s", clean.String())
+	}
+}
+
+func TestRunWithFaultsJSON(t *testing.T) {
+	path := writeTempFile(t, "fig2.dat", figure2Dat)
+	var out bytes.Buffer
+	err := run(&out, runOpts{
+		input: path, minsup: 0.75, algo: "gpapriori", jsonOut: true,
+		faults: "dev0:dead@gen2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Itemsets) != 11 {
+		t.Fatalf("fault run found %d itemsets, want 11", len(rep.Itemsets))
+	}
+	if rep.Faults == nil {
+		t.Fatal("fault_stats missing from JSON")
+	}
+	if rep.Faults.DegradedCandidates == 0 {
+		t.Fatalf("dead-only-device run did not degrade to CPU: %+v", rep.Faults)
+	}
+	if len(rep.Faults.DeadDevices) != 1 || rep.Faults.DeadDevices[0] != 0 {
+		t.Fatalf("dead_devices = %v, want [0]", rep.Faults.DeadDevices)
+	}
+}
+
+func TestRunRejectsBadFaultSpec(t *testing.T) {
+	path := writeTempFile(t, "fig2.dat", figure2Dat)
+	var out bytes.Buffer
+	err := run(&out, runOpts{
+		input: path, minsup: 0.75, algo: "gpapriori",
+		faults: "dev0:explode@gen2",
+	})
+	if err == nil || !strings.Contains(err.Error(), "unknown kind") {
+		t.Fatalf("err = %v, want unknown-kind parse failure", err)
+	}
+}

@@ -26,6 +26,7 @@
 package gpapriori
 
 import (
+	"context"
 	"fmt"
 
 	"gpapriori/internal/apriori"
@@ -137,6 +138,17 @@ type Config struct {
 	// paper's CPU/GPU co-processing future-work model (AlgoGPApriori
 	// only).
 	HybridCPUShare float64
+
+	// Faults injects device faults into an AlgoGPApriori run, as a
+	// comma-separated spec of dev<N>:<kind>@gen<G> entries where <kind> is
+	// kernel-fail, xfer-fail, hang[=seconds], or dead — e.g.
+	// "dev1:kernel-fail@gen3,dev2:dead@gen2". Fault runs always take the
+	// failover-capable multi-device path, so they complete (degrading to
+	// the CPU if every device dies) with the same result set as a clean
+	// run. Empty = no faults.
+	Faults string
+	// FaultSeed seeds the fault injectors for reproducible fault runs.
+	FaultSeed int64
 }
 
 // Itemset is one frequent itemset with its absolute support.
@@ -162,6 +174,28 @@ type Result struct {
 	// "memory", "compute", "launch", "transfer" in seconds); nil for CPU
 	// algorithms.
 	DeviceBreakdown map[string]float64
+	// Faults reports injected-fault activity and recovery cost; nil when
+	// the run saw no fault activity.
+	Faults *FaultStats
+}
+
+// FaultStats mirrors the fault accounting of a GPApriori run: what was
+// injected, how it was absorbed, and what the recovery cost in modeled
+// time.
+type FaultStats struct {
+	Injected           int     // faults fired across all devices
+	KernelFaults       int     // failed kernel launches
+	TransferFaults     int     // aborted transfers
+	Hangs              int     // hung kernels (watchdog-killed or late)
+	Retries            int     // batch retries performed
+	Failovers          int     // batches re-routed off a lost device
+	DegradedCandidates int     // candidates counted on the CPU because no device survived
+	RecoverySeconds    float64 // modeled time lost to faults
+	DeadDevices        []int   // devices permanently lost
+}
+
+func (f FaultStats) String() string {
+	return core.FaultStats(f).String()
 }
 
 // TotalSeconds returns the run's end-to-end time (measured host +
@@ -185,8 +219,18 @@ func (c Config) resolveSupport(db *Database) (int, error) {
 // Mine runs the configured algorithm over db and returns every frequent
 // itemset with its support, plus timing.
 func Mine(db *Database, cfg Config) (*Result, error) {
+	return MineContext(context.Background(), db, cfg)
+}
+
+// MineContext is Mine with cancellation. The level-wise algorithms honor
+// ctx at every generation boundary; the depth-first miners (Eclat,
+// FP-Growth) check it only before starting.
+func MineContext(ctx context.Context, db *Database, cfg Config) (*Result, error) {
 	if db == nil || db.db.Len() == 0 {
 		return nil, fmt.Errorf("gpapriori: empty database")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	algo := cfg.Algorithm
 	if algo == "" {
@@ -220,7 +264,13 @@ func Mine(db *Database, cfg Config) (*Result, error) {
 			}
 			kopt = tuned
 		}
-		if cfg.Devices > 1 || cfg.HybridCPUShare > 0 {
+		faults, err := core.ParseFaultSpec(cfg.Faults)
+		if err != nil {
+			return nil, err
+		}
+		// Fault runs take the multi-device path even on one device: it can
+		// fail over and degrade to the CPU, so the run always completes.
+		if cfg.Devices > 1 || cfg.HybridCPUShare > 0 || len(faults) > 0 {
 			devices := cfg.Devices
 			if devices < 1 {
 				devices = 1
@@ -234,11 +284,13 @@ func Mine(db *Database, cfg Config) (*Result, error) {
 				Kernel:         kopt,
 				HybridCPUShare: cfg.HybridCPUShare,
 				CPUPopcount:    popc,
+				Faults:         faults,
+				FaultSeed:      cfg.FaultSeed,
 			})
 			if err != nil {
 				return nil, err
 			}
-			rep, err := m.Mine(minSup, acfg)
+			rep, err := m.MineContext(ctx, minSup, acfg)
 			if err != nil {
 				return nil, err
 			}
@@ -251,13 +303,17 @@ func Mine(db *Database, cfg Config) (*Result, error) {
 				"devices":   float64(devices),
 				"cpu-cands": float64(rep.CandidatesCPU),
 			}
+			if rep.Faults.Any() {
+				f := FaultStats(rep.Faults)
+				res.Faults = &f
+			}
 			break
 		}
 		m, err := core.New(db.db, core.Options{Kernel: kopt})
 		if err != nil {
 			return nil, err
 		}
-		rep, err := m.Mine(minSup, acfg)
+		rep, err := m.MineContext(ctx, minSup, acfg)
 		if err != nil {
 			return nil, err
 		}
@@ -302,7 +358,7 @@ func Mine(db *Database, cfg Config) (*Result, error) {
 			}
 		}
 		rs, res.HostSeconds, err = timed(func() (*dataset.ResultSet, error) {
-			return apriori.Mine(db.db, minSup, counter, acfg)
+			return apriori.MineContext(ctx, db.db, minSup, counter, acfg)
 		})
 		if err != nil {
 			return nil, err

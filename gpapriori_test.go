@@ -3,6 +3,8 @@ package gpapriori
 import (
 	"bytes"
 	"compress/gzip"
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -441,3 +443,54 @@ func TestPublicDictionary(t *testing.T) {
 type badReader struct{}
 
 func (badReader) Read([]byte) (int, error) { return 0, fmt.Errorf("boom") }
+
+func TestMineWithFaultsMatchesCleanRun(t *testing.T) {
+	db := figure2()
+	clean, err := Mine(db, Config{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Faults != nil {
+		t.Fatalf("clean run reported faults: %+v", clean.Faults)
+	}
+	faulty, err := Mine(db, Config{
+		MinSupport: 2,
+		Devices:    2,
+		Faults:     "dev0:kernel-fail@gen2,dev1:dead@gen3",
+		FaultSeed:  11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faulty.Itemsets) != len(clean.Itemsets) {
+		t.Fatalf("fault run found %d itemsets, clean %d", len(faulty.Itemsets), len(clean.Itemsets))
+	}
+	for i := range clean.Itemsets {
+		a, b := clean.Itemsets[i], faulty.Itemsets[i]
+		if a.Support != b.Support || fmt.Sprint(a.Items) != fmt.Sprint(b.Items) {
+			t.Fatalf("itemset %d differs: clean %v:%d, faulty %v:%d", i, a.Items, a.Support, b.Items, b.Support)
+		}
+	}
+	if faulty.Faults == nil {
+		t.Fatal("fault run reported no FaultStats")
+	}
+	if faulty.Faults.KernelFaults != 1 || len(faulty.Faults.DeadDevices) != 1 {
+		t.Fatalf("FaultStats = %+v", faulty.Faults)
+	}
+}
+
+func TestMineRejectsBadFaultSpec(t *testing.T) {
+	if _, err := Mine(figure2(), Config{MinSupport: 2, Faults: "garbage"}); err == nil {
+		t.Fatal("bad fault spec accepted")
+	}
+}
+
+func TestMineContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, algo := range []Algorithm{AlgoGPApriori, AlgoCPUBitset, AlgoEclat} {
+		if _, err := MineContext(ctx, figure2(), Config{Algorithm: algo, MinSupport: 2}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", algo, err)
+		}
+	}
+}

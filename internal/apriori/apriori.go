@@ -18,6 +18,7 @@
 package apriori
 
 import (
+	"context"
 	"fmt"
 
 	"gpapriori/internal/dataset"
@@ -51,6 +52,13 @@ type Config struct {
 // support using the supplied counting strategy, returning every frequent
 // itemset with its support.
 func Mine(db *dataset.DB, minSupport int, c Counter, cfg Config) (*dataset.ResultSet, error) {
+	return MineContext(context.Background(), db, minSupport, c, cfg)
+}
+
+// MineContext is Mine with cancellation: ctx is checked at every
+// generation boundary, so a cancelled run returns ctx.Err() before
+// counting another generation.
+func MineContext(ctx context.Context, db *dataset.DB, minSupport int, c Counter, cfg Config) (*dataset.ResultSet, error) {
 	if minSupport < 1 {
 		return nil, fmt.Errorf("apriori: minimum support %d must be ≥1", minSupport)
 	}
@@ -58,6 +66,9 @@ func Mine(db *dataset.DB, minSupport int, c Counter, cfg Config) (*dataset.Resul
 	t.SeedFrequentItems(db.ItemSupports(), minSupport)
 
 	for depth := 1; ; depth++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if cfg.MaxLen > 0 && depth >= cfg.MaxLen {
 			break
 		}

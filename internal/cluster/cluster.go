@@ -14,7 +14,9 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"gpapriori/internal/apriori"
@@ -63,6 +65,38 @@ type Config struct {
 	Device      gpusim.Config   // per-GPU model; zero = TeslaT10()
 	Kernel      kernels.Options // zero = kernels.DefaultOptions()
 	Network     NetworkConfig   // zero = GigabitEthernet()
+	// Faults schedules node failures (empty = fault-free run).
+	Faults []NodeFault
+	// DeadlineSec is the scatter/gather deadline per node per generation
+	// (0 = DefaultDeadlineSec). A node missing it is marked suspect and its
+	// shard re-scattered.
+	DeadlineSec float64
+}
+
+// Validate checks the configuration eagerly, before any node is built.
+// Zero-valued Device, Kernel, and Network fields are legal (New fills in
+// defaults) and are not validated here.
+func (c Config) Validate() error {
+	if c.Nodes < 1 || c.Nodes > 64 {
+		return fmt.Errorf("cluster: %d nodes out of range [1,64]", c.Nodes)
+	}
+	if c.GPUsPerNode < 1 || c.GPUsPerNode > 16 {
+		return fmt.Errorf("cluster: %d GPUs per node out of range [1,16]", c.GPUsPerNode)
+	}
+	if c.Network.BandwidthBps != 0 {
+		if err := c.Network.validate(); err != nil {
+			return err
+		}
+	}
+	if c.DeadlineSec < 0 {
+		return fmt.Errorf("cluster: negative scatter/gather deadline %v", c.DeadlineSec)
+	}
+	for _, f := range c.Faults {
+		if err := f.validate(c.Nodes); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Miner is a cluster-wide GPApriori miner.
@@ -77,6 +111,11 @@ type Miner struct {
 	// replicated bitsets, captured at construction (device stats are reset
 	// per run).
 	uploadSec float64
+	// schedule holds the node-fault plan indexed by generation; alive
+	// carries permanent node deaths across runs.
+	schedule    nodeSchedule
+	alive       []bool
+	deadlineSec float64
 }
 
 // node is one worker: a pool of devices with replicated bitsets.
@@ -106,11 +145,16 @@ type Report struct {
 	// CandidatesPerNode counts candidates routed to each node.
 	CandidatesPerNode []int
 	Generations       int
+	// Faults records injected node faults and their recovery cost (zero on
+	// a clean run).
+	Faults FaultStats
 }
 
-// TotalSeconds is the modeled end-to-end time of the distributed run.
+// TotalSeconds is the modeled end-to-end time of the distributed run,
+// including time lost waiting out node failures.
 func (r Report) TotalSeconds() float64 {
-	return r.HostSeconds + r.BroadcastSeconds + r.NetworkSeconds + r.DeviceSeconds
+	return r.HostSeconds + r.BroadcastSeconds + r.NetworkSeconds + r.DeviceSeconds +
+		r.Faults.RecoverySeconds
 }
 
 // New builds the cluster miner and replicates the database.
@@ -118,11 +162,8 @@ func New(db *dataset.DB, cfg Config) (*Miner, error) {
 	if db.Len() == 0 || db.NumItems() == 0 {
 		return nil, fmt.Errorf("cluster: empty database")
 	}
-	if cfg.Nodes < 1 || cfg.Nodes > 64 {
-		return nil, fmt.Errorf("cluster: %d nodes out of range [1,64]", cfg.Nodes)
-	}
-	if cfg.GPUsPerNode < 1 || cfg.GPUsPerNode > 16 {
-		return nil, fmt.Errorf("cluster: %d GPUs per node out of range [1,16]", cfg.GPUsPerNode)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.Device.SMs == 0 {
 		cfg.Device = gpusim.TeslaT10()
@@ -133,8 +174,8 @@ func New(db *dataset.DB, cfg Config) (*Miner, error) {
 	if cfg.Network.BandwidthBps == 0 {
 		cfg.Network = GigabitEthernet()
 	}
-	if err := cfg.Network.validate(); err != nil {
-		return nil, err
+	if cfg.DeadlineSec == 0 {
+		cfg.DeadlineSec = DefaultDeadlineSec
 	}
 
 	bits := vertical.BuildBitsets(db)
@@ -167,6 +208,12 @@ func New(db *dataset.DB, cfg Config) (*Miner, error) {
 			}
 		}
 	}
+	m.schedule = buildNodeSchedule(cfg.Faults)
+	m.deadlineSec = cfg.DeadlineSec
+	m.alive = make([]bool, cfg.Nodes)
+	for i := range m.alive {
+		m.alive[i] = true
+	}
 	return m, nil
 }
 
@@ -179,6 +226,10 @@ type counter struct {
 	perNode     []int
 	networkSec  float64
 	deviceSec   float64
+	// alive mirrors the miner's node liveness during one run; stats
+	// accumulates the run's fault activity.
+	alive []bool
+	stats FaultStats
 }
 
 // Name implements apriori.Counter.
@@ -187,73 +238,143 @@ func (c *counter) Name() string {
 		c.m.cfg.Nodes, c.m.cfg.GPUsPerNode, c.m.cfg.Network.Name)
 }
 
-// Count implements apriori.Counter.
+// healthyNodes returns the indices the master currently trusts.
+func (c *counter) healthyNodes(detected map[int]bool) []int {
+	var out []int
+	for ni := range c.m.nodes {
+		if c.alive[ni] && !detected[ni] {
+			out = append(out, ni)
+		}
+	}
+	return out
+}
+
+// countOnNode scatters part to node ni and counts it on the node's GPU
+// pool, returning the link time and the pool's modeled time delta.
+func (c *counter) countOnNode(ni int, part []trie.Candidate, k int) (netSec, devSec float64, err error) {
+	n := c.m.nodes[ni]
+	c.perNode[ni] += len(part)
+
+	// Link cost: candidate ids out (4 bytes per item id), supports
+	// back (4 bytes each). Nodes transfer concurrently on their own
+	// links; the generation pays for the slowest.
+	netSec = c.m.cfg.Network.transfer(len(part)*k*4) + c.m.cfg.Network.transfer(len(part)*4)
+
+	// Split the node's share across its GPUs, tracking the pool's
+	// modeled time delta (GPUs run concurrently).
+	before := make([]float64, len(n.devs))
+	for g, d := range n.devs {
+		before[g] = d.ModeledTime().Total()
+	}
+	gpuShard := (len(part) + len(n.devs) - 1) / len(n.devs)
+	for g, ddb := range n.ddbs {
+		glo := g * gpuShard
+		if glo >= len(part) {
+			break
+		}
+		ghi := glo + gpuShard
+		if ghi > len(part) {
+			ghi = len(part)
+		}
+		items := make([][]dataset.Item, 0, ghi-glo)
+		for _, cand := range part[glo:ghi] {
+			items = append(items, cand.Items)
+		}
+		sups, err := ddb.SupportCounts(items, c.m.cfg.Kernel)
+		if err != nil {
+			return 0, 0, err
+		}
+		for i, cand := range part[glo:ghi] {
+			cand.Node.Support = sups[i]
+		}
+	}
+	for g, d := range n.devs {
+		if delta := d.ModeledTime().Total() - before[g]; delta > devSec {
+			devSec = delta
+		}
+	}
+	return netSec, devSec, nil
+}
+
+// Count implements apriori.Counter. Each generation scatters over the
+// nodes the master believes healthy; a node whose scheduled fault fires
+// misses its gather deadline, costs the master DeadlineSec of modeled
+// waiting, and has its shard re-scattered over the survivors. Timed-out
+// nodes rejoin the next generation; dead nodes do not.
 func (c *counter) Count(_ *trie.Trie, cands []trie.Candidate, k int) error {
 	start := time.Now()
 	defer func() { c.simWall += time.Since(start) }()
 	c.generations++
 
-	nodes := c.m.nodes
-	shard := (len(cands) + len(nodes) - 1) / len(nodes)
+	// Faults scheduled for this generation, by node. Faults on nodes that
+	// are already dead are moot.
+	faulting := make(map[int]NodeFaultKind)
+	for _, f := range c.m.schedule[k] {
+		if c.alive[f.Node] {
+			faulting[f.Node] = f.Kind
+		}
+	}
+
 	genNet := 0.0
 	genDev := 0.0
-	for ni, n := range nodes {
-		lo := ni * shard
-		if lo >= len(cands) {
-			break
+	// detected marks nodes that failed within this generation: excluded
+	// from re-scatter now, reconsidered next generation if merely timed out.
+	detected := make(map[int]bool)
+	pending := cands
+	for len(pending) > 0 {
+		targets := c.healthyNodes(detected)
+		if len(targets) == 0 {
+			return fmt.Errorf("cluster: no healthy nodes left in generation %d (%d candidates stranded)", k, len(pending))
 		}
-		hi := lo + shard
-		if hi > len(cands) {
-			hi = len(cands)
-		}
-		part := cands[lo:hi]
-		c.perNode[ni] += len(part)
-
-		// Link cost: candidate ids out (4 bytes per item id), supports
-		// back (4 bytes each). Nodes transfer concurrently on their own
-		// links; the generation pays for the slowest.
-		net := c.m.cfg.Network.transfer(len(part)*k*4) + c.m.cfg.Network.transfer(len(part)*4)
-		if net > genNet {
-			genNet = net
-		}
-
-		// Split the node's share across its GPUs, tracking the pool's
-		// modeled time delta (GPUs run concurrently).
-		before := make([]float64, len(n.devs))
-		for g, d := range n.devs {
-			before[g] = d.ModeledTime().Total()
-		}
-		gpuShard := (len(part) + len(n.devs) - 1) / len(n.devs)
-		for g, ddb := range n.ddbs {
-			glo := g * gpuShard
-			if glo >= len(part) {
+		shard := (len(pending) + len(targets) - 1) / len(targets)
+		var failed []trie.Candidate
+		for i, ni := range targets {
+			lo := i * shard
+			if lo >= len(pending) {
 				break
 			}
-			ghi := glo + gpuShard
-			if ghi > len(part) {
-				ghi = len(part)
+			hi := lo + shard
+			if hi > len(pending) {
+				hi = len(pending)
 			}
-			items := make([][]dataset.Item, 0, ghi-glo)
-			for _, cand := range part[glo:ghi] {
-				items = append(items, cand.Items)
+			part := pending[lo:hi]
+
+			if kind, ok := faulting[ni]; ok {
+				// The scatter was sent, but no gather arrives before the
+				// deadline: the master waits it out, marks the node, and
+				// re-queues the shard.
+				delete(faulting, ni)
+				detected[ni] = true
+				c.stats.Injected++
+				c.stats.Failovers++
+				c.stats.ReScattered += len(part)
+				c.stats.RecoverySeconds += c.m.deadlineSec
+				switch kind {
+				case NodeTimeout:
+					c.stats.Timeouts++
+				case NodeDead:
+					c.alive[ni] = false
+					c.stats.DeadNodes = append(c.stats.DeadNodes, ni)
+				}
+				if net := c.m.cfg.Network.transfer(len(part) * k * 4); net > genNet {
+					genNet = net // the wasted scatter still used the link
+				}
+				failed = append(failed, part...)
+				continue
 			}
-			sups, err := ddb.SupportCounts(items, c.m.cfg.Kernel)
+
+			net, dev, err := c.countOnNode(ni, part, k)
 			if err != nil {
 				return err
 			}
-			for i, cand := range part[glo:ghi] {
-				cand.Node.Support = sups[i]
+			if net > genNet {
+				genNet = net
+			}
+			if dev > genDev {
+				genDev = dev
 			}
 		}
-		nodeDev := 0.0
-		for g, d := range n.devs {
-			if delta := d.ModeledTime().Total() - before[g]; delta > nodeDev {
-				nodeDev = delta
-			}
-		}
-		if nodeDev > genDev {
-			genDev = nodeDev
-		}
+		pending = failed
 	}
 	c.networkSec += genNet
 	c.deviceSec += genDev
@@ -262,17 +383,30 @@ func (c *counter) Count(_ *trie.Trie, cands []trie.Candidate, k int) error {
 
 // Mine runs the distributed miner at the given absolute minimum support.
 func (m *Miner) Mine(minSupport int, cfg apriori.Config) (Report, error) {
+	return m.MineContext(context.Background(), minSupport, cfg)
+}
+
+// MineContext is Mine with cancellation: ctx is honored at every
+// generation boundary.
+func (m *Miner) MineContext(ctx context.Context, minSupport int, cfg apriori.Config) (Report, error) {
 	for _, n := range m.nodes {
 		for _, d := range n.devs {
 			d.ResetStats()
 		}
 	}
-	c := &counter{m: m, perNode: make([]int, len(m.nodes))}
+	c := &counter{
+		m:       m,
+		perNode: make([]int, len(m.nodes)),
+		// Nodes lost in an earlier run stay lost: copy liveness in.
+		alive: append([]bool(nil), m.alive...),
+	}
 	t0 := time.Now()
-	rs, err := apriori.Mine(m.db, minSupport, c, cfg)
+	rs, err := apriori.MineContext(ctx, m.db, minSupport, c, cfg)
 	if err != nil {
 		return Report{}, err
 	}
+	copy(m.alive, c.alive)
+	sort.Ints(c.stats.DeadNodes)
 	wall := time.Since(t0)
 	host := wall - c.simWall
 	if host < 0 {
@@ -285,6 +419,7 @@ func (m *Miner) Mine(minSupport int, cfg apriori.Config) (Report, error) {
 		DeviceSeconds:     c.deviceSec,
 		CandidatesPerNode: c.perNode,
 		Generations:       c.generations,
+		Faults:            c.stats,
 	}
 	// Broadcast: the master's uplink serializes one DB copy per node; the
 	// per-node H2D uploads then happen in parallel — take the slowest
@@ -299,6 +434,7 @@ func (m *Miner) Mine(minSupport int, cfg apriori.Config) (Report, error) {
 			pool.Compute += t.Compute
 			pool.Launch += t.Launch
 			pool.Transfer += t.Transfer
+			pool.Stall += t.Stall
 		}
 		rep.PerNode = append(rep.PerNode, pool)
 	}

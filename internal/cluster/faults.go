@@ -1,0 +1,100 @@
+// Node-level fault tolerance for the cluster path. Faults here are
+// modeled at the master: a scheduled fault makes a node miss the
+// scatter/gather deadline of one generation, the master pays the deadline
+// as modeled recovery time, marks the node suspect, and re-scatters its
+// candidate shard to the remaining healthy nodes. A timed-out node
+// rejoins the next generation; a dead node is out for the rest of the
+// run. The clean-run equivalence invariant of the device layer carries
+// over: a re-scattered shard is recounted from scratch on a healthy
+// node's replicated bitsets, so the result set is unchanged.
+package cluster
+
+import "fmt"
+
+// NodeFaultKind classifies a scheduled node fault.
+type NodeFaultKind int
+
+const (
+	NodeFaultNone NodeFaultKind = iota
+	// NodeTimeout makes the node miss one generation's scatter/gather
+	// deadline; it rejoins the next generation.
+	NodeTimeout
+	// NodeDead removes the node from the cluster permanently.
+	NodeDead
+)
+
+func (k NodeFaultKind) String() string {
+	switch k {
+	case NodeTimeout:
+		return "timeout"
+	case NodeDead:
+		return "dead"
+	default:
+		return "none"
+	}
+}
+
+// NodeFault schedules one injected fault: node Node suffers Kind during
+// generation Gen (the itemset length being counted; the first counted
+// generation is 2).
+type NodeFault struct {
+	Node int
+	Gen  int
+	Kind NodeFaultKind
+}
+
+func (f NodeFault) validate(nodes int) error {
+	if f.Node < 0 || f.Node >= nodes {
+		return fmt.Errorf("cluster: fault node %d out of range [0,%d)", f.Node, nodes)
+	}
+	if f.Gen < 2 {
+		return fmt.Errorf("cluster: fault generation %d must be ≥2 (the first counted generation)", f.Gen)
+	}
+	if f.Kind != NodeTimeout && f.Kind != NodeDead {
+		return fmt.Errorf("cluster: fault on node %d has unknown kind %d", f.Node, f.Kind)
+	}
+	return nil
+}
+
+// DefaultDeadlineSec is the scatter/gather deadline when Config leaves it
+// zero: the modeled time the master waits on a node's gather before
+// declaring it suspect.
+const DefaultDeadlineSec = 5.0
+
+// FaultStats makes cluster-level robustness observable.
+type FaultStats struct {
+	Injected  int // node faults fired
+	Timeouts  int // generations a node missed its deadline
+	Failovers int // node shards re-routed to healthy nodes
+	// ReScattered counts candidates re-scattered after a node failure.
+	ReScattered int
+	// RecoverySeconds is the modeled master time spent waiting out missed
+	// deadlines.
+	RecoverySeconds float64
+	// DeadNodes lists nodes permanently lost during the run.
+	DeadNodes []int
+}
+
+// Any reports whether any fault activity occurred.
+func (f FaultStats) Any() bool {
+	return f.Injected > 0 || f.Failovers > 0 || len(f.DeadNodes) > 0
+}
+
+func (f FaultStats) String() string {
+	return fmt.Sprintf("injected=%d timeouts=%d failovers=%d rescattered=%d recovery=%.4gs dead=%v",
+		f.Injected, f.Timeouts, f.Failovers, f.ReScattered, f.RecoverySeconds, f.DeadNodes)
+}
+
+// nodeSchedule indexes scheduled node faults by generation.
+type nodeSchedule map[int][]NodeFault
+
+func buildNodeSchedule(faults []NodeFault) nodeSchedule {
+	if len(faults) == 0 {
+		return nil
+	}
+	s := make(nodeSchedule)
+	for _, f := range faults {
+		s[f.Gen] = append(s[f.Gen], f)
+	}
+	return s
+}

@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gpapriori/internal/apriori"
+	"gpapriori/internal/gen"
+	"gpapriori/internal/oracle"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Nodes: 2, GPUsPerNode: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Nodes: 0, GPUsPerNode: 1},
+		{Nodes: 65, GPUsPerNode: 1},
+		{Nodes: 1, GPUsPerNode: 0},
+		{Nodes: 1, GPUsPerNode: 17},
+		{Nodes: 1, GPUsPerNode: 1, DeadlineSec: -1},
+		{Nodes: 1, GPUsPerNode: 1, Network: NetworkConfig{BandwidthBps: -5}},
+		{Nodes: 2, GPUsPerNode: 1, Faults: []NodeFault{{Node: 2, Gen: 3, Kind: NodeDead}}},
+		{Nodes: 2, GPUsPerNode: 1, Faults: []NodeFault{{Node: 0, Gen: 1, Kind: NodeDead}}},
+		{Nodes: 2, GPUsPerNode: 1, Faults: []NodeFault{{Node: 0, Gen: 3}}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestNodeTimeoutFailsOverAndRejoins(t *testing.T) {
+	db := gen.Random(200, 18, 0.4, 3)
+	clean, err := New(db, Config{Nodes: 3, GPUsPerNode: 1, Kernel: smallKernel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanRep, err := clean.Mine(30, apriori.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := New(db, Config{
+		Nodes: 3, GPUsPerNode: 1, Kernel: smallKernel(),
+		Faults:      []NodeFault{{Node: 1, Gen: 2, Kind: NodeTimeout}},
+		DeadlineSec: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Mine(30, apriori.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Result.Equal(cleanRep.Result) {
+		t.Fatalf("failover result differs from clean run: %v", rep.Result.Diff(cleanRep.Result))
+	}
+	f := rep.Faults
+	if f.Injected != 1 || f.Timeouts != 1 || f.Failovers != 1 {
+		t.Fatalf("FaultStats = %+v", f)
+	}
+	if f.ReScattered == 0 {
+		t.Fatal("no candidates recorded as re-scattered")
+	}
+	if f.RecoverySeconds != 0.5 {
+		t.Fatalf("RecoverySeconds = %v, want the 0.5s deadline", f.RecoverySeconds)
+	}
+	if len(f.DeadNodes) != 0 {
+		t.Fatalf("timeout killed a node: %v", f.DeadNodes)
+	}
+	// The node rejoined after its timed-out generation: it counted work in
+	// later generations (the clean run gave it work every generation).
+	if cleanRep.Generations > 1 && rep.CandidatesPerNode[1] == 0 {
+		t.Fatal("timed-out node never rejoined")
+	}
+	if rep.TotalSeconds() <= cleanRep.TotalSeconds() {
+		t.Fatalf("recovery cost invisible: faulty %.4g ≤ clean %.4g",
+			rep.TotalSeconds(), cleanRep.TotalSeconds())
+	}
+}
+
+func TestNodeDeadStaysOut(t *testing.T) {
+	db := gen.Random(200, 18, 0.4, 3)
+	want := oracle.Mine(db, 30)
+	m, err := New(db, Config{
+		Nodes: 2, GPUsPerNode: 1, Kernel: smallKernel(),
+		Faults: []NodeFault{{Node: 0, Gen: 2, Kind: NodeDead}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Mine(30, apriori.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Result.Equal(want) {
+		t.Fatalf("result differs after node death: %v", rep.Result.Diff(want))
+	}
+	if !reflect.DeepEqual(rep.Faults.DeadNodes, []int{0}) {
+		t.Fatalf("DeadNodes = %v, want [0]", rep.Faults.DeadNodes)
+	}
+	// All work after detection landed on the survivor; the dead node got
+	// nothing (its gen-2 shard was re-scattered before being counted).
+	if rep.CandidatesPerNode[0] != 0 {
+		t.Fatalf("dead node counted %d candidates", rep.CandidatesPerNode[0])
+	}
+	if rep.CandidatesPerNode[1] == 0 {
+		t.Fatal("survivor counted nothing")
+	}
+
+	// A second run on the same miner sees the node still dead and mines
+	// clean on the survivor alone.
+	rep2, err := m.Mine(30, apriori.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Result.Equal(want) {
+		t.Fatalf("second run differs: %v", rep2.Result.Diff(want))
+	}
+	if rep2.CandidatesPerNode[0] != 0 {
+		t.Fatalf("dead node revived: counted %d candidates", rep2.CandidatesPerNode[0])
+	}
+}
+
+func TestAllNodesDeadErrors(t *testing.T) {
+	db := gen.Random(120, 14, 0.4, 4)
+	m, err := New(db, Config{
+		Nodes: 2, GPUsPerNode: 1, Kernel: smallKernel(),
+		Faults: []NodeFault{
+			{Node: 0, Gen: 2, Kind: NodeDead},
+			{Node: 1, Gen: 2, Kind: NodeDead},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Mine(20, apriori.Config{})
+	if err == nil || !strings.Contains(err.Error(), "no healthy nodes") {
+		t.Fatalf("err = %v, want no-healthy-nodes failure", err)
+	}
+}
+
+func TestClusterFaultDeterminism(t *testing.T) {
+	db := gen.Random(200, 18, 0.4, 3)
+	run := func() (Report, error) {
+		m, err := New(db, Config{
+			Nodes: 3, GPUsPerNode: 2, Kernel: smallKernel(),
+			Faults: []NodeFault{
+				{Node: 2, Gen: 2, Kind: NodeDead},
+				{Node: 0, Gen: 3, Kind: NodeTimeout},
+			},
+		})
+		if err != nil {
+			return Report{}, err
+		}
+		return m.Mine(30, apriori.Config{})
+	}
+	a, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Faults, b.Faults) {
+		t.Fatalf("same plan, different FaultStats:\n%+v\n%+v", a.Faults, b.Faults)
+	}
+	if !a.Result.Equal(b.Result) {
+		t.Fatalf("same plan, different results: %v", a.Result.Diff(b.Result))
+	}
+	if a.NetworkSeconds != b.NetworkSeconds || a.DeviceSeconds != b.DeviceSeconds {
+		t.Fatalf("same plan, different modeled times: %+v vs %+v", a, b)
+	}
+}
+
+func TestClusterMineContextCancelled(t *testing.T) {
+	db := gen.Random(120, 14, 0.4, 4)
+	m, err := New(db, Config{Nodes: 2, GPUsPerNode: 1, Kernel: smallKernel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.MineContext(ctx, 20, apriori.Config{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

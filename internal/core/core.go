@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -39,15 +40,25 @@ type Options struct {
 	// DeviceMemWords overrides the device memory size in 32-bit words
 	// (0 = sized automatically from the dataset with scratch headroom).
 	DeviceMemWords int
+	// Faults schedules injected faults on the device (all entries must
+	// name device 0). Empty = fault-free.
+	Faults []DeviceFault
+	// FaultSeed seeds the device's fault injector for reproducible runs.
+	FaultSeed int64
+	// Retry bounds fault recovery (zero value = defaults: 3 retries, 1ms
+	// initial backoff, 1s watchdog deadline).
+	Retry RetryPolicy
 }
 
 // Miner is a GPApriori instance bound to one database: the vertical
 // bitsets live in device memory across mining runs, as in the paper.
 type Miner struct {
-	db  *dataset.DB
-	dev *gpusim.Device
-	ddb *kernels.DeviceDB
-	opt kernels.Options
+	db       *dataset.DB
+	dev      *gpusim.Device
+	ddb      *kernels.DeviceDB
+	opt      kernels.Options
+	schedule faultSchedule
+	retry    RetryPolicy
 }
 
 // Report describes one mining run.
@@ -67,6 +78,9 @@ type Report struct {
 	// Candidates is the total number of candidates whose support the
 	// device computed.
 	Candidates int
+	// Faults records injected faults and their recovery cost (all zero on
+	// a clean run).
+	Faults FaultStats
 }
 
 // TotalSeconds is the modeled end-to-end time: measured host work plus
@@ -79,14 +93,24 @@ func New(db *dataset.DB, opt Options) (*Miner, error) {
 	if db.Len() == 0 || db.NumItems() == 0 {
 		return nil, fmt.Errorf("core: empty database")
 	}
+	if err := opt.Retry.validate(); err != nil {
+		return nil, err
+	}
+	for _, f := range opt.Faults {
+		if err := f.validate(1); err != nil {
+			return nil, err
+		}
+	}
 	cfg := opt.Device
 	if cfg.SMs == 0 {
 		cfg = gpusim.TeslaT10()
 	}
+	retry := opt.Retry.withDefaults()
 	kopt := opt.Kernel
 	if kopt.BlockSize == 0 {
 		kopt = kernels.DefaultOptions()
 	}
+	kopt.DeadlineSec = retry.DeadlineSec
 
 	v := vertical.BuildBitsets(db)
 	vecWords := len(v.Vectors) * v.WordsPerVector() * 2 // 32-bit words
@@ -103,11 +127,17 @@ func New(db *dataset.DB, opt Options) (*Miner, error) {
 		memWords = vecWords + scratch + 1024
 	}
 	dev := gpusim.NewDevice(cfg, memWords)
+	if len(opt.Faults) > 0 {
+		dev.EnableFaults(opt.FaultSeed)
+	}
 	ddb, err := kernels.Upload(dev, v)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &Miner{db: db, dev: dev, ddb: ddb, opt: kopt}, nil
+	return &Miner{
+		db: db, dev: dev, ddb: ddb, opt: kopt,
+		schedule: buildSchedule(opt.Faults), retry: retry,
+	}, nil
 }
 
 // Device exposes the simulated device (for stats inspection in tools).
@@ -122,6 +152,10 @@ type counter struct {
 	simWall     time.Duration
 	generations int
 	candidates  int
+	tracker     faultTracker
+	// backoffSec accumulates modeled retry waits, folded into the
+	// report's device stall time.
+	backoffSec float64
 }
 
 // Name implements apriori.Counter.
@@ -133,6 +167,7 @@ func (c *counter) Count(_ *trie.Trie, cands []trie.Candidate, k int) error {
 	defer func() { c.simWall += time.Since(start) }()
 	c.generations++
 	c.candidates += len(cands)
+	c.m.schedule.arm([]*gpusim.Device{c.m.dev}, k)
 
 	// A batch of n candidates needs n·k words (candidate ids) + n words
 	// (supports) + two buffers' alignment slack.
@@ -143,7 +178,6 @@ func (c *counter) Count(_ *trie.Trie, cands []trie.Candidate, k int) error {
 	}
 	items := make([][]dataset.Item, 0, len(cands))
 	for lo := 0; lo < len(cands); lo += maxBatch {
-		c.m.dev.TagNextLaunch(fmt.Sprintf("support-count gen %d", k))
 		hi := lo + maxBatch
 		if hi > len(cands) {
 			hi = len(cands)
@@ -152,12 +186,21 @@ func (c *counter) Count(_ *trie.Trie, cands []trie.Candidate, k int) error {
 		for _, cand := range cands[lo:hi] {
 			items = append(items, cand.Items)
 		}
-		sups, err := c.m.ddb.SupportCounts(items, c.m.opt)
+		batch := cands[lo:hi]
+		extra, err := c.tracker.countBatch(func() error {
+			c.m.dev.TagNextLaunch(fmt.Sprintf("support-count gen %d", k))
+			sups, err := c.m.ddb.SupportCounts(items, c.m.opt)
+			if err != nil {
+				return err
+			}
+			for i, cand := range batch {
+				cand.Node.Support = sups[i]
+			}
+			return nil
+		})
+		c.backoffSec += extra
 		if err != nil {
-			return err
-		}
-		for i, cand := range cands[lo:hi] {
-			cand.Node.Support = sups[i]
+			return fmt.Errorf("core: generation %d: %w", k, err)
 		}
 	}
 	return nil
@@ -165,10 +208,16 @@ func (c *counter) Count(_ *trie.Trie, cands []trie.Candidate, k int) error {
 
 // Mine runs GPApriori at the given absolute minimum support.
 func (m *Miner) Mine(minSupport int, cfg apriori.Config) (Report, error) {
+	return m.MineContext(context.Background(), minSupport, cfg)
+}
+
+// MineContext is Mine with cancellation: ctx is honored at every
+// generation boundary.
+func (m *Miner) MineContext(ctx context.Context, minSupport int, cfg apriori.Config) (Report, error) {
 	m.dev.ResetStats()
-	c := &counter{m: m}
+	c := &counter{m: m, tracker: faultTracker{policy: m.retry}}
 	t0 := time.Now()
-	rs, err := apriori.Mine(m.db, minSupport, c, cfg)
+	rs, err := apriori.MineContext(ctx, m.db, minSupport, c, cfg)
 	if err != nil {
 		return Report{}, err
 	}
@@ -178,13 +227,18 @@ func (m *Miner) Mine(minSupport int, cfg apriori.Config) (Report, error) {
 		host = 0
 	}
 	stats := m.dev.Stats()
+	dev := m.dev.Config().Model(stats)
+	// Retry backoff is modeled wait on the device path; fold it into the
+	// stall component so TotalSeconds reflects the recovery cost.
+	dev.Stall += c.backoffSec
 	return Report{
 		Result:      rs,
 		HostSeconds: host.Seconds(),
-		Device:      m.dev.Config().Model(stats),
+		Device:      dev,
 		DeviceStats: stats,
 		Generations: c.generations,
 		Candidates:  c.candidates,
+		Faults:      c.tracker.finalize([]*gpusim.Device{m.dev}, nil),
 	}, nil
 }
 

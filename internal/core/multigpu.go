@@ -8,7 +8,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"time"
 
 	"gpapriori/internal/apriori"
@@ -46,16 +48,53 @@ type MultiOptions struct {
 	MaxCPUShare float64
 	// CPUPopcount selects the host popcount for the hybrid share.
 	CPUPopcount bitset.PopcountKind
+	// Faults schedules injected faults on the device pool. Empty =
+	// fault-free.
+	Faults []DeviceFault
+	// FaultSeed seeds the per-device fault injectors for reproducible
+	// runs.
+	FaultSeed int64
+	// Retry bounds fault recovery (zero value = defaults: 3 retries, 1ms
+	// initial backoff, 1s watchdog deadline). A device whose batch still
+	// fails after the budget is treated as lost; its candidates fail over
+	// to the surviving devices, or degrade to the host CPU when none
+	// survive.
+	Retry RetryPolicy
+}
+
+// Validate checks the options eagerly, with descriptive errors, so a bad
+// configuration fails at construction instead of deep inside a
+// generation loop.
+func (o MultiOptions) Validate() error {
+	if o.Devices < 1 || o.Devices > 16 {
+		return fmt.Errorf("core: %d devices out of range [1,16]", o.Devices)
+	}
+	if math.IsNaN(o.HybridCPUShare) || o.HybridCPUShare < 0 || o.HybridCPUShare >= 1 {
+		return fmt.Errorf("core: hybrid CPU share %v out of [0,1)", o.HybridCPUShare)
+	}
+	if o.MaxCPUShare != 0 && (math.IsNaN(o.MaxCPUShare) || o.MaxCPUShare < 0 || o.MaxCPUShare >= 1) {
+		return fmt.Errorf("core: max CPU share %v out of [0,1)", o.MaxCPUShare)
+	}
+	if err := o.Retry.validate(); err != nil {
+		return err
+	}
+	for _, f := range o.Faults {
+		if err := f.validate(o.Devices); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // MultiMiner mines with candidates partitioned across several simulated
 // devices, optionally sharing work with the host CPU.
 type MultiMiner struct {
-	db   *dataset.DB
-	bits *vertical.BitsetDB
-	devs []*gpusim.Device
-	ddbs []*kernels.DeviceDB
-	opt  MultiOptions
+	db       *dataset.DB
+	bits     *vertical.BitsetDB
+	devs     []*gpusim.Device
+	ddbs     []*kernels.DeviceDB
+	opt      MultiOptions
+	schedule faultSchedule
 }
 
 // MultiReport extends Report with per-device breakdowns.
@@ -80,6 +119,9 @@ type MultiReport struct {
 	// CPUShareByGeneration records the hybrid share used per generation
 	// (constant unless AutoBalance).
 	CPUShareByGeneration []float64
+	// Faults records injected faults, retries, failovers and their
+	// recovery cost (all zero on a clean run).
+	Faults FaultStats
 }
 
 // TotalSeconds is the modeled end-to-end time.
@@ -90,17 +132,11 @@ func NewMulti(db *dataset.DB, opt MultiOptions) (*MultiMiner, error) {
 	if db.Len() == 0 || db.NumItems() == 0 {
 		return nil, fmt.Errorf("core: empty database")
 	}
-	if opt.Devices < 1 || opt.Devices > 16 {
-		return nil, fmt.Errorf("core: %d devices out of range [1,16]", opt.Devices)
-	}
-	if opt.HybridCPUShare < 0 || opt.HybridCPUShare >= 1 {
-		return nil, fmt.Errorf("core: hybrid CPU share %v out of [0,1)", opt.HybridCPUShare)
+	if err := opt.Validate(); err != nil {
+		return nil, err
 	}
 	if opt.MaxCPUShare == 0 {
 		opt.MaxCPUShare = 0.9
-	}
-	if opt.MaxCPUShare < 0 || opt.MaxCPUShare >= 1 {
-		return nil, fmt.Errorf("core: max CPU share %v out of [0,1)", opt.MaxCPUShare)
 	}
 	if opt.AutoBalance && opt.HybridCPUShare == 0 {
 		// Seed the balancer with a small probe share so it has a CPU
@@ -114,6 +150,8 @@ func NewMulti(db *dataset.DB, opt MultiOptions) (*MultiMiner, error) {
 	if opt.Kernel.BlockSize == 0 {
 		opt.Kernel = kernels.DefaultOptions()
 	}
+	opt.Retry = opt.Retry.withDefaults()
+	opt.Kernel.DeadlineSec = opt.Retry.DeadlineSec
 	bits := vertical.BuildBitsets(db)
 	vecWords := len(bits.Vectors) * bits.WordsPerVector() * 2
 	scratch := vecWords
@@ -123,9 +161,14 @@ func NewMulti(db *dataset.DB, opt MultiOptions) (*MultiMiner, error) {
 	if scratch > 1<<25 {
 		scratch = 1 << 25
 	}
-	m := &MultiMiner{db: db, bits: bits, opt: opt}
+	m := &MultiMiner{db: db, bits: bits, opt: opt, schedule: buildSchedule(opt.Faults)}
 	for i := 0; i < opt.Devices; i++ {
 		dev := gpusim.NewDevice(cfg, vecWords+scratch+1024)
+		if len(opt.Faults) > 0 {
+			// One injector per device, offset seeds so random-rate mode
+			// (if enabled later) decorrelates across the pool.
+			dev.EnableFaults(opt.FaultSeed + int64(i))
+		}
 		ddb, err := kernels.Upload(dev, bits)
 		if err != nil {
 			return nil, fmt.Errorf("core: device %d: %w", i, err)
@@ -153,6 +196,58 @@ type multiCounter struct {
 	// when auto-balancing.
 	share       float64
 	sharesByGen []float64
+	// alive marks devices still in rotation; a lost device's share fails
+	// over to the survivors (or the CPU when none remain).
+	alive   []bool
+	tracker faultTracker
+}
+
+// aliveDevices returns the indices of devices still in rotation.
+func (c *multiCounter) aliveDevices() []int {
+	var out []int
+	for i, a := range c.alive {
+		if a {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// countOnCPU counts cands on the host with bitset complete intersection,
+// charging the measured time to the hybrid CPU clock. Used for the
+// planned hybrid share and as the degraded path when no device survives.
+func (c *multiCounter) countOnCPU(cands []trie.Candidate, k int) time.Duration {
+	t0 := time.Now()
+	vs := make([]*bitset.Bitset, k)
+	for _, cand := range cands {
+		for i, item := range cand.Items {
+			vs[i] = c.m.bits.Vectors[item]
+		}
+		cand.Node.Support = bitset.IntersectCountManyWith(vs, c.popc)
+	}
+	d := time.Since(t0)
+	c.cpuWall += d
+	return d
+}
+
+// countOnDevice counts part on device d under the retry policy. It
+// returns the modeled backoff spent; a non-nil error means the device is
+// lost (dead, or retry budget exhausted) and part was not fully counted.
+func (c *multiCounter) countOnDevice(d int, part []trie.Candidate) (float64, error) {
+	items := make([][]dataset.Item, 0, len(part))
+	for _, cand := range part {
+		items = append(items, cand.Items)
+	}
+	return c.tracker.countBatch(func() error {
+		sups, err := c.m.ddbs[d].SupportCounts(items, c.m.opt.Kernel)
+		if err != nil {
+			return err
+		}
+		for i, cand := range part {
+			cand.Node.Support = sups[i]
+		}
+		return nil
+	})
 }
 
 // Name implements apriori.Counter.
@@ -165,6 +260,7 @@ func (c *multiCounter) Count(_ *trie.Trie, cands []trie.Candidate, k int) error 
 	start := time.Now()
 	defer func() { c.simWall += time.Since(start) }()
 	c.generations++
+	c.m.schedule.arm(c.m.devs, k)
 
 	c.sharesByGen = append(c.sharesByGen, c.share)
 
@@ -172,16 +268,7 @@ func (c *multiCounter) Count(_ *trie.Trie, cands []trie.Candidate, k int) error 
 	nCPU := int(float64(len(cands)) * c.share)
 	var cpuGen time.Duration
 	if nCPU > 0 {
-		t0 := time.Now()
-		vs := make([]*bitset.Bitset, k)
-		for _, cand := range cands[:nCPU] {
-			for i, item := range cand.Items {
-				vs[i] = c.m.bits.Vectors[item]
-			}
-			cand.Node.Support = bitset.IntersectCountManyWith(vs, c.popc)
-		}
-		cpuGen = time.Since(t0)
-		c.cpuWall += cpuGen
+		cpuGen = c.countOnCPU(cands[:nCPU], k)
 		c.cpuCands += nCPU
 	}
 	rest := cands[nCPU:]
@@ -189,36 +276,47 @@ func (c *multiCounter) Count(_ *trie.Trie, cands []trie.Candidate, k int) error 
 		return nil
 	}
 
-	// Round-robin contiguous shards across the device pool.
-	n := len(c.m.ddbs)
-	shard := (len(rest) + n - 1) / n
+	// Contiguous shards across the surviving device pool. A device that
+	// dies mid-generation (or exhausts its retry budget) is removed from
+	// rotation and its shard re-sharded over the survivors; with no
+	// survivors the remainder degrades to the hybrid CPU path, so the run
+	// completes either way.
 	genMax := 0.0
-	for d := 0; d < n; d++ {
-		lo := d * shard
-		if lo >= len(rest) {
+	pending := rest
+	for len(pending) > 0 {
+		alive := c.aliveDevices()
+		if len(alive) == 0 {
+			c.countOnCPU(pending, k)
+			c.tracker.stats.DegradedCandidates += len(pending)
 			break
 		}
-		hi := lo + shard
-		if hi > len(rest) {
-			hi = len(rest)
+		shard := (len(pending) + len(alive) - 1) / len(alive)
+		var failed []trie.Candidate
+		for i, d := range alive {
+			lo := i * shard
+			if lo >= len(pending) {
+				break
+			}
+			hi := lo + shard
+			if hi > len(pending) {
+				hi = len(pending)
+			}
+			part := pending[lo:hi]
+			before := c.m.devs[d].ModeledTime().Total()
+			extra, err := c.countOnDevice(d, part)
+			delta := c.m.devs[d].ModeledTime().Total() - before + extra
+			if delta > genMax {
+				genMax = delta
+			}
+			if err != nil {
+				c.alive[d] = false
+				c.tracker.stats.Failovers++
+				failed = append(failed, part...)
+				continue
+			}
+			c.perDevice[d] += len(part)
 		}
-		before := c.m.devs[d].ModeledTime().Total()
-		items := make([][]dataset.Item, 0, hi-lo)
-		for _, cand := range rest[lo:hi] {
-			items = append(items, cand.Items)
-		}
-		sups, err := c.m.ddbs[d].SupportCounts(items, c.m.opt.Kernel)
-		if err != nil {
-			return err
-		}
-		for i, cand := range rest[lo:hi] {
-			cand.Node.Support = sups[i]
-		}
-		c.perDevice[d] += hi - lo
-		delta := c.m.devs[d].ModeledTime().Total() - before
-		if delta > genMax {
-			genMax = delta
-		}
+		pending = failed
 	}
 	c.deviceSeconds += genMax
 
@@ -244,17 +342,30 @@ func (c *multiCounter) Count(_ *trie.Trie, cands []trie.Candidate, k int) error 
 
 // Mine runs the multi-device miner at the given absolute support.
 func (m *MultiMiner) Mine(minSupport int, cfg apriori.Config) (MultiReport, error) {
+	return m.MineContext(context.Background(), minSupport, cfg)
+}
+
+// MineContext is Mine with cancellation: ctx is honored at every
+// generation boundary.
+func (m *MultiMiner) MineContext(ctx context.Context, minSupport int, cfg apriori.Config) (MultiReport, error) {
 	for _, d := range m.devs {
 		d.ResetStats()
+	}
+	alive := make([]bool, len(m.devs))
+	for i, d := range m.devs {
+		// A device killed by a previous run on this miner stays dead.
+		alive[i] = d.Faults() == nil || d.Faults().Alive()
 	}
 	c := &multiCounter{
 		m:         m,
 		perDevice: make([]int, len(m.devs)),
 		popc:      m.opt.CPUPopcount.Func(),
 		share:     m.opt.HybridCPUShare,
+		alive:     alive,
+		tracker:   faultTracker{policy: m.opt.Retry},
 	}
 	t0 := time.Now()
-	rs, err := apriori.Mine(m.db, minSupport, c, cfg)
+	rs, err := apriori.MineContext(ctx, m.db, minSupport, c, cfg)
 	if err != nil {
 		return MultiReport{}, err
 	}
@@ -272,6 +383,7 @@ func (m *MultiMiner) Mine(minSupport int, cfg apriori.Config) (MultiReport, erro
 		CandidatesCPU:        c.cpuCands,
 		Generations:          c.generations,
 		CPUShareByGeneration: c.sharesByGen,
+		Faults:               c.tracker.finalize(m.devs, c.alive),
 	}
 	for _, d := range m.devs {
 		rep.PerDevice = append(rep.PerDevice, d.ModeledTime())

@@ -17,6 +17,7 @@ type Device struct {
 	stats Stats
 
 	profiler *Profiler // nil until AttachProfiler
+	faults   *Injector // nil until EnableFaults
 }
 
 // Buffer is a region of device global memory, in 32-bit words. The zero

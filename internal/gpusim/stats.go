@@ -40,6 +40,11 @@ type Stats struct {
 	D2HBytes int64
 	H2DCalls int64
 	D2HCalls int64
+
+	// StallSeconds is modeled time lost to injected faults: hung kernels,
+	// failed launches and aborted transfers (faults.go). Zero on a
+	// fault-free run.
+	StallSeconds float64
 }
 
 // Add accumulates o into s.
@@ -63,6 +68,7 @@ func (s *Stats) Add(o Stats) {
 	s.D2HBytes += o.D2HBytes
 	s.H2DCalls += o.H2DCalls
 	s.D2HCalls += o.D2HCalls
+	s.StallSeconds += o.StallSeconds
 }
 
 // Stats returns a snapshot of the device's accumulated statistics.

@@ -10,12 +10,14 @@ type TimeBreakdown struct {
 	Compute  float64 // ALU component of kernel time
 	Launch   float64 // accumulated kernel-launch overhead
 	Transfer float64 // PCIe host↔device transfers (bytes + per-call latency)
+	Stall    float64 // time lost to injected faults (hangs, failed ops)
 }
 
-// Total returns end-to-end modeled device time: kernels, launches and
-// transfers. (Kernel memory/compute overlap inside Kernel; launches and
-// transfers serialize with kernels in the paper's synchronous workflow.)
-func (t TimeBreakdown) Total() float64 { return t.Kernel + t.Launch + t.Transfer }
+// Total returns end-to-end modeled device time: kernels, launches,
+// transfers and fault stalls. (Kernel memory/compute overlap inside
+// Kernel; launches and transfers serialize with kernels in the paper's
+// synchronous workflow.)
+func (t TimeBreakdown) Total() float64 { return t.Kernel + t.Launch + t.Transfer + t.Stall }
 
 // TotalAsync models the same work under a CUDA-streams pipeline, where
 // host↔device copies overlap kernel execution (double-buffered candidate
@@ -28,7 +30,7 @@ func (t TimeBreakdown) TotalAsync() float64 {
 	if t.Transfer > busy {
 		busy = t.Transfer
 	}
-	return busy + t.Launch
+	return busy + t.Launch + t.Stall
 }
 
 func (t TimeBreakdown) String() string {
@@ -86,6 +88,7 @@ func (c Config) Model(s Stats) TimeBreakdown {
 	t.Launch = float64(s.KernelLaunches) * c.LaunchOverheadSec
 	t.Transfer = float64(s.H2DBytes+s.D2HBytes)/c.PCIeBandwidthBps +
 		float64(s.H2DCalls+s.D2HCalls)*c.TransferLatencySec
+	t.Stall = s.StallSeconds
 	return t
 }
 

@@ -88,6 +88,11 @@ type Options struct {
 	// Unroll is the manual unroll factor of the word loop (1 = no
 	// unrolling; the paper hand-unrolls; 4 is typical).
 	Unroll int
+	// DeadlineSec is the watchdog deadline for each kernel launch in
+	// modeled seconds: a launch that hangs (injected fault) past it is
+	// killed and SupportCounts returns gpusim.ErrWatchdogTimeout. 0
+	// disables the watchdog.
+	DeadlineSec float64
 }
 
 // DefaultOptions returns the paper's tuned configuration: 256-thread
@@ -156,7 +161,9 @@ func (d *DeviceDB) SupportCounts(cands [][]dataset.Item, opt Options) ([]int, er
 	// Scratch allocations are released after the launch; the vectors stay.
 	defer d.dev.FreeAllAbove(d.vectors)
 
-	d.dev.CopyToDevice(candBuf, flat)
+	if err := d.dev.TryCopyToDevice(candBuf, flat); err != nil {
+		return nil, fmt.Errorf("kernels: candidate upload: %w", err)
+	}
 
 	sharedWords := opt.BlockSize
 	if opt.Preload {
@@ -166,7 +173,7 @@ func (d *DeviceDB) SupportCounts(cands [][]dataset.Item, opt Options) ([]int, er
 	words := d.wordsPerVec
 	vectors := d.vectors
 
-	d.dev.Launch(cfg, func(ctx *gpusim.Ctx) {
+	_, lerr := d.dev.TryLaunch(cfg, func(ctx *gpusim.Ctx) {
 		cand := ctx.BlockIdx
 		tid := ctx.ThreadIdx
 		candShared := opt.BlockSize // candidate ids live after the sums
@@ -216,10 +223,15 @@ func (d *DeviceDB) SupportCounts(cands [][]dataset.Item, opt Options) ([]int, er
 		if tid == 0 {
 			ctx.StoreGlobal(outBuf, cand, ctx.LoadShared(0))
 		}
-	})
+	}, opt.DeadlineSec)
+	if lerr != nil {
+		return nil, fmt.Errorf("kernels: support-count launch: %w", lerr)
+	}
 
 	out32 := make([]uint32, len(cands))
-	d.dev.CopyFromDevice(out32, outBuf)
+	if err := d.dev.TryCopyFromDevice(out32, outBuf); err != nil {
+		return nil, fmt.Errorf("kernels: support download: %w", err)
+	}
 	out := make([]int, len(cands))
 	for i, v := range out32 {
 		out[i] = int(v)

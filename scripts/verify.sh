@@ -1,0 +1,11 @@
+#!/bin/sh
+# Full verification: vet, then the whole test suite under the race
+# detector (this includes the fault-injection and failover tests, which
+# exercise retry/failover paths concurrently with gpusim's goroutine
+# threads).
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go test -race ./...
