@@ -35,6 +35,9 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker count for parallel-cpu / count-distribution (0 = GOMAXPROCS)")
 		devices  = flag.Int("devices", 0, "simulated GPU count for gpapriori (0/1 = single)")
 		cpuShare = flag.Float64("cpushare", 0, "hybrid CPU share in [0,1) for gpapriori")
+		prefix   = flag.Bool("prefix-cache", false, "cache each (k-1)-prefix class's shared intersection (gpapriori kernel variant / cpu-bitset / pipeline)")
+		budget   = flag.Int("cache-budget", 0, "prefix-cache memory budget in MiB (0 = unbounded on CPU, free device memory on GPU)")
+		blocked  = flag.Bool("blocked", false, "cache-blocked CPU counting with early abort (cpu-bitset / pipeline)")
 		faults   = flag.String("faults", "", `inject device faults, e.g. "dev1:kernel-fail@gen3,dev2:dead@gen2" (kinds: kernel-fail, xfer-fail, hang[=sec], dead)`)
 		seed     = flag.Int64("seed", 0, "fault-injector seed for reproducible fault runs")
 		minConf  = flag.Float64("rules", 0, "also derive association rules at this confidence (0 = off)")
@@ -53,6 +56,7 @@ func main() {
 		condense: *condense, approx: *approx, jsonOut: *jsonOut,
 		top: *top, quiet: *quiet, topk: *topk,
 		faults: *faults, seed: *seed,
+		prefix: *prefix, budget: *budget, blocked: *blocked,
 	}
 	if err := run(os.Stdout, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "gpapriori:", err)
@@ -71,6 +75,8 @@ type runOpts struct {
 	top, topk                 int
 	faults                    string
 	seed                      int64
+	prefix, blocked           bool
+	budget                    int
 }
 
 // jsonReport is the machine-readable output shape.
@@ -134,6 +140,10 @@ func run(w io.Writer, o runOpts) error {
 		HybridCPUShare: o.cpuShare,
 		Faults:         o.faults,
 		FaultSeed:      o.seed,
+
+		PrefixCache:         o.prefix,
+		PrefixCacheBudgetMB: o.budget,
+		CacheBlocked:        o.blocked,
 	}
 	if o.minsup < 1 {
 		cfg.RelativeSupport = o.minsup

@@ -84,6 +84,7 @@ func ExampleAlgorithms() {
 	// fpgrowth 3
 	// parallel-cpu 3
 	// count-distribution 3
+	// pipeline 3
 }
 
 // Closed itemsets are a lossless condensation of the result.

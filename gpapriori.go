@@ -83,6 +83,12 @@ const (
 	// database is striped across workers and per-stripe counts are summed
 	// (transaction-parallel).
 	AlgoCountDist Algorithm = "count-distribution"
+	// AlgoPipeline is the pooled parallel CPU pipeline: prefix-class
+	// family tasks sharded across a worker pool with per-worker scratch
+	// arenas, overlapping generation k+1 candidate generation with
+	// generation k counting. Produces the same frequent sets as the
+	// level-wise miners.
+	AlgoPipeline Algorithm = "pipeline"
 )
 
 // Algorithms lists every supported algorithm in presentation order.
@@ -90,7 +96,7 @@ func Algorithms() []Algorithm {
 	return []Algorithm{
 		AlgoGPApriori, AlgoCPUBitset, AlgoBorgelt, AlgoBodon,
 		AlgoGoethals, AlgoHashTree, AlgoEclat, AlgoEclatDiffset, AlgoFPGrowth,
-		AlgoParallelCPU, AlgoCountDist,
+		AlgoParallelCPU, AlgoCountDist, AlgoPipeline,
 	}
 }
 
@@ -117,6 +123,22 @@ type Config struct {
 	// the knobs above — the automated version of the paper's Section IV.3
 	// hand-tuning (AlgoGPApriori only).
 	AutoTuneKernel bool
+
+	// PrefixCache enables (k−1)-prefix-class intersection caching: each
+	// class's shared intersection is materialized once and every member
+	// counted against it. On AlgoGPApriori it selects the two-phase
+	// device kernel variant; on AlgoCPUBitset and AlgoPipeline it caches
+	// on the host. Frequent itemsets are bit-identical either way.
+	PrefixCache bool
+	// PrefixCacheBudgetMB caps the memory used for cached class
+	// intersections, in MiB (0 = unlimited on the CPU; free device
+	// memory on the GPU). Classes over budget fall back to complete
+	// intersection.
+	PrefixCacheBudgetMB int
+	// CacheBlocked makes the CPU bitset paths (AlgoCPUBitset,
+	// AlgoPipeline) count in word tiles with early abort once a
+	// candidate can no longer reach the support threshold.
+	CacheBlocked bool
 
 	// EraPopcount makes CPU bitset counting use the 2011-era 8-bit-table
 	// software popcount instead of the hardware instruction
@@ -205,6 +227,18 @@ func (r *Result) TotalSeconds() float64 { return r.HostSeconds + r.DeviceSeconds
 // Len returns the number of frequent itemsets found.
 func (r *Result) Len() int { return len(r.Itemsets) }
 
+// countOptions maps the public knobs onto the CPU counting variants.
+// CacheBlocked implies early abort: the tiled loop's whole point is
+// abandoning candidates that cannot reach the threshold.
+func (c Config) countOptions() apriori.CountOptions {
+	return apriori.CountOptions{
+		PrefixCache: c.PrefixCache,
+		BudgetBytes: c.PrefixCacheBudgetMB << 20,
+		Blocked:     c.CacheBlocked,
+		EarlyAbort:  c.CacheBlocked,
+	}
+}
+
 // resolveSupport converts the config's threshold to an absolute count.
 func (c Config) resolveSupport(db *Database) (int, error) {
 	if c.MinSupport > 0 {
@@ -264,6 +298,11 @@ func MineContext(ctx context.Context, db *Database, cfg Config) (*Result, error)
 			}
 			kopt = tuned
 		}
+		if cfg.PrefixCache {
+			kopt.PrefixCache = true
+			// MiB → 32-bit words.
+			kopt.PrefixScratchWords = cfg.PrefixCacheBudgetMB << 18
+		}
 		faults, err := core.ParseFaultSpec(cfg.Faults)
 		if err != nil {
 			return nil, err
@@ -284,6 +323,7 @@ func MineContext(ctx context.Context, db *Database, cfg Config) (*Result, error)
 				Kernel:         kopt,
 				HybridCPUShare: cfg.HybridCPUShare,
 				CPUPopcount:    popc,
+				CPUCount:       cfg.countOptions(),
 				Faults:         faults,
 				FaultSeed:      cfg.FaultSeed,
 			})
@@ -336,7 +376,7 @@ func MineContext(ctx context.Context, db *Database, cfg Config) (*Result, error)
 			if cfg.EraPopcount {
 				kind = bitset.PopcountTable8
 			}
-			counter = apriori.NewCPUBitset(db.db, kind)
+			counter = apriori.NewCPUBitsetOpt(db.db, kind, cfg.countOptions())
 		case AlgoBorgelt:
 			counter = apriori.NewBorgelt(db.db)
 		case AlgoBodon:
@@ -359,6 +399,22 @@ func MineContext(ctx context.Context, db *Database, cfg Config) (*Result, error)
 		}
 		rs, res.HostSeconds, err = timed(func() (*dataset.ResultSet, error) {
 			return apriori.MineContext(ctx, db.db, minSup, counter, acfg)
+		})
+		if err != nil {
+			return nil, err
+		}
+	case AlgoPipeline:
+		kind := bitset.PopcountHardware
+		if cfg.EraPopcount {
+			kind = bitset.PopcountTable8
+		}
+		p := apriori.NewPipeline(db.db, apriori.PipelineOptions{
+			Workers:  cfg.Workers,
+			Popcount: kind,
+			Count:    cfg.countOptions(),
+		})
+		rs, res.HostSeconds, err = timed(func() (*dataset.ResultSet, error) {
+			return p.MineContext(ctx, minSup, acfg)
 		})
 		if err != nil {
 			return nil, err

@@ -10,33 +10,181 @@ import (
 
 // CPUBitset is the paper's CPU_TEST: single-threaded complete intersection
 // over the static-bitset vertical layout — exactly the work the GPU kernel
-// performs, executed on the host.
+// performs, executed on the host. CountOptions select the prefix-cached /
+// cache-blocked variants (DESIGN.md §9); the zero options reproduce the
+// paper's counting loop exactly.
 type CPUBitset struct {
 	v    *vertical.BitsetDB
 	popc func(uint64) int
 	kind bitset.PopcountKind
+	opt  CountOptions
+
+	// Reusable scratch of the variant paths; all buffers are grown once,
+	// so steady-state counting performs zero allocations.
+	minsup   int
+	bc       *bitset.BatchCounter
+	scratch  *bitset.Bitset
+	vs       []*bitset.Bitset
+	lasts    []*bitset.Bitset
+	lists    [][]*bitset.Bitset
+	listBack []*bitset.Bitset
+	out      []int
 }
 
 // NewCPUBitset builds the counter over db. kind selects the popcount
 // implementation (PopcountHardware for correctness work,
 // PopcountTable8 for 2011-era performance fidelity).
 func NewCPUBitset(db *dataset.DB, kind bitset.PopcountKind) *CPUBitset {
-	return &CPUBitset{v: vertical.BuildBitsets(db), popc: kind.Func(), kind: kind}
+	return NewCPUBitsetOver(vertical.BuildBitsets(db), kind, CountOptions{})
+}
+
+// NewCPUBitsetOpt builds the counter over db with the given counting
+// variants enabled.
+func NewCPUBitsetOpt(db *dataset.DB, kind bitset.PopcountKind, opt CountOptions) *CPUBitset {
+	return NewCPUBitsetOver(vertical.BuildBitsets(db), kind, opt)
+}
+
+// NewCPUBitsetOver builds the counter over an already-transposed vertical
+// database, so callers that hold one (MultiMiner's hybrid share, the
+// pipeline) do not transpose twice.
+func NewCPUBitsetOver(v *vertical.BitsetDB, kind bitset.PopcountKind, opt CountOptions) *CPUBitset {
+	c := &CPUBitset{v: v, popc: kind.Func(), kind: kind, opt: opt}
+	if opt.enabled() {
+		c.bc = bitset.NewBatchCounter(kind, opt.TileWords)
+	}
+	return c
 }
 
 // Name implements Counter.
-func (c *CPUBitset) Name() string { return "CPU_TEST(bitset," + c.kind.String() + ")" }
+func (c *CPUBitset) Name() string {
+	return "CPU_TEST(bitset," + c.kind.String() + c.opt.tag() + ")"
+}
 
-// Count implements Counter by complete intersection per candidate.
+// SetMinSupport implements MinSupportAware: the threshold powers the
+// early-abort bound of the blocked paths.
+func (c *CPUBitset) SetMinSupport(minSupport int) { c.minsup = minSupport }
+
+// Count implements Counter by complete intersection per candidate, or by
+// the prefix-cached / blocked variants when enabled.
 func (c *CPUBitset) Count(_ *trie.Trie, cands []trie.Candidate, k int) error {
-	vs := make([]*bitset.Bitset, k)
-	for _, cand := range cands {
-		for i, item := range cand.Items {
-			vs[i] = c.v.Vectors[item]
+	if !c.opt.enabled() {
+		vs := make([]*bitset.Bitset, k)
+		for _, cand := range cands {
+			for i, item := range cand.Items {
+				vs[i] = c.v.Vectors[item]
+			}
+			cand.Node.Support = bitset.IntersectCountManyWith(vs, c.popc)
 		}
-		cand.Node.Support = bitset.IntersectCountManyWith(vs, c.popc)
+		return nil
 	}
+	c.countOpt(cands, k)
 	return nil
+}
+
+// samePrefix reports whether two candidates of length k share their
+// (k-1)-prefix. Candidate generation joins within prefix classes and
+// emits them contiguously, so a linear scan recovers the classes.
+func samePrefix(a, b []dataset.Item, k int) bool {
+	for i := 0; i < k-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// countOpt runs the variant paths over one generation.
+func (c *CPUBitset) countOpt(cands []trie.Candidate, k int) {
+	abort := 0
+	if c.opt.EarlyAbort {
+		abort = c.minsup
+	}
+	for lo := 0; lo < len(cands); {
+		hi := lo + 1
+		for hi < len(cands) && samePrefix(cands[lo].Items, cands[hi].Items, k) {
+			hi++
+		}
+		c.countClass(cands[lo:hi], k, abort)
+		lo = hi
+	}
+}
+
+// countClass counts one contiguous prefix class.
+func (c *CPUBitset) countClass(class []trie.Candidate, k int, abort int) {
+	m := len(class)
+	if cap(c.out) < m {
+		c.out = make([]int, m)
+	}
+	out := c.out[:m]
+
+	usePrefix := c.opt.PrefixCache && k >= 2 && (m >= 2 || k == 2)
+	if usePrefix && k >= 3 && !c.opt.prefixFits(bitset.AlignedWords(c.v.NumTrans)) {
+		// Over budget: fall back to complete intersection for this class.
+		usePrefix = false
+	}
+	switch {
+	case usePrefix:
+		var base *bitset.Bitset
+		if k == 2 {
+			// The prefix is a single item: its vector IS the class
+			// intersection, no materialization needed.
+			base = c.v.Vectors[class[0].Items[0]]
+		} else {
+			if c.scratch == nil || c.scratch.Len() != c.v.NumTrans {
+				c.scratch = bitset.New(c.v.NumTrans)
+			}
+			if cap(c.vs) < k-1 {
+				c.vs = make([]*bitset.Bitset, k-1)
+			}
+			vs := c.vs[:k-1]
+			for i, item := range class[0].Items[:k-1] {
+				vs[i] = c.v.Vectors[item]
+			}
+			bitset.IntersectInto(c.scratch, vs)
+			base = c.scratch
+		}
+		if cap(c.lasts) < m {
+			c.lasts = make([]*bitset.Bitset, m)
+		}
+		lasts := c.lasts[:m]
+		for i, cand := range class {
+			lasts[i] = c.v.Vectors[cand.Items[k-1]]
+		}
+		c.bc.CountPairs(base, lasts, abort, out)
+	case c.opt.Blocked:
+		if cap(c.listBack) < m*k {
+			c.listBack = make([]*bitset.Bitset, m*k)
+		}
+		if cap(c.lists) < m {
+			c.lists = make([][]*bitset.Bitset, m)
+		}
+		lists := c.lists[:m]
+		back := c.listBack[:m*k]
+		for i, cand := range class {
+			row := back[i*k : (i+1)*k]
+			for j, item := range cand.Items {
+				row[j] = c.v.Vectors[item]
+			}
+			lists[i] = row
+		}
+		c.bc.CountMany(lists, abort, out)
+	default:
+		// PrefixCache requested but not applicable (singleton class or
+		// over budget) and blocking off: plain complete intersection.
+		if cap(c.vs) < k {
+			c.vs = make([]*bitset.Bitset, k)
+		}
+		vs := c.vs[:k]
+		for i, cand := range class {
+			for j, item := range cand.Items {
+				vs[j] = c.v.Vectors[item]
+			}
+			out[i] = bitset.IntersectCountManyWith(vs, c.popc)
+		}
+	}
+	for i, cand := range class {
+		cand.Node.Support = out[i]
+	}
 }
 
 // Borgelt is the tidset-vertical strategy of Borgelt's Apriori: each

@@ -1,0 +1,64 @@
+package apriori
+
+// CountOptions selects the performance variants of the bitset counting
+// strategies. The zero value reproduces the paper's plain complete
+// intersection exactly; every variant is bit-identical in its frequent
+// output (see DESIGN.md §9).
+type CountOptions struct {
+	// PrefixCache materializes each (k-1)-prefix class's shared
+	// intersection once and reuses it for every candidate in the class,
+	// turning a k-way AND per candidate into a 2-way AND. Candidate
+	// generation joins within prefix classes, so classes arrive as
+	// contiguous runs.
+	PrefixCache bool
+	// BudgetBytes caps the memory held in materialized prefix
+	// intersections (0 = unlimited). When a class's cached vector would
+	// not fit, counting falls back to complete intersection — the same
+	// memory/traffic tradeoff the paper's Section III argues for keeping
+	// only first-generation vectors resident.
+	BudgetBytes int
+	// Blocked iterates word-tiles across a batch of candidates instead of
+	// streaming each candidate's full vectors, keeping the shared
+	// first-generation (or prefix-class) tiles cache-resident.
+	Blocked bool
+	// TileWords is the blocked tile width in 64-bit words (0 =
+	// bitset.DefaultTileWords).
+	TileWords int
+	// EarlyAbort abandons a candidate once the bits remaining in the
+	// untiled suffix cannot lift it to minimum support. Aborted candidates
+	// report a partial count strictly below minsup, so the frequent set
+	// and all reported supports are unchanged.
+	EarlyAbort bool
+}
+
+// enabled reports whether any variant beyond plain complete intersection
+// is selected.
+func (o CountOptions) enabled() bool { return o.PrefixCache || o.Blocked }
+
+// tag renders the active variants for strategy names in reports.
+func (o CountOptions) tag() string {
+	s := ""
+	if o.PrefixCache {
+		s += ",prefix"
+	}
+	if o.Blocked {
+		s += ",blocked"
+	}
+	if o.EarlyAbort {
+		s += ",abort"
+	}
+	return s
+}
+
+// prefixFits reports whether one materialized class vector of the given
+// word count fits the budget.
+func (o CountOptions) prefixFits(words int) bool {
+	return o.BudgetBytes == 0 || words*8 <= o.BudgetBytes
+}
+
+// MinSupportAware is implemented by counters that exploit the run's
+// threshold (early abort, pruning bounds). Mine installs the threshold
+// before the first generation is counted.
+type MinSupportAware interface {
+	SetMinSupport(minSupport int)
+}

@@ -1,0 +1,455 @@
+// The pooled parallel pipeline: a persistent worker pool mines
+// prefix-class "families" (a trie node plus its freshly generated
+// children) as independent tasks, so candidate generation for one class
+// overlaps support counting of every other class — including classes of
+// the next generation. Each worker carries reusable scratch (a
+// BatchCounter, a prefix-intersection bitset, vector-list buffers), and
+// materialized class intersections are recycled through a sync.Pool under
+// a configurable memory budget, so steady-state counting performs zero
+// allocations in the hot loop.
+//
+// Correctness relies on downward closure only: a class is extended only
+// through children that counted frequent, so skipping the level-wise
+// all-subsets prune (which would need a synchronized global generation
+// barrier) never changes the frequent set — any candidate the prune would
+// have removed counts below minsup and is discarded. The result is
+// bit-identical to the level-wise driver's (see the equivalence tests).
+package apriori
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"gpapriori/internal/bitset"
+	"gpapriori/internal/dataset"
+	"gpapriori/internal/trie"
+	"gpapriori/internal/vertical"
+)
+
+// PipelineOptions configures the pooled parallel pipeline miner.
+type PipelineOptions struct {
+	// Workers is the pool size (0 = GOMAXPROCS).
+	Workers int
+	// Popcount selects the popcount implementation.
+	Popcount bitset.PopcountKind
+	// Count selects the counting variants. PrefixCache here additionally
+	// caches each class's materialized intersection across the generation
+	// boundary: a family's base vector is derived from its parent class's
+	// base with a single AND, under Count.BudgetBytes.
+	Count CountOptions
+}
+
+// Pipeline is the pooled parallel pipelined miner bound to one database.
+type Pipeline struct {
+	db  *dataset.DB
+	v   *vertical.BitsetDB
+	opt PipelineOptions
+}
+
+// NewPipeline builds the pipeline miner over db.
+func NewPipeline(db *dataset.DB, opt PipelineOptions) *Pipeline {
+	return NewPipelineOver(db, vertical.BuildBitsets(db), opt)
+}
+
+// NewPipelineOver builds the miner over an already-transposed vertical
+// database.
+func NewPipelineOver(db *dataset.DB, v *vertical.BitsetDB, opt PipelineOptions) *Pipeline {
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pipeline{db: db, v: v, opt: opt}
+}
+
+// Name identifies the strategy in reports.
+func (p *Pipeline) Name() string {
+	return fmt.Sprintf("Pipeline(bitset,%s%s,workers=%d)",
+		p.opt.Popcount.String(), p.opt.Count.tag(), p.opt.Workers)
+}
+
+// pipeTask is one family: parent's children are freshly generated
+// candidates awaiting counting. cached, when non-nil, is the materialized
+// intersection of the prefix items (owned by the task; returned to the
+// run's pool after processing).
+type pipeTask struct {
+	parent *trie.Node
+	prefix []dataset.Item
+	cached *bitset.Bitset
+}
+
+// pipeRun is the shared state of one mining run.
+type pipeRun struct {
+	p      *Pipeline
+	trie   *trie.Trie
+	minsup int
+	cfg    Config
+	ctx    context.Context
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	queue       []pipeTask
+	outstanding int
+	stopped     bool
+	err         error
+	perDepth    []int // candidates generated per depth (guarded by mu)
+
+	cachedBytes atomic.Int64
+	pool        sync.Pool
+}
+
+// Mine runs the pipeline at the given absolute minimum support.
+func (p *Pipeline) Mine(minSupport int, cfg Config) (*dataset.ResultSet, error) {
+	return p.MineContext(context.Background(), minSupport, cfg)
+}
+
+// MineContext is Mine with cancellation, honored at every family
+// boundary.
+func (p *Pipeline) MineContext(ctx context.Context, minSupport int, cfg Config) (*dataset.ResultSet, error) {
+	if minSupport < 1 {
+		return nil, fmt.Errorf("apriori: minimum support %d must be ≥1", minSupport)
+	}
+	t := trie.New()
+	t.SeedFrequentItems(p.db.ItemSupports(), minSupport)
+
+	r := &pipeRun{p: p, trie: t, minsup: minSupport, cfg: cfg, ctx: ctx}
+	r.cond = sync.NewCond(&r.mu)
+	r.enqueue(pipeTask{parent: t.Root})
+
+	var wg sync.WaitGroup
+	for w := 0; w < p.opt.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.work()
+		}()
+	}
+	wg.Wait()
+	if r.err != nil {
+		return nil, r.err
+	}
+	return t.Frequent(minSupport), nil
+}
+
+// enqueue adds a task (LIFO: workers pop the newest task, so exploration
+// is depth-first — the queue and the set of live cached vectors stay
+// small, and a family is usually counted while its parent class's vectors
+// are still warm).
+func (r *pipeRun) enqueue(t pipeTask) {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		r.releaseCached(t.cached)
+		return
+	}
+	r.queue = append(r.queue, t)
+	r.outstanding++
+	r.cond.Signal()
+	r.mu.Unlock()
+}
+
+// next pops a task, blocking until one is available or the run stops.
+func (r *pipeRun) next() (pipeTask, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for len(r.queue) == 0 && !r.stopped {
+		r.cond.Wait()
+	}
+	if r.stopped && len(r.queue) == 0 {
+		return pipeTask{}, false
+	}
+	t := r.queue[len(r.queue)-1]
+	r.queue = r.queue[:len(r.queue)-1]
+	return t, true
+}
+
+// taskDone retires one task; the run stops when none remain.
+func (r *pipeRun) taskDone() {
+	r.mu.Lock()
+	r.outstanding--
+	if r.outstanding == 0 {
+		r.stopped = true
+		r.cond.Broadcast()
+	}
+	r.mu.Unlock()
+}
+
+// fail records the first error and stops the run.
+func (r *pipeRun) fail(err error) {
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	if !r.stopped {
+		r.stopped = true
+		r.cond.Broadcast()
+	}
+	// Drop queued tasks so their retirements don't keep the run alive.
+	r.outstanding -= len(r.queue)
+	for _, t := range r.queue {
+		r.releaseCached(t.cached)
+	}
+	r.queue = nil
+	r.mu.Unlock()
+}
+
+// addGenerated records n candidates generated at the given itemset length
+// and enforces Config.MaxCandidates per generation.
+func (r *pipeRun) addGenerated(length, n int) error {
+	if r.cfg.MaxCandidates <= 0 {
+		return nil
+	}
+	r.mu.Lock()
+	for len(r.perDepth) <= length {
+		r.perDepth = append(r.perDepth, 0)
+	}
+	r.perDepth[length] += n
+	total := r.perDepth[length]
+	r.mu.Unlock()
+	if total > r.cfg.MaxCandidates {
+		return fmt.Errorf("apriori: generation %d has %d candidates (limit %d)",
+			length, total, r.cfg.MaxCandidates)
+	}
+	return nil
+}
+
+// acquireCached returns a class-intersection bitset from the pool if the
+// budget allows, or nil (callers fall back to rematerializing from the
+// first-generation vectors — complete intersection per class).
+func (r *pipeRun) acquireCached() *bitset.Bitset {
+	bytes := int64(bitset.AlignedWords(r.p.v.NumTrans) * 8)
+	if budget := int64(r.p.opt.Count.BudgetBytes); budget > 0 {
+		for {
+			cur := r.cachedBytes.Load()
+			if cur+bytes > budget {
+				return nil
+			}
+			if r.cachedBytes.CompareAndSwap(cur, cur+bytes) {
+				break
+			}
+		}
+	} else {
+		r.cachedBytes.Add(bytes)
+	}
+	if b, ok := r.pool.Get().(*bitset.Bitset); ok {
+		return b
+	}
+	return bitset.New(r.p.v.NumTrans)
+}
+
+// releaseCached refunds the budget and recycles the vector.
+func (r *pipeRun) releaseCached(b *bitset.Bitset) {
+	if b == nil {
+		return
+	}
+	r.cachedBytes.Add(-int64(bitset.AlignedWords(r.p.v.NumTrans) * 8))
+	r.pool.Put(b)
+}
+
+// pipeWorker is one worker's reusable scratch.
+type pipeWorker struct {
+	r        *pipeRun
+	bc       *bitset.BatchCounter
+	popc     func(uint64) int
+	scratch  *bitset.Bitset
+	vs       []*bitset.Bitset
+	lasts    []*bitset.Bitset
+	lists    [][]*bitset.Bitset
+	listBack []*bitset.Bitset
+	out      []int
+}
+
+// work is the worker loop.
+func (r *pipeRun) work() {
+	w := &pipeWorker{
+		r:    r,
+		bc:   bitset.NewBatchCounter(r.p.opt.Popcount, r.p.opt.Count.TileWords),
+		popc: r.p.opt.Popcount.Func(),
+	}
+	for {
+		t, ok := r.next()
+		if !ok {
+			return
+		}
+		if err := r.ctx.Err(); err != nil {
+			r.fail(err)
+			r.releaseCached(t.cached)
+			r.taskDone()
+			continue
+		}
+		if err := w.process(t); err != nil {
+			r.fail(err)
+		}
+		r.taskDone()
+	}
+}
+
+// process counts one family's candidates, prunes the infrequent ones, and
+// joins the survivors into child families.
+func (w *pipeWorker) process(t pipeTask) error {
+	r := w.r
+	p := t.parent
+	k := len(t.prefix) + 1 // length of the candidates under p
+
+	var base *bitset.Bitset // this class's intersection, when materialized
+	if p != r.trie.Root {
+		base = w.countFamily(t, k)
+	}
+	// Prune infrequent children in place; only this task touches p.
+	kept := p.Children[:0]
+	for _, c := range p.Children {
+		if c.Support >= r.minsup {
+			kept = append(kept, c)
+		}
+	}
+	for i := len(kept); i < len(p.Children); i++ {
+		p.Children[i] = nil
+	}
+	p.Children = kept
+
+	// Join each surviving child with its right siblings — generation k+1
+	// candidate generation, running while other families (of this and
+	// other generations) are still being counted by the pool.
+	if r.cfg.MaxLen > 0 && k+1 > r.cfg.MaxLen {
+		r.releaseCached(t.cached)
+		return nil
+	}
+	opt := r.p.opt.Count
+	for i, x := range kept {
+		if len(kept)-i < 2 {
+			break
+		}
+		for _, y := range kept[i+1:] {
+			node := x.AddChild(y.Item)
+			node.Support = -1
+		}
+	}
+	for _, x := range kept {
+		if len(x.Children) == 0 {
+			continue
+		}
+		if err := r.addGenerated(k+1, len(x.Children)); err != nil {
+			r.releaseCached(t.cached)
+			return err
+		}
+		child := pipeTask{
+			parent: x,
+			prefix: append(append(make([]dataset.Item, 0, k), t.prefix...), x.Item),
+		}
+		// Derive the child class's intersection from this class's with a
+		// single AND while it is still on hand — the cross-generation
+		// reuse of prefix-class caching.
+		if opt.PrefixCache && k >= 2 {
+			if cb := r.acquireCached(); cb != nil {
+				if base == nil {
+					base = w.materialize(child.prefix[:k-1], k-1)
+				}
+				cb.And(base, r.p.v.Vectors[x.Item])
+				child.cached = cb
+			}
+		}
+		r.enqueue(child)
+	}
+	r.releaseCached(t.cached)
+	return nil
+}
+
+// materialize builds the intersection of the given prefix items in the
+// worker's scratch vector. n is len(items); for n == 1 the item's own
+// vector is returned without copying.
+func (w *pipeWorker) materialize(items []dataset.Item, n int) *bitset.Bitset {
+	v := w.r.p.v
+	if n == 1 {
+		return v.Vectors[items[0]]
+	}
+	if w.scratch == nil {
+		w.scratch = bitset.New(v.NumTrans)
+	}
+	if cap(w.vs) < n {
+		w.vs = make([]*bitset.Bitset, n)
+	}
+	vs := w.vs[:n]
+	for i, it := range items[:n] {
+		vs[i] = v.Vectors[it]
+	}
+	bitset.IntersectInto(w.scratch, vs)
+	return w.scratch
+}
+
+// countFamily writes supports into the family's children and returns the
+// class's materialized intersection when one was used (nil otherwise).
+func (w *pipeWorker) countFamily(t pipeTask, k int) *bitset.Bitset {
+	r := w.r
+	v := r.p.v
+	opt := r.p.opt.Count
+	children := t.parent.Children
+	m := len(children)
+	if m == 0 {
+		return nil
+	}
+	abort := 0
+	if opt.EarlyAbort {
+		abort = r.minsup
+	}
+	if cap(w.out) < m {
+		w.out = make([]int, m)
+	}
+	out := w.out[:m]
+
+	usePrefix := opt.PrefixCache && k >= 2
+	if usePrefix {
+		base := t.cached
+		if base == nil {
+			base = w.materialize(t.prefix, k-1)
+		}
+		if cap(w.lasts) < m {
+			w.lasts = make([]*bitset.Bitset, m)
+		}
+		lasts := w.lasts[:m]
+		for i, c := range children {
+			lasts[i] = v.Vectors[c.Item]
+		}
+		w.bc.CountPairs(base, lasts, abort, out)
+		for i, c := range children {
+			c.Support = out[i]
+		}
+		return base
+	}
+
+	if opt.Blocked {
+		if cap(w.listBack) < m*k {
+			w.listBack = make([]*bitset.Bitset, m*k)
+		}
+		if cap(w.lists) < m {
+			w.lists = make([][]*bitset.Bitset, m)
+		}
+		lists := w.lists[:m]
+		back := w.listBack[:m*k]
+		for i, c := range children {
+			row := back[i*k : (i+1)*k]
+			for j, it := range t.prefix {
+				row[j] = v.Vectors[it]
+			}
+			row[k-1] = v.Vectors[c.Item]
+			lists[i] = row
+		}
+		w.bc.CountMany(lists, abort, out)
+	} else {
+		if cap(w.vs) < k {
+			w.vs = make([]*bitset.Bitset, k)
+		}
+		vs := w.vs[:k]
+		for j, it := range t.prefix {
+			vs[j] = v.Vectors[it]
+		}
+		for i := range children {
+			vs[k-1] = v.Vectors[children[i].Item]
+			out[i] = bitset.IntersectCountManyWith(vs, w.popc)
+		}
+	}
+	for i, c := range children {
+		c.Support = out[i]
+	}
+	return nil
+}

@@ -1,0 +1,194 @@
+package apriori
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"gpapriori/internal/bitset"
+	"gpapriori/internal/dataset"
+	"gpapriori/internal/gen"
+	"gpapriori/internal/oracle"
+)
+
+// variantOptions enumerates every counting-variant combination the
+// property tests sweep.
+func variantOptions() []CountOptions {
+	return []CountOptions{
+		{},
+		{Blocked: true},
+		{Blocked: true, EarlyAbort: true, TileWords: 16},
+		{PrefixCache: true},
+		{PrefixCache: true, EarlyAbort: true},
+		{PrefixCache: true, Blocked: true, EarlyAbort: true},
+		{PrefixCache: true, Blocked: true, EarlyAbort: true, BudgetBytes: 1}, // forces fallback
+	}
+}
+
+// TestCPUBitsetVariantsMatchOracle is the all-paths property test of the
+// acceptance criteria: every prefix-cached / blocked / early-abort
+// combination produces bit-identical frequent itemsets to the oracle (and
+// hence to the seed's complete-intersection path).
+func TestCPUBitsetVariantsMatchOracle(t *testing.T) {
+	dbs := map[string]*dataset.DB{
+		"small":  gen.Small(),
+		"rand-a": gen.Random(120, 14, 0.45, 1),
+		"rand-b": gen.Random(200, 10, 0.6, 2),
+	}
+	for name, db := range dbs {
+		for _, minSup := range []int{2, 5, 20} {
+			if minSup > db.Len() {
+				continue
+			}
+			want := oracle.Mine(db, minSup)
+			for _, opt := range variantOptions() {
+				c := NewCPUBitsetOpt(db, bitset.PopcountHardware, opt)
+				got, err := Mine(db, minSup, c, Config{})
+				if err != nil {
+					t.Fatalf("%s minsup=%d %s: %v", name, minSup, c.Name(), err)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("%s minsup=%d %s diff: %v", name, minSup, c.Name(), got.Diff(want))
+				}
+			}
+		}
+	}
+}
+
+func TestCPUBitsetVariantNames(t *testing.T) {
+	db := gen.Small()
+	c := NewCPUBitsetOpt(db, bitset.PopcountHardware, CountOptions{PrefixCache: true, Blocked: true, EarlyAbort: true})
+	for _, want := range []string{"prefix", "blocked", "abort"} {
+		if !strings.Contains(c.Name(), want) {
+			t.Fatalf("Name %q missing %q", c.Name(), want)
+		}
+	}
+	plain := NewCPUBitset(db, bitset.PopcountHardware)
+	if strings.Contains(plain.Name(), "prefix") {
+		t.Fatalf("plain Name %q should not advertise variants", plain.Name())
+	}
+}
+
+// TestPipelineMatchesLevelWise checks the pooled pipeline against the
+// level-wise driver across worker counts and variant combinations.
+func TestPipelineMatchesLevelWise(t *testing.T) {
+	dbs := map[string]*dataset.DB{
+		"small":  gen.Small(),
+		"rand-a": gen.Random(150, 12, 0.5, 3),
+		"rand-b": gen.Random(80, 16, 0.35, 4),
+	}
+	for name, db := range dbs {
+		for _, minSup := range []int{2, 8} {
+			want, err := Mine(db, minSup, NewCPUBitset(db, bitset.PopcountHardware), Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 8} {
+				for _, opt := range variantOptions() {
+					p := NewPipeline(db, PipelineOptions{Workers: workers, Count: opt})
+					got, err := p.Mine(minSup, Config{})
+					if err != nil {
+						t.Fatalf("%s minsup=%d workers=%d %s: %v", name, minSup, workers, p.Name(), err)
+					}
+					if !got.Equal(want) {
+						t.Fatalf("%s minsup=%d workers=%d %s diff: %v",
+							name, minSup, workers, p.Name(), got.Diff(want))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPipelineDenseChessShape(t *testing.T) {
+	cfg := gen.Chess()
+	cfg.NumTrans = 200
+	db := gen.AttributeValue(cfg)
+	minSup := db.AbsoluteSupport(0.85)
+	want, err := Mine(db, minSup, NewCPUBitset(db, bitset.PopcountHardware), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPipeline(db, PipelineOptions{
+		Workers: 4,
+		Count:   CountOptions{PrefixCache: true, Blocked: true, EarlyAbort: true, BudgetBytes: 1 << 20},
+	})
+	got, err := p.Mine(minSup, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("pipeline diff on dense data: %v", got.Diff(want))
+	}
+}
+
+func TestPipelineMaxLen(t *testing.T) {
+	db := gen.Random(100, 12, 0.5, 5)
+	for _, maxLen := range []int{1, 2, 3} {
+		want, err := Mine(db, 5, NewCPUBitset(db, bitset.PopcountHardware), Config{MaxLen: maxLen})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := NewPipeline(db, PipelineOptions{Workers: 3, Count: CountOptions{PrefixCache: true}})
+		got, err := p.Mine(5, Config{MaxLen: maxLen})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("maxLen=%d diff: %v", maxLen, got.Diff(want))
+		}
+		if got.MaxLen() > maxLen {
+			t.Fatalf("maxLen=%d: result contains length-%d itemset", maxLen, got.MaxLen())
+		}
+	}
+}
+
+func TestPipelineMaxCandidatesGuard(t *testing.T) {
+	db := gen.Random(60, 14, 0.7, 6)
+	p := NewPipeline(db, PipelineOptions{Workers: 4})
+	_, err := p.Mine(1, Config{MaxCandidates: 3})
+	if err == nil {
+		t.Fatal("expected candidate-explosion error")
+	}
+	if !strings.Contains(err.Error(), "candidates") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestPipelineCancellation(t *testing.T) {
+	db := gen.Random(300, 20, 0.6, 7)
+	p := NewPipeline(db, PipelineOptions{Workers: 4})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.MineContext(ctx, 2, Config{}); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestPipelineMinSupportValidation(t *testing.T) {
+	db := gen.Small()
+	p := NewPipeline(db, PipelineOptions{})
+	if _, err := p.Mine(0, Config{}); err == nil {
+		t.Fatal("expected minsup validation error")
+	}
+}
+
+// TestPipelineRepeatedRuns checks a Pipeline instance is reusable: two
+// runs at different thresholds each match the level-wise driver.
+func TestPipelineRepeatedRuns(t *testing.T) {
+	db := gen.Random(150, 12, 0.5, 8)
+	p := NewPipeline(db, PipelineOptions{Workers: 4, Count: CountOptions{PrefixCache: true, Blocked: true, EarlyAbort: true}})
+	for _, minSup := range []int{3, 12, 40} {
+		want, err := Mine(db, minSup, NewCPUBitset(db, bitset.PopcountHardware), Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.Mine(minSup, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("minsup=%d diff: %v", minSup, got.Diff(want))
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package bitset
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchWidths spans a cache-resident vector, an L2-sized one, and a
+// streaming one (bits ≈ transactions, so these bracket the paper's
+// Table 2 databases after scaling).
+var benchWidths = []int{1 << 12, 1 << 16, 1 << 20}
+
+func benchBitsets(nbits, n int, p float64) []*Bitset {
+	rng := rand.New(rand.NewSource(42))
+	out := make([]*Bitset, n)
+	for i := range out {
+		out[i] = randBitset(nbits, p, rng)
+	}
+	return out
+}
+
+func BenchmarkAndCount(b *testing.B) {
+	for _, nbits := range benchWidths {
+		b.Run(fmt.Sprintf("bits=%d", nbits), func(b *testing.B) {
+			vs := benchBitsets(nbits, 2, 0.5)
+			b.SetBytes(int64(len(vs[0].words) * 8))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink = vs[0].AndCount(vs[1])
+			}
+		})
+	}
+}
+
+func BenchmarkIntersectCountMany(b *testing.B) {
+	for _, nbits := range benchWidths {
+		for _, k := range []int{3, 6} {
+			b.Run(fmt.Sprintf("bits=%d/k=%d", nbits, k), func(b *testing.B) {
+				vs := benchBitsets(nbits, k, 0.7)
+				b.SetBytes(int64(k * len(vs[0].words) * 8))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sink = IntersectCountMany(vs)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCountPairs is the prefix-cached inner loop: one class base
+// against a batch of last-item vectors, tiled, with and without an
+// attainable early-abort threshold.
+func BenchmarkCountPairs(b *testing.B) {
+	const batch = 32
+	for _, nbits := range benchWidths {
+		for _, minsup := range []int{0, 1 << 30} {
+			label := "abort=off"
+			if minsup > 0 {
+				label = "abort=on"
+			}
+			b.Run(fmt.Sprintf("bits=%d/%s", nbits, label), func(b *testing.B) {
+				vs := benchBitsets(nbits, batch+1, 0.5)
+				base, others := vs[0], vs[1:]
+				bc := NewBatchCounter(PopcountHardware, DefaultTileWords)
+				out := make([]int, batch)
+				b.SetBytes(int64((batch + 1) * len(base.words) * 8))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					bc.CountPairs(base, others, minsup, out)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCountMany is the cache-blocked k-way batch without a shared
+// prefix — the Blocked variant's fallback when classes are singletons.
+func BenchmarkCountMany(b *testing.B) {
+	const batch, k = 32, 4
+	for _, nbits := range benchWidths {
+		b.Run(fmt.Sprintf("bits=%d", nbits), func(b *testing.B) {
+			pool := benchBitsets(nbits, 8, 0.6)
+			rng := rand.New(rand.NewSource(7))
+			vecs := make([][]*Bitset, batch)
+			for i := range vecs {
+				vecs[i] = make([]*Bitset, k)
+				for j := range vecs[i] {
+					vecs[i][j] = pool[rng.Intn(len(pool))]
+				}
+			}
+			bc := NewBatchCounter(PopcountHardware, DefaultTileWords)
+			out := make([]int, batch)
+			b.SetBytes(int64(batch * k * nbits / 8))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bc.CountMany(vecs, 0, out)
+			}
+		})
+	}
+}
+
+func BenchmarkIndices(b *testing.B) {
+	for _, density := range []float64{0.01, 0.5} {
+		b.Run(fmt.Sprintf("density=%v", density), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(3))
+			v := randBitset(1<<16, density, rng)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sinkIdx = v.Indices()
+			}
+		})
+	}
+}
+
+var (
+	sink    int
+	sinkIdx []int
+)

@@ -187,9 +187,11 @@ func IntersectCountMany(vs []*Bitset) int {
 }
 
 // Indices returns the positions of all set bits in ascending order — the
-// tidset equivalent of this bitset.
+// tidset equivalent of this bitset. The output is pre-sized from a
+// popcount pass, so dense vectors build their index list in a single
+// allocation instead of growing from a small guess.
 func (b *Bitset) Indices() []int {
-	out := make([]int, 0, 16)
+	out := make([]int, 0, b.Count())
 	for wi, w := range b.words {
 		for w != 0 {
 			tz := bits.TrailingZeros64(w)

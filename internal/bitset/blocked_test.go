@@ -1,0 +1,205 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randBitset builds a bitset of nbits with each bit set with probability p.
+func randBitset(nbits int, p float64, rng *rand.Rand) *Bitset {
+	b := New(nbits)
+	for i := 0; i < nbits; i++ {
+		if rng.Float64() < p {
+			b.Set(i)
+		}
+	}
+	return b
+}
+
+func TestIntersectInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, nbits := range []int{1, 63, 64, 65, 511, 513, 4097} {
+		vs := []*Bitset{
+			randBitset(nbits, 0.7, rng),
+			randBitset(nbits, 0.5, rng),
+			randBitset(nbits, 0.9, rng),
+		}
+		dst := New(nbits)
+		IntersectInto(dst, vs)
+		if got, want := dst.Count(), IntersectCountMany(vs); got != want {
+			t.Fatalf("nbits=%d: IntersectInto count %d, want %d", nbits, got, want)
+		}
+		for i := 0; i < nbits; i++ {
+			want := vs[0].Test(i) && vs[1].Test(i) && vs[2].Test(i)
+			if dst.Test(i) != want {
+				t.Fatalf("nbits=%d bit %d: got %v want %v", nbits, i, dst.Test(i), want)
+			}
+		}
+	}
+}
+
+func TestIntersectIntoAliasesFirst(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randBitset(300, 0.6, rng)
+	b := randBitset(300, 0.6, rng)
+	want := a.AndCount(b)
+	dst := a.Clone()
+	IntersectInto(dst, []*Bitset{dst, b})
+	if dst.Count() != want {
+		t.Fatalf("aliased IntersectInto count %d, want %d", dst.Count(), want)
+	}
+}
+
+func TestAndCountWith(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randBitset(1000, 0.5, rng)
+	b := randBitset(1000, 0.5, rng)
+	for _, kind := range []PopcountKind{PopcountHardware, PopcountTable8, PopcountKernighan} {
+		if got, want := a.AndCountWith(b, kind.Func()), a.AndCount(b); got != want {
+			t.Fatalf("%s: AndCountWith %d, want %d", kind, got, want)
+		}
+	}
+}
+
+func TestCountPairsMatchesAndCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, nbits := range []int{64, 640, 4096, 70000} {
+		for _, tile := range []int{0, 1, 7, 64, DefaultTileWords} {
+			bc := NewBatchCounter(PopcountHardware, tile)
+			base := randBitset(nbits, 0.5, rng)
+			others := make([]*Bitset, 9)
+			for i := range others {
+				others[i] = randBitset(nbits, float64(i+1)/10, rng)
+			}
+			out := make([]int, len(others))
+			bc.CountPairs(base, others, 0, out)
+			for i, o := range others {
+				if want := base.AndCount(o); out[i] != want {
+					t.Fatalf("nbits=%d tile=%d cand %d: got %d want %d", nbits, tile, i, out[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestCountPairsEarlyAbortClassification(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	nbits := 8192
+	bc := NewBatchCounter(PopcountHardware, 32)
+	base := randBitset(nbits, 0.4, rng)
+	others := make([]*Bitset, 20)
+	exact := make([]int, len(others))
+	for i := range others {
+		others[i] = randBitset(nbits, float64(i)/20, rng)
+		exact[i] = base.AndCount(others[i])
+	}
+	for _, minsup := range []int{1, 100, 500, 1500, 4000} {
+		out := make([]int, len(others))
+		bc.CountPairs(base, others, minsup, out)
+		for i := range others {
+			if exact[i] >= minsup {
+				// Frequent candidates must report their exact support.
+				if out[i] != exact[i] {
+					t.Fatalf("minsup=%d cand %d: frequent support %d, want %d", minsup, i, out[i], exact[i])
+				}
+			} else if out[i] >= minsup {
+				// Infrequent candidates may be partial but must classify.
+				t.Fatalf("minsup=%d cand %d: infrequent (exact %d) reported %d ≥ minsup", minsup, i, exact[i], out[i])
+			}
+		}
+	}
+}
+
+func TestCountManyMatchesIntersectCountMany(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, nbits := range []int{64, 1000, 20000} {
+		for _, tile := range []int{0, 3, 128} {
+			bc := NewBatchCounter(PopcountHardware, tile)
+			pool := make([]*Bitset, 8)
+			for i := range pool {
+				pool[i] = randBitset(nbits, 0.6, rng)
+			}
+			vecs := make([][]*Bitset, 12)
+			for i := range vecs {
+				k := 2 + rng.Intn(4)
+				vecs[i] = make([]*Bitset, k)
+				for j := range vecs[i] {
+					vecs[i][j] = pool[rng.Intn(len(pool))]
+				}
+			}
+			out := make([]int, len(vecs))
+			bc.CountMany(vecs, 0, out)
+			for i, vs := range vecs {
+				if want := IntersectCountMany(vs); out[i] != want {
+					t.Fatalf("nbits=%d tile=%d cand %d: got %d want %d", nbits, tile, i, out[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestCountManyEarlyAbortClassification(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	nbits := 6000
+	bc := NewBatchCounter(PopcountHardware, 16)
+	pool := make([]*Bitset, 6)
+	for i := range pool {
+		pool[i] = randBitset(nbits, 0.5, rng)
+	}
+	vecs := make([][]*Bitset, 15)
+	exact := make([]int, len(vecs))
+	for i := range vecs {
+		vecs[i] = []*Bitset{pool[rng.Intn(6)], pool[rng.Intn(6)], pool[rng.Intn(6)]}
+		exact[i] = IntersectCountMany(vecs[i])
+	}
+	for _, minsup := range []int{1, 200, 800, 2000} {
+		out := make([]int, len(vecs))
+		bc.CountMany(vecs, minsup, out)
+		for i := range vecs {
+			if exact[i] >= minsup && out[i] != exact[i] {
+				t.Fatalf("minsup=%d cand %d: frequent support %d, want %d", minsup, i, out[i], exact[i])
+			}
+			if exact[i] < minsup && out[i] >= minsup {
+				t.Fatalf("minsup=%d cand %d: infrequent (exact %d) reported %d", minsup, i, exact[i], out[i])
+			}
+		}
+	}
+}
+
+func TestBatchCounterPopcountKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	base := randBitset(2048, 0.5, rng)
+	others := []*Bitset{randBitset(2048, 0.5, rng), randBitset(2048, 0.3, rng)}
+	want := make([]int, 2)
+	NewBatchCounter(PopcountHardware, 0).CountPairs(base, others, 0, want)
+	for _, kind := range []PopcountKind{PopcountTable8, PopcountKernighan} {
+		got := make([]int, 2)
+		NewBatchCounter(kind, 0).CountPairs(base, others, 0, got)
+		if got[0] != want[0] || got[1] != want[1] {
+			t.Fatalf("%s: got %v want %v", kind, got, want)
+		}
+	}
+}
+
+func TestCountPairsReuseAcrossBatchSizes(t *testing.T) {
+	// The counter's scratch must not leak state between calls of
+	// different batch sizes and widths.
+	rng := rand.New(rand.NewSource(9))
+	bc := NewBatchCounter(PopcountHardware, 8)
+	for _, n := range []int{17, 3, 29, 1} {
+		nbits := 100 * (n + 1)
+		base := randBitset(nbits, 0.5, rng)
+		others := make([]*Bitset, n)
+		out := make([]int, n)
+		for i := range others {
+			others[i] = randBitset(nbits, 0.5, rng)
+		}
+		bc.CountPairs(base, others, 40, out)
+		for i, o := range others {
+			exact := base.AndCount(o)
+			if exact >= 40 && out[i] != exact {
+				t.Fatalf("n=%d cand %d: got %d want %d", n, i, out[i], exact)
+			}
+		}
+	}
+}

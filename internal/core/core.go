@@ -108,7 +108,11 @@ func New(db *dataset.DB, opt Options) (*Miner, error) {
 	retry := opt.Retry.withDefaults()
 	kopt := opt.Kernel
 	if kopt.BlockSize == 0 {
-		kopt = kernels.DefaultOptions()
+		// Default the Section IV.3 knobs but keep the caller's kernel
+		// variant selection.
+		d := kernels.DefaultOptions()
+		d.PrefixCache, d.PrefixScratchWords = kopt.PrefixCache, kopt.PrefixScratchWords
+		kopt = d
 	}
 	kopt.DeadlineSec = retry.DeadlineSec
 

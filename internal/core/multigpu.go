@@ -48,6 +48,10 @@ type MultiOptions struct {
 	MaxCPUShare float64
 	// CPUPopcount selects the host popcount for the hybrid share.
 	CPUPopcount bitset.PopcountKind
+	// CPUCount tunes the hybrid share's host counting (prefix-class
+	// caching, cache-blocked tiles, early abort). Zero value = the plain
+	// complete-intersection loop.
+	CPUCount apriori.CountOptions
 	// Faults schedules injected faults on the device pool. Empty =
 	// fault-free.
 	Faults []DeviceFault
@@ -148,7 +152,9 @@ func NewMulti(db *dataset.DB, opt MultiOptions) (*MultiMiner, error) {
 		cfg = gpusim.TeslaT10()
 	}
 	if opt.Kernel.BlockSize == 0 {
-		opt.Kernel = kernels.DefaultOptions()
+		d := kernels.DefaultOptions()
+		d.PrefixCache, d.PrefixScratchWords = opt.Kernel.PrefixCache, opt.Kernel.PrefixScratchWords
+		opt.Kernel = d
 	}
 	opt.Retry = opt.Retry.withDefaults()
 	opt.Kernel.DeadlineSec = opt.Retry.DeadlineSec
@@ -191,7 +197,9 @@ type multiCounter struct {
 	// genDeviceSeconds accumulates, per generation, the max modeled
 	// device time — the pool works in parallel.
 	deviceSeconds float64
-	popc          func(uint64) int
+	// cpu counts the hybrid host share with the configured CPU_TEST
+	// variant (prefix caching / blocking / early abort when enabled).
+	cpu *apriori.CPUBitset
 	// share is the current CPU fraction; sharesByGen records its history
 	// when auto-balancing.
 	share       float64
@@ -218,17 +226,16 @@ func (c *multiCounter) aliveDevices() []int {
 // planned hybrid share and as the degraded path when no device survives.
 func (c *multiCounter) countOnCPU(cands []trie.Candidate, k int) time.Duration {
 	t0 := time.Now()
-	vs := make([]*bitset.Bitset, k)
-	for _, cand := range cands {
-		for i, item := range cand.Items {
-			vs[i] = c.m.bits.Vectors[item]
-		}
-		cand.Node.Support = bitset.IntersectCountManyWith(vs, c.popc)
-	}
+	// CPUBitset.Count never fails over a valid vertical DB.
+	_ = c.cpu.Count(nil, cands, k)
 	d := time.Since(t0)
 	c.cpuWall += d
 	return d
 }
+
+// SetMinSupport implements apriori.MinSupportAware, arming early abort on
+// the hybrid CPU share.
+func (c *multiCounter) SetMinSupport(minSupport int) { c.cpu.SetMinSupport(minSupport) }
 
 // countOnDevice counts part on device d under the retry policy. It
 // returns the modeled backoff spent; a non-nil error means the device is
@@ -359,7 +366,7 @@ func (m *MultiMiner) MineContext(ctx context.Context, minSupport int, cfg aprior
 	c := &multiCounter{
 		m:         m,
 		perDevice: make([]int, len(m.devs)),
-		popc:      m.opt.CPUPopcount.Func(),
+		cpu:       apriori.NewCPUBitsetOver(m.bits, m.opt.CPUPopcount, m.opt.CPUCount),
 		share:     m.opt.HybridCPUShare,
 		alive:     alive,
 		tracker:   faultTracker{policy: m.opt.Retry},

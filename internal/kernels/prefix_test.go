@@ -1,0 +1,220 @@
+package kernels
+
+import (
+	"testing"
+
+	"gpapriori/internal/dataset"
+	"gpapriori/internal/gen"
+	"gpapriori/internal/gpusim"
+	"gpapriori/internal/vertical"
+)
+
+// prefixClassCands generates one generation of sorted length-k candidates
+// over nItems items, lexicographic — the contiguous prefix-class order the
+// trie join emits.
+func prefixClassCands(nItems, k int) [][]dataset.Item {
+	var out [][]dataset.Item
+	cand := make([]dataset.Item, k)
+	var rec func(pos, start int)
+	rec = func(pos, start int) {
+		if pos == k {
+			out = append(out, append([]dataset.Item(nil), cand...))
+			return
+		}
+		for i := start; i <= nItems-(k-pos); i++ {
+			cand[pos] = dataset.Item(i)
+			rec(pos+1, i+1)
+		}
+	}
+	rec(0, 0)
+	return out
+}
+
+func TestSplitClasses(t *testing.T) {
+	cands := [][]dataset.Item{
+		// class {0,1}: 4 members — 4·1 > 3, profitable at k=3
+		{0, 1, 2}, {0, 1, 3}, {0, 1, 4}, {0, 1, 5},
+		// class {0,2}: 2 members — 2·1 ≤ 3, unprofitable
+		{0, 2, 3}, {0, 2, 4},
+		// class {1,2}: 1 member
+		{1, 2, 3},
+	}
+	prof, rest := splitClasses(cands, 3)
+	if len(prof) != 1 || prof[0].lo != 0 || prof[0].hi != 4 {
+		t.Fatalf("profitable classes = %+v, want [{0 4}]", prof)
+	}
+	if len(rest) != 3 || rest[0] != 4 || rest[2] != 6 {
+		t.Fatalf("rest = %v, want [4 5 6]", rest)
+	}
+}
+
+// TestPrefixKernelMatchesComplete is the device-side bit-identity check:
+// the prefix-class variant must return the same supports as the complete
+// kernel across generation lengths and option combinations.
+func TestPrefixKernelMatchesComplete(t *testing.T) {
+	db := gen.Random(500, 20, 0.35, 11)
+	bit := vertical.BuildBitsets(db)
+	d, err := Upload(newTestDevice(), bit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{2, 3, 4} {
+		cands := prefixClassCands(12, k)
+		want := make([]int, len(cands))
+		for i, c := range cands {
+			want[i] = bit.SupportOf(c)
+		}
+		for _, base := range []Options{
+			{BlockSize: 64, Preload: false, Unroll: 1},
+			{BlockSize: 128, Preload: true, Unroll: 4},
+			DefaultOptions(),
+		} {
+			opt := base
+			opt.PrefixCache = true
+			got, err := d.SupportCounts(cands, opt)
+			if err != nil {
+				t.Fatalf("k=%d opt=%+v: %v", k, opt, err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("k=%d opt=%+v support(%v) = %d, want %d",
+						k, opt, cands[i], got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPrefixKernelChunkedScratch forces the class scratch budget down so
+// profitable classes are processed across many chunks, and checks the
+// merged results stay exact.
+func TestPrefixKernelChunkedScratch(t *testing.T) {
+	db := gen.Random(300, 16, 0.4, 12)
+	bit := vertical.BuildBitsets(db)
+	d, err := Upload(newTestDevice(), bit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := prefixClassCands(14, 3)
+	opt := DefaultOptions()
+	opt.PrefixCache = true
+	// Just one class vector plus its metadata fits at a time.
+	opt.PrefixScratchWords = d.WordsPerVector() + 2 + 3*14
+	got, err := d.SupportCounts(cands, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cands {
+		if want := bit.SupportOf(c); got[i] != want {
+			t.Fatalf("support(%v) = %d, want %d", c, got[i], want)
+		}
+	}
+	// A budget below a single class falls back to complete intersection.
+	opt.PrefixScratchWords = 1
+	got, err = d.SupportCounts(cands, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cands {
+		if want := bit.SupportOf(c); got[i] != want {
+			t.Fatalf("fallback support(%v) = %d, want %d", c, got[i], want)
+		}
+	}
+}
+
+// TestPrefixKernelPairsFallThrough: k=2 has no shared prefix worth
+// caching; the dispatch must route it to the complete kernel unchanged.
+func TestPrefixKernelPairsFallThrough(t *testing.T) {
+	d, _ := uploadSmall(t)
+	cands := [][]dataset.Item{{3, 4}, {1, 5}, {2, 6}, {3, 7}}
+	opt := DefaultOptions()
+	opt.PrefixCache = true
+	got, err := d.SupportCounts(cands, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{4, 2, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("support(%v) = %d, want %d", cands[i], got[i], want[i])
+		}
+	}
+}
+
+// TestPrefixKernelSavesMemoryTraffic checks the variant's reason to
+// exist: on a prefix-heavy generation it must issue fewer global loads
+// than the complete kernel, visible in the device stats.
+func TestPrefixKernelSavesMemoryTraffic(t *testing.T) {
+	db := gen.Random(2000, 18, 0.4, 13)
+	bit := vertical.BuildBitsets(db)
+	cands := prefixClassCands(18, 4)
+
+	run := func(prefix bool) int64 {
+		dev := newTestDevice()
+		d, err := Upload(dev, bit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := DefaultOptions()
+		opt.PrefixCache = prefix
+		if _, err := d.SupportCounts(cands, opt); err != nil {
+			t.Fatal(err)
+		}
+		return dev.Stats().GlobalLoads
+	}
+
+	complete := run(false)
+	cached := run(true)
+	if cached >= complete {
+		t.Fatalf("prefix kernel loads %d, complete %d — expected a saving", cached, complete)
+	}
+}
+
+// --- Options.normalize edge cases (Section IV.3 block-size tuning) ---
+
+func TestNormalizeRoundsBlockToPowerOfTwo(t *testing.T) {
+	dev := newTestDevice()
+	for _, tc := range []struct{ in, want int }{
+		{300, 256}, {511, 256}, {257, 256}, {65, 64}, {33, 32}, {2, 2}, {1, 1},
+	} {
+		got := Options{BlockSize: tc.in, Unroll: 1}.normalize(dev)
+		if got.BlockSize != tc.want {
+			t.Fatalf("normalize(BlockSize=%d).BlockSize = %d, want %d", tc.in, got.BlockSize, tc.want)
+		}
+	}
+}
+
+func TestNormalizeClampsToDeviceLimit(t *testing.T) {
+	dev := newTestDevice()
+	max := dev.Config().MaxThreadsPerBlock
+	got := Options{BlockSize: max * 4, Unroll: 1}.normalize(dev)
+	if got.BlockSize > max {
+		t.Fatalf("normalize left BlockSize %d above device limit %d", got.BlockSize, max)
+	}
+	if got.BlockSize&(got.BlockSize-1) != 0 {
+		t.Fatalf("clamped BlockSize %d is not a power of two", got.BlockSize)
+	}
+	// The Fermi-generation M2050 allows 1024: the same request must not
+	// be clamped there.
+	fermi := gpusim.NewDevice(gpusim.TeslaM2050(), 1<<22)
+	fmax := fermi.Config().MaxThreadsPerBlock
+	if g := (Options{BlockSize: fmax, Unroll: 1}.normalize(fermi)); g.BlockSize != fmax {
+		t.Fatalf("Fermi normalize(BlockSize=%d).BlockSize = %d", fmax, g.BlockSize)
+	}
+}
+
+func TestNormalizeDefaultsAndUnrollFloor(t *testing.T) {
+	dev := newTestDevice()
+	for _, in := range []Options{{}, {BlockSize: -5, Unroll: -3}, {Unroll: 0}} {
+		got := in.normalize(dev)
+		if got.BlockSize != 256 {
+			t.Fatalf("normalize(%+v).BlockSize = %d, want default 256", in, got.BlockSize)
+		}
+		if got.Unroll < 1 {
+			t.Fatalf("normalize(%+v).Unroll = %d, want ≥ 1", in, got.Unroll)
+		}
+	}
+	if got := (Options{BlockSize: 128, Unroll: 4}.normalize(dev)); got.Unroll != 4 || got.BlockSize != 128 {
+		t.Fatalf("normalize altered already-valid options: %+v", got)
+	}
+}

@@ -1,0 +1,31 @@
+#!/bin/sh
+# Benchmark snapshot: runs the bitset micro-benchmarks and the apriori
+# Table-2 macro-benchmarks with -benchmem and converts the output into a
+# committed BENCH_<date>.json (ops/sec, ns/op, allocs/op, plus
+# speedup_vs_complete for every shape=/variant= sub-benchmark against its
+# shape's complete-intersection baseline).
+#
+# Each benchmark runs COUNT times and benchjson keeps the fastest run per
+# name, so background load on the benchmark host skews the snapshot as
+# little as possible.
+#
+# Environment:
+#   BENCHTIME  go test -benchtime value (default 1s; use e.g. 5x for a
+#              quick smoke run)
+#   COUNT      go test -count repetitions per benchmark (default 3)
+#   OUT        output file (default BENCH_YYYY-MM-DD.json in the repo root)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+COUNT="${COUNT:-3}"
+OUT="${OUT:-BENCH_$(date -u +%Y-%m-%d).json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run='^$' -bench=. -benchmem -benchtime="$BENCHTIME" -count="$COUNT" \
+    ./internal/bitset/ ./internal/apriori/ | tee "$tmp"
+
+go run ./cmd/benchjson <"$tmp" >"$OUT"
+echo "wrote $OUT"

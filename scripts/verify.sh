@@ -9,3 +9,7 @@ cd "$(dirname "$0")/.."
 
 go vet ./...
 go test -race ./...
+
+# Benchmark smoke: every benchmark (including the pooled-pipeline and
+# prefix-cache macro benchmarks) must run one iteration cleanly.
+go test -run='^$' -bench=. -benchtime=1x ./...
