@@ -11,6 +11,9 @@
 //	gpapriori -input t40.dat -minsup 0.02 -approx 0.1         # sampling
 //	gpapriori -dataset chess -scale 0.2 -minsup 0.8 -condense maximal
 //	gpapriori -input chess.dat -minsup 0.9 -json > result.json
+//	gpapriori -input t40.dat -minsup 0.02 -checkpoint run.ckpt       # durable
+//	gpapriori -input t40.dat -minsup 0.02 -checkpoint run.ckpt -resume
+//	gpapriori -input chess.dat -batch jobs.txt -batch-mem-mb 512     # job manager
 package main
 
 import (
@@ -19,6 +22,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"gpapriori"
 )
@@ -44,6 +50,13 @@ func main() {
 		condense = flag.String("condense", "", "condense output: closed or maximal")
 		approx   = flag.Float64("approx", 0, "approximate mining: sample this fraction first (0 = exact)")
 		topk     = flag.Int("topk", 0, "mine the K most frequent itemsets instead of using -minsup")
+		ckpt     = flag.String("checkpoint", "", "write a crash-safe checkpoint here at generation boundaries")
+		ckptN    = flag.Int("checkpoint-every", 1, "checkpoint every N generations")
+		resume   = flag.Bool("resume", false, "fast-forward from the -checkpoint file if it exists")
+		batch    = flag.String("batch", "", `batch job file: one "name priority minsup [algo] [deadline_sec]" per line`)
+		batchQ   = flag.Int("batch-queue", 0, "batch mode: max jobs queued for admission (0 = default)")
+		batchMem = flag.Int("batch-mem-mb", 1024, "batch mode: modeled memory budget for admitted jobs, MiB")
+		batchW   = flag.Int("batch-workers", 0, "batch mode: concurrently running jobs (0 = default)")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of text")
 		top      = flag.Int("top", 25, "print at most this many itemsets/rules (0 = all)")
 		quiet    = flag.Bool("quiet", false, "print only summary counts and timings")
@@ -57,6 +70,8 @@ func main() {
 		top: *top, quiet: *quiet, topk: *topk,
 		faults: *faults, seed: *seed,
 		prefix: *prefix, budget: *budget, blocked: *blocked,
+		checkpoint: *ckpt, ckptEvery: *ckptN, resume: *resume,
+		batch: *batch, batchQueue: *batchQ, batchMemMB: *batchMem, batchWorkers: *batchW,
 	}
 	if err := run(os.Stdout, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "gpapriori:", err)
@@ -77,6 +92,13 @@ type runOpts struct {
 	seed                      int64
 	prefix, blocked           bool
 	budget                    int
+
+	checkpoint string
+	ckptEvery  int
+	resume     bool
+
+	batch                                string
+	batchQueue, batchMemMB, batchWorkers int
 }
 
 // jsonReport is the machine-readable output shape.
@@ -129,7 +151,7 @@ func run(w io.Writer, o runOpts) error {
 	if err != nil {
 		return err
 	}
-	if o.minsup <= 0 && o.topk <= 0 {
+	if o.batch == "" && o.minsup <= 0 && o.topk <= 0 {
 		return fmt.Errorf("-minsup (ratio or absolute count) or -topk is required")
 	}
 	cfg := gpapriori.Config{
@@ -149,6 +171,27 @@ func run(w io.Writer, o runOpts) error {
 		cfg.RelativeSupport = o.minsup
 	} else {
 		cfg.MinSupport = int(o.minsup)
+	}
+
+	if o.batch != "" {
+		if o.minConf > 0 || o.condense != "" || o.approx > 0 || o.topk > 0 {
+			return fmt.Errorf("-batch cannot be combined with -rules, -condense, -approx, or -topk")
+		}
+		return runBatch(w, db, cfg, o)
+	}
+
+	if o.resume && o.checkpoint == "" {
+		return fmt.Errorf("-resume needs -checkpoint to know where the snapshot lives")
+	}
+	if o.checkpoint != "" {
+		if o.topk > 0 || o.approx > 0 {
+			return fmt.Errorf("-checkpoint supports plain mining only, not -topk or -approx")
+		}
+		cfg.Checkpoint = o.checkpoint
+		cfg.CheckpointEvery = o.ckptEvery
+		if o.resume {
+			cfg.ResumeFrom = o.checkpoint
+		}
 	}
 
 	var res *gpapriori.Result
@@ -321,4 +364,156 @@ func loadDatabase(o runOpts) (*gpapriori.Database, *gpapriori.Dictionary, error)
 		db, err := gpapriori.GeneratePaperDataset(o.dsName, o.scale)
 		return db, nil, err
 	}
+}
+
+// batchJob is one parsed line of a -batch file.
+type batchJob struct {
+	name     string
+	priority int
+	minsup   float64
+	algo     string
+	deadline time.Duration
+}
+
+// parseBatchFile reads a batch job file: one job per line as
+// "name priority minsup [algo] [deadline_sec]", where "-" keeps the
+// command-line algorithm. Blank lines and "#" comments are skipped.
+func parseBatchFile(path string) ([]batchJob, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var jobs []batchJob
+	for i, raw := range strings.Split(string(data), "\n") {
+		text := strings.TrimSpace(raw)
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		f := strings.Fields(text)
+		if len(f) < 3 || len(f) > 5 {
+			return nil, fmt.Errorf("%s: line %d: need 'name priority minsup [algo] [deadline_sec]'", path, i+1)
+		}
+		j := batchJob{name: f[0]}
+		if j.priority, err = strconv.Atoi(f[1]); err != nil {
+			return nil, fmt.Errorf("%s: line %d: bad priority %q: %v", path, i+1, f[1], err)
+		}
+		if j.minsup, err = strconv.ParseFloat(f[2], 64); err != nil || j.minsup <= 0 {
+			return nil, fmt.Errorf("%s: line %d: bad minsup %q", path, i+1, f[2])
+		}
+		if len(f) >= 4 && f[3] != "-" {
+			j.algo = f[3]
+		}
+		if len(f) == 5 {
+			sec, err := strconv.ParseFloat(f[4], 64)
+			if err != nil || sec <= 0 {
+				return nil, fmt.Errorf("%s: line %d: bad deadline %q", path, i+1, f[4])
+			}
+			j.deadline = time.Duration(sec * float64(time.Second))
+		}
+		jobs = append(jobs, j)
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("%s: no jobs", path)
+	}
+	return jobs, nil
+}
+
+// jsonBatchJob is one job's line of the batch-mode JSON report.
+type jsonBatchJob struct {
+	Name     string `json:"name"`
+	Priority int    `json:"priority"`
+	State    string `json:"state"`
+	Itemsets int    `json:"itemsets,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// runBatch mines every job of a -batch file over the loaded database
+// under the admission-controlled job manager, then reports each job's
+// lifecycle outcome. Exit status is non-zero when any job fails.
+func runBatch(w io.Writer, db *gpapriori.Database, base gpapriori.Config, o runOpts) error {
+	specs, err := parseBatchFile(o.batch)
+	if err != nil {
+		return err
+	}
+	jm, err := gpapriori.NewJobManager(gpapriori.JobManagerConfig{
+		QueueLimit:     o.batchQueue,
+		MemoryBudgetMB: o.batchMemMB,
+		Workers:        o.batchWorkers,
+	})
+	if err != nil {
+		return err
+	}
+	defer jm.Close()
+
+	if !o.jsonOut {
+		fmt.Fprintf(w, "batch: %d jobs, %d MiB budget\n", len(specs), o.batchMemMB)
+	}
+	handles := make([]*gpapriori.MiningJob, len(specs))
+	submitErrs := make([]error, len(specs))
+	for i, s := range specs {
+		cfg := base
+		if s.minsup < 1 {
+			cfg.RelativeSupport = s.minsup
+			cfg.MinSupport = 0
+		} else {
+			cfg.MinSupport = int(s.minsup)
+			cfg.RelativeSupport = 0
+		}
+		if s.algo != "" {
+			cfg.Algorithm = gpapriori.Algorithm(s.algo)
+		}
+		if o.checkpoint != "" {
+			cfg.Checkpoint = o.checkpoint + "." + s.name
+			cfg.CheckpointEvery = o.ckptEvery
+			if o.resume {
+				cfg.ResumeFrom = cfg.Checkpoint
+			}
+		}
+		handles[i], submitErrs[i] = jm.Submit(gpapriori.JobSpec{
+			Name: s.name, Priority: s.priority, Deadline: s.deadline,
+			DB: db, Config: cfg,
+		})
+	}
+
+	failed := 0
+	report := make([]jsonBatchJob, len(specs))
+	for i, s := range specs {
+		jr := jsonBatchJob{Name: s.name, Priority: s.priority}
+		if submitErrs[i] != nil {
+			jr.State = "rejected"
+			jr.Error = submitErrs[i].Error()
+			failed++
+		} else {
+			j := handles[i]
+			<-j.Done()
+			jr.State = j.State().String()
+			if res, err := j.Result(); err != nil {
+				jr.Error = err.Error()
+				failed++
+			} else {
+				jr.Itemsets = res.Len()
+			}
+		}
+		report[i] = jr
+	}
+
+	if o.jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
+	} else {
+		for _, jr := range report {
+			if jr.Error != "" {
+				fmt.Fprintf(w, "  job %-12s [prio %d] %s: %s\n", jr.Name, jr.Priority, jr.State, jr.Error)
+			} else {
+				fmt.Fprintf(w, "  job %-12s [prio %d] %s: %d frequent itemsets\n", jr.Name, jr.Priority, jr.State, jr.Itemsets)
+			}
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d batch jobs failed", failed, len(specs))
+	}
+	return nil
 }

@@ -229,3 +229,126 @@ func TestRunRejectsBadFaultSpec(t *testing.T) {
 		t.Fatalf("err = %v, want unknown-kind parse failure", err)
 	}
 }
+
+// TestRunCheckpointResume: mining with -checkpoint leaves a resumable
+// snapshot, and -resume reproduces the identical output.
+func TestRunCheckpointResume(t *testing.T) {
+	path := writeTempFile(t, "fig2.dat", figure2Dat)
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	var first, second bytes.Buffer
+	base := runOpts{input: path, minsup: 2, algo: "cpu-bitset", top: 0, checkpoint: ckpt, ckptEvery: 1}
+	if err := run(&first, base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+	resumed := base
+	resumed.resume = true
+	if err := run(&second, resumed); err != nil {
+		t.Fatal(err)
+	}
+	// Everything except the host-time line must match bit for bit.
+	strip := func(s string) string {
+		var keep []string
+		for _, l := range strings.Split(s, "\n") {
+			if !strings.HasPrefix(l, "host time:") {
+				keep = append(keep, l)
+			}
+		}
+		return strings.Join(keep, "\n")
+	}
+	if strip(first.String()) != strip(second.String()) {
+		t.Fatalf("resume changed the output:\n--- first\n%s\n--- resumed\n%s", first.String(), second.String())
+	}
+}
+
+func TestRunCheckpointValidation(t *testing.T) {
+	path := writeTempFile(t, "fig2.dat", figure2Dat)
+	var out bytes.Buffer
+	if err := run(&out, runOpts{input: path, minsup: 2, resume: true}); err == nil {
+		t.Fatal("-resume without -checkpoint accepted")
+	}
+	if err := run(&out, runOpts{input: path, topk: 3, checkpoint: "x", ckptEvery: 1}); err == nil {
+		t.Fatal("-checkpoint with -topk accepted")
+	}
+	if err := run(&out, runOpts{input: path, minsup: 2, approx: 0.5, checkpoint: "x", ckptEvery: 1}); err == nil {
+		t.Fatal("-checkpoint with -approx accepted")
+	}
+}
+
+// TestRunBatch drives the job-manager batch mode end to end.
+func TestRunBatch(t *testing.T) {
+	path := writeTempFile(t, "fig2.dat", figure2Dat)
+	jobsFile := writeTempFile(t, "jobs.txt", `
+# name priority minsup [algo] [deadline_sec]
+exact   5  2  cpu-bitset
+device  3  2  gpapriori
+relaxed 1  0.75
+`)
+	var out bytes.Buffer
+	err := run(&out, runOpts{input: path, batch: jobsFile, batchMemMB: 256, algo: "cpu-bitset"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"batch: 3 jobs", "job exact", "job device", "job relaxed", "done: 31 frequent itemsets"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in batch output:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunBatchJSON(t *testing.T) {
+	path := writeTempFile(t, "fig2.dat", figure2Dat)
+	jobsFile := writeTempFile(t, "jobs.txt", "a 1 2\nb 2 2\n")
+	var out bytes.Buffer
+	err := run(&out, runOpts{input: path, batch: jobsFile, batchMemMB: 256, algo: "cpu-bitset", jsonOut: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report []jsonBatchJob
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if len(report) != 2 || report[0].State != "done" || report[0].Itemsets != 31 {
+		t.Fatalf("report = %+v", report)
+	}
+}
+
+func TestRunBatchValidation(t *testing.T) {
+	path := writeTempFile(t, "fig2.dat", figure2Dat)
+	var out bytes.Buffer
+	cases := map[string]string{
+		"too-few-fields": "a 1\n",
+		"bad-priority":   "a x 2\n",
+		"bad-minsup":     "a 1 -2\n",
+		"bad-deadline":   "a 1 2 - zero\n",
+		"empty":          "# nothing\n",
+	}
+	for name, content := range cases {
+		jobsFile := writeTempFile(t, name+".txt", content)
+		if err := run(&out, runOpts{input: path, batch: jobsFile, batchMemMB: 64}); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	jobsFile := writeTempFile(t, "ok.txt", "a 1 2\n")
+	if err := run(&out, runOpts{input: path, batch: jobsFile, batchMemMB: 64, topk: 5}); err == nil {
+		t.Error("-batch with -topk accepted")
+	}
+}
+
+// TestRunBatchFailedJobNonZero: a job that exceeds its deadline fails the
+// batch run (non-zero exit) while the others still complete.
+func TestRunBatchFailedJobNonZero(t *testing.T) {
+	path := writeTempFile(t, "fig2.dat", figure2Dat)
+	jobsFile := writeTempFile(t, "jobs.txt", "ok 2 2 cpu-bitset\ndoomed 1 2 cpu-bitset 0.000000001\n")
+	var out bytes.Buffer
+	err := run(&out, runOpts{input: path, batch: jobsFile, batchMemMB: 256})
+	if err == nil || !strings.Contains(err.Error(), "1 of 2 batch jobs failed") {
+		t.Fatalf("err = %v, want one failed job", err)
+	}
+	if !strings.Contains(out.String(), "job ok") {
+		t.Fatalf("surviving job missing from output:\n%s", out.String())
+	}
+}

@@ -31,6 +31,7 @@ import (
 
 	"gpapriori/internal/apriori"
 	"gpapriori/internal/bitset"
+	"gpapriori/internal/checkpoint"
 	"gpapriori/internal/core"
 	"gpapriori/internal/dataset"
 	"gpapriori/internal/eclat"
@@ -171,6 +172,37 @@ type Config struct {
 	Faults string
 	// FaultSeed seeds the fault injectors for reproducible fault runs.
 	FaultSeed int64
+
+	// Checkpoint snapshots mining state to this file at every generation
+	// boundary (crash-safe: write-to-temp + rename), so a killed run can
+	// be resumed with ResumeFrom. Level-wise algorithms only — the
+	// depth-first miners (Eclat, FP-Growth) and the overlapped Pipeline
+	// have no generation boundary to snapshot at, and mining them with
+	// Checkpoint set is an error rather than a silent no-op.
+	Checkpoint string
+	// CheckpointEvery saves every N counted generations (0 = every
+	// generation when Checkpoint is set). The final boundary is always
+	// saved.
+	CheckpointEvery int
+	// ResumeFrom fast-forwards the run past the generations recorded in
+	// the checkpoint at this path. A missing file starts fresh; a
+	// checkpoint from a different database or support threshold is an
+	// error (never silently mixed in). Typically the same path as
+	// Checkpoint: kill the process, rerun the same config, and the
+	// result is bit-identical to an uninterrupted run.
+	ResumeFrom string
+	// MemoryBudgetMB caps the modeled device memory of a multi-GPU run
+	// in MiB (0 = uncapped); a budget too small for even one device's
+	// first-generation bitsets is rejected up front.
+	MemoryBudgetMB int
+
+	// onCheckpoint, when set, is notified after each successful
+	// checkpoint save. The job manager uses it to surface the
+	// checkpointed lifecycle state.
+	onCheckpoint func(gen int)
+	// excludeDevices removes simulated devices from the pool for this
+	// run (circuit-breaker integration); forces the multi-device path.
+	excludeDevices []int
 }
 
 // Itemset is one frequent itemset with its absolute support.
@@ -275,6 +307,9 @@ func MineContext(ctx context.Context, db *Database, cfg Config) (*Result, error)
 		return nil, err
 	}
 	acfg := apriori.Config{MaxLen: cfg.MaxLen}
+	if err := wireCheckpoint(db, algo, minSup, cfg, &acfg); err != nil {
+		return nil, err
+	}
 
 	res := &Result{Algorithm: algo, MinSupport: minSup}
 	var rs *dataset.ResultSet
@@ -309,43 +344,12 @@ func MineContext(ctx context.Context, db *Database, cfg Config) (*Result, error)
 		}
 		// Fault runs take the multi-device path even on one device: it can
 		// fail over and degrade to the CPU, so the run always completes.
-		if cfg.Devices > 1 || cfg.HybridCPUShare > 0 || len(faults) > 0 {
-			devices := cfg.Devices
-			if devices < 1 {
-				devices = 1
-			}
-			popc := bitset.PopcountHardware
-			if cfg.EraPopcount {
-				popc = bitset.PopcountTable8
-			}
-			m, err := core.NewMulti(db.db, core.MultiOptions{
-				Devices:        devices,
-				Kernel:         kopt,
-				HybridCPUShare: cfg.HybridCPUShare,
-				CPUPopcount:    popc,
-				CPUCount:       cfg.countOptions(),
-				Faults:         faults,
-				FaultSeed:      cfg.FaultSeed,
-			})
+		// Device exclusions (circuit breaker) need the same machinery.
+		if cfg.Devices > 1 || cfg.HybridCPUShare > 0 || len(faults) > 0 ||
+			len(cfg.excludeDevices) > 0 {
+			rs, err = runMultiDevice(ctx, db, cfg, minSup, acfg, kopt, faults, res)
 			if err != nil {
 				return nil, err
-			}
-			rep, err := m.MineContext(ctx, minSup, acfg)
-			if err != nil {
-				return nil, err
-			}
-			rs = rep.Result
-			res.HostSeconds = rep.HostSeconds
-			res.DeviceSeconds = rep.DeviceSeconds
-			res.DeviceBreakdown = map[string]float64{
-				"pool":      rep.DeviceSeconds,
-				"cpu-share": rep.CPUCountSeconds,
-				"devices":   float64(devices),
-				"cpu-cands": float64(rep.CandidatesCPU),
-			}
-			if rep.Faults.Any() {
-				f := FaultStats(rep.Faults)
-				res.Faults = &f
 			}
 			break
 		}
@@ -449,6 +453,110 @@ func MineContext(ctx context.Context, db *Database, cfg Config) (*Result, error)
 		res.Itemsets[i] = Itemset{Items: s.Items, Support: s.Support}
 	}
 	return res, nil
+}
+
+// runMultiDevice is the failover-capable AlgoGPApriori path: a pool of
+// simulated devices with optional hybrid CPU share, fault injection,
+// breaker-driven device exclusion, and a modeled memory budget. It fills
+// res's timing/fault fields and returns the frequent sets.
+func runMultiDevice(ctx context.Context, db *Database, cfg Config, minSup int,
+	acfg apriori.Config, kopt kernels.Options, faults []core.DeviceFault,
+	res *Result) (*dataset.ResultSet, error) {
+	devices := cfg.Devices
+	if devices < 1 {
+		devices = 1
+	}
+	popc := bitset.PopcountHardware
+	if cfg.EraPopcount {
+		popc = bitset.PopcountTable8
+	}
+	m, err := core.NewMulti(db.db, core.MultiOptions{
+		Devices:           devices,
+		Kernel:            kopt,
+		HybridCPUShare:    cfg.HybridCPUShare,
+		CPUPopcount:       popc,
+		CPUCount:          cfg.countOptions(),
+		Faults:            faults,
+		FaultSeed:         cfg.FaultSeed,
+		MemoryBudgetBytes: int64(cfg.MemoryBudgetMB) << 20,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range cfg.excludeDevices {
+		m.SetDeviceEnabled(d, false)
+	}
+	rep, err := m.MineContext(ctx, minSup, acfg)
+	if err != nil {
+		return nil, err
+	}
+	res.HostSeconds = rep.HostSeconds
+	res.DeviceSeconds = rep.DeviceSeconds
+	res.DeviceBreakdown = map[string]float64{
+		"pool":      rep.DeviceSeconds,
+		"cpu-share": rep.CPUCountSeconds,
+		"devices":   float64(devices),
+		"cpu-cands": float64(rep.CandidatesCPU),
+	}
+	if rep.Faults.Any() {
+		f := FaultStats(rep.Faults)
+		res.Faults = &f
+	}
+	return rep.Result, nil
+}
+
+// wireCheckpoint installs the public checkpoint/resume config into the
+// level-wise driver config. The hook installed here wins over any
+// miner-level checkpoint spec (checkpoint.Wire is a no-op when a hook is
+// already present), so every AlgoGPApriori variant and CPU strategy flows
+// through this one save path.
+func wireCheckpoint(db *Database, algo Algorithm, minSup int, cfg Config, acfg *apriori.Config) error {
+	if cfg.Checkpoint == "" && cfg.ResumeFrom == "" {
+		if cfg.CheckpointEvery != 0 {
+			return fmt.Errorf("gpapriori: Config.CheckpointEvery %d set without Config.Checkpoint",
+				cfg.CheckpointEvery)
+		}
+		return nil
+	}
+	switch algo {
+	case AlgoEclat, AlgoEclatDiffset, AlgoFPGrowth, AlgoPipeline:
+		return fmt.Errorf("gpapriori: algorithm %q cannot checkpoint or resume: it has no generation boundary to snapshot at (use a level-wise algorithm)", algo)
+	}
+	every := cfg.CheckpointEvery
+	if every == 0 {
+		every = 1
+	}
+	if every < 0 {
+		return fmt.Errorf("gpapriori: Config.CheckpointEvery %d must be ≥0", cfg.CheckpointEvery)
+	}
+	fp := checkpoint.Fingerprint(db.db, minSup, cfg.MaxLen)
+	if cfg.ResumeFrom != "" {
+		snap, err := checkpoint.TryResume(cfg.ResumeFrom, fp, minSup)
+		if err != nil {
+			return err
+		}
+		if snap != nil {
+			acfg.Resume = &apriori.Resume{Gen: snap.Gen, Frequent: snap.Frequent}
+		}
+	}
+	if cfg.Checkpoint == "" {
+		return nil
+	}
+	path, maxLen, algoName, notify := cfg.Checkpoint, cfg.MaxLen, string(algo), cfg.onCheckpoint
+	acfg.CheckpointEvery = every
+	acfg.Checkpoint = func(gen int, frequent *dataset.ResultSet) error {
+		err := checkpoint.Save(path, checkpoint.Snapshot{
+			Gen: gen, MinSupport: minSup, MaxLen: maxLen,
+			Fingerprint: fp,
+			Meta:        map[string]string{"algorithm": algoName},
+			Frequent:    frequent,
+		})
+		if err == nil && notify != nil {
+			notify(gen)
+		}
+		return err
+	}
+	return nil
 }
 
 // capLen filters rs to itemsets of at most maxLen items (depth-first

@@ -1,0 +1,227 @@
+package apriori
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"gpapriori/internal/bitset"
+	"gpapriori/internal/dataset"
+	"gpapriori/internal/gen"
+	"gpapriori/internal/oracle"
+	"gpapriori/internal/trie"
+)
+
+// TestCheckpointHookSequence verifies the hook fires at every generation
+// boundary with the cumulative frequent sets, and that the final boundary
+// is always checkpointed.
+func TestCheckpointHookSequence(t *testing.T) {
+	db := gen.Small()
+	minSup := 2
+	var gens []int
+	var last *dataset.ResultSet
+	cfg := Config{
+		Checkpoint: func(g int, rs *dataset.ResultSet) error {
+			gens = append(gens, g)
+			last = rs
+			return nil
+		},
+	}
+	want, err := Mine(db, minSup, NewCPUBitset(db, bitset.PopcountHardware), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) == 0 {
+		t.Fatal("checkpoint hook never fired")
+	}
+	for i := 1; i < len(gens); i++ {
+		if gens[i] != gens[i-1]+1 {
+			t.Errorf("generations not consecutive: %v", gens)
+		}
+	}
+	// The final checkpoint must hold the complete result.
+	if !last.Equal(want) {
+		t.Errorf("final checkpoint differs from mining result:\n%s",
+			strings.Join(last.Diff(want), "\n"))
+	}
+}
+
+// TestCheckpointEvery verifies the interval semantics: with EveryGens=2
+// only every other boundary fires, plus always the final one.
+func TestCheckpointEvery(t *testing.T) {
+	db := gen.Random(80, 10, 0.4, 11)
+	var gens []int
+	cfg := Config{
+		CheckpointEvery: 2,
+		Checkpoint: func(g int, rs *dataset.ResultSet) error {
+			gens = append(gens, g)
+			return nil
+		},
+	}
+	if _, err := Mine(db, 4, NewCPUBitset(db, bitset.PopcountHardware), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) == 0 {
+		t.Fatal("no checkpoints at interval 2")
+	}
+	for i := 1; i < len(gens)-1; i++ {
+		if gens[i]-gens[i-1] != 2 {
+			t.Errorf("interior checkpoint interval broken: %v", gens)
+		}
+	}
+}
+
+// TestCheckpointErrorAborts: a failing save must abort the run — mining on
+// without the durability the caller asked for is worse than stopping.
+func TestCheckpointErrorAborts(t *testing.T) {
+	db := gen.Small()
+	boom := errors.New("disk full")
+	cfg := Config{Checkpoint: func(int, *dataset.ResultSet) error { return boom }}
+	if _, err := Mine(db, 2, NewCPUBitset(db, bitset.PopcountHardware), cfg); !errors.Is(err, boom) {
+		t.Errorf("want checkpoint error to propagate, got %v", err)
+	}
+}
+
+// TestResumeEquivalence is the core invariant: resuming from any
+// generation boundary produces results bit-identical to an uninterrupted
+// run, for every boundary of several databases and thresholds.
+func TestResumeEquivalence(t *testing.T) {
+	cases := []struct {
+		name   string
+		db     *dataset.DB
+		minSup int
+	}{
+		{"small", gen.Small(), 2},
+		{"random", gen.Random(120, 14, 0.35, 7), 6},
+		{"dense", gen.AttributeValue(gen.Chess()), 0}, // minSup set below
+	}
+	cases[2].minSup = cases[2].db.AbsoluteSupport(0.85)
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			// Capture every boundary of an uninterrupted run.
+			type point struct {
+				gen int
+				rs  *dataset.ResultSet
+			}
+			var points []point
+			cfg := Config{Checkpoint: func(g int, rs *dataset.ResultSet) error {
+				points = append(points, point{g, rs})
+				return nil
+			}}
+			counter := NewCPUBitset(c.db, bitset.PopcountHardware)
+			want, err := Mine(c.db, c.minSup, counter, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref := oracle.Mine(c.db, c.minSup); !want.Equal(ref) {
+				t.Fatalf("uninterrupted run wrong vs oracle:\n%s",
+					strings.Join(want.Diff(ref), "\n"))
+			}
+			// Resume from every boundary; each must reproduce want exactly.
+			for _, p := range points {
+				got, err := Mine(c.db, c.minSup, NewCPUBitset(c.db, bitset.PopcountHardware),
+					Config{Resume: &Resume{Gen: p.gen, Frequent: p.rs}})
+				if err != nil {
+					t.Fatalf("resume from gen %d: %v", p.gen, err)
+				}
+				if !got.Equal(want) {
+					t.Errorf("resume from gen %d not bit-identical:\n%s",
+						p.gen, strings.Join(got.Diff(want), "\n"))
+				}
+			}
+		})
+	}
+}
+
+// TestResumeEquivalenceAcrossStrategies: a checkpoint taken by one
+// counting strategy must resume under another — the boundary state is
+// strategy-independent.
+func TestResumeEquivalenceAcrossStrategies(t *testing.T) {
+	db := gen.Random(60, 12, 0.35, 3)
+	minSup := 3
+	var mid *Resume
+	cfg := Config{Checkpoint: func(g int, rs *dataset.ResultSet) error {
+		if g == 2 {
+			mid = &Resume{Gen: g, Frequent: rs}
+		}
+		return nil
+	}}
+	want, err := Mine(db, minSup, NewBodon(db), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid == nil {
+		t.Skip("run ended before generation 2")
+	}
+	got, err := Mine(db, minSup, NewBorgelt(db), Config{Resume: mid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Errorf("cross-strategy resume differs:\n%s", strings.Join(got.Diff(want), "\n"))
+	}
+}
+
+// TestResumeFromFinalCheckpoint: resuming from a completed run's
+// checkpoint terminates immediately with the full result.
+func TestResumeFromFinalCheckpoint(t *testing.T) {
+	db := gen.Small()
+	var final *Resume
+	cfg := Config{Checkpoint: func(g int, rs *dataset.ResultSet) error {
+		final = &Resume{Gen: g, Frequent: rs}
+		return nil
+	}}
+	want, err := Mine(db, 2, NewCPUBitset(db, bitset.PopcountHardware), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counted := 0
+	got, err := Mine(db, 2, &countingCounter{inner: NewCPUBitset(db, bitset.PopcountHardware), n: &counted},
+		Config{Resume: final})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counted != 0 {
+		t.Errorf("resume from final checkpoint recounted %d generations", counted)
+	}
+	if !got.Equal(want) {
+		t.Errorf("resume from final checkpoint differs:\n%s", strings.Join(got.Diff(want), "\n"))
+	}
+}
+
+type countingCounter struct {
+	inner Counter
+	n     *int
+}
+
+func (c *countingCounter) Name() string { return "counting(" + c.inner.Name() + ")" }
+func (c *countingCounter) Count(t *trie.Trie, cands []trie.Candidate, k int) error {
+	*c.n++
+	return c.inner.Count(t, cands, k)
+}
+
+// TestResumeValidation rejects malformed resume points with clear errors.
+func TestResumeValidation(t *testing.T) {
+	db := gen.Small()
+	counter := NewCPUBitset(db, bitset.PopcountHardware)
+	rs := &dataset.ResultSet{}
+	rs.Add([]dataset.Item{0}, 5)
+
+	if _, err := Mine(db, 2, counter, Config{Resume: &Resume{Gen: 0, Frequent: rs}}); err == nil {
+		t.Error("accepted resume generation 0")
+	}
+	if _, err := Mine(db, 2, counter, Config{Resume: &Resume{Gen: 1}}); err == nil {
+		t.Error("accepted resume with nil frequent sets")
+	}
+	low := &dataset.ResultSet{}
+	low.Add([]dataset.Item{0}, 1)
+	if _, err := Mine(db, 2, counter, Config{Resume: &Resume{Gen: 1, Frequent: low}}); err == nil {
+		t.Error("accepted resume itemset below the support threshold")
+	}
+	long := &dataset.ResultSet{}
+	long.Add([]dataset.Item{0}, 5)
+	long.Add([]dataset.Item{0, 1}, 4)
+	if _, err := Mine(db, 2, counter, Config{Resume: &Resume{Gen: 1, Frequent: long}}); err == nil {
+		t.Error("accepted resume itemset longer than the resume generation")
+	}
+}

@@ -1,0 +1,371 @@
+// Package checkpoint makes level-wise mining runs crash-safe. The paper's
+// complete-intersection design keeps only the first-generation bitsets as
+// durable state — the candidate trie and every later generation are
+// recomputable from a generation boundary — so the whole mining state at
+// the end of generation k is exactly "the frequent itemsets of length ≤ k".
+// A Snapshot captures that plus enough identity (config fingerprint,
+// minimum support) to refuse resuming into a different run.
+//
+// Durability contract: Save writes the snapshot to a temporary file in the
+// destination directory, syncs it, and renames it over the target — a
+// crash (or SIGKILL) at any instant leaves either the previous checkpoint
+// or the new one, never a torn file. Load verifies a CRC32 over the whole
+// payload before trusting anything, and returns typed errors
+// (ErrCorrupt, ErrMismatch) so callers can distinguish damage from a
+// config change.
+package checkpoint
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gpapriori/internal/apriori"
+	"gpapriori/internal/dataset"
+	"gpapriori/internal/resultio"
+)
+
+// magic is the first line of every checkpoint file; the version suffix
+// guards against format drift.
+const magic = "gpapriori-checkpoint v1"
+
+var (
+	// ErrCorrupt marks a checkpoint file that failed structural or
+	// checksum validation — truncated, bit-flipped, or not a checkpoint.
+	ErrCorrupt = errors.New("checkpoint: corrupt checkpoint file")
+	// ErrMismatch marks a well-formed checkpoint that belongs to a
+	// different run (different database, support threshold, or MaxLen).
+	ErrMismatch = errors.New("checkpoint: checkpoint does not match this run")
+)
+
+// Snapshot is the durable mining state at one generation boundary.
+type Snapshot struct {
+	// Gen is the largest itemset length whose generation has been fully
+	// counted and pruned (≥1; generation 1 is the frequent items).
+	Gen int
+	// MinSupport is the absolute threshold of the checkpointed run.
+	MinSupport int
+	// MaxLen is the run's itemset length bound (0 = unbounded).
+	MaxLen int
+	// Fingerprint identifies the database + parameters (see Fingerprint).
+	Fingerprint uint64
+	// Meta carries informational key/value pairs (fault stats, miner
+	// identity); keys and values must be single-line.
+	Meta map[string]string
+	// Frequent holds every frequent itemset of length ≤ Gen with its
+	// support — the complete resumable state.
+	Frequent *dataset.ResultSet
+}
+
+// Fingerprint hashes the database content together with the run
+// parameters that determine the generation sequence. Two runs with equal
+// fingerprints walk identical candidate trees, which is the precondition
+// for resume-equivalence.
+func Fingerprint(db *dataset.DB, minSupport, maxLen int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(uint64(db.Len()))
+	put(uint64(db.NumItems()))
+	put(uint64(minSupport))
+	put(uint64(maxLen))
+	for _, tr := range db.Transactions() {
+		put(uint64(len(tr)))
+		for _, it := range tr {
+			put(uint64(it))
+		}
+	}
+	return h.Sum64()
+}
+
+// testHookAfterTemp, when non-nil, runs after the temporary file is fully
+// written but before the rename — the window where a naive implementation
+// would tear the checkpoint. Tests use it to model slow writers, crashes,
+// and cancellation; a non-nil error abandons the save, leaving any
+// previous checkpoint untouched.
+var testHookAfterTemp func() error
+
+// Save atomically writes s to path (write-to-temp + fsync + rename). An
+// existing checkpoint at path is replaced only once the new one is fully
+// on disk.
+func Save(path string, s Snapshot) error {
+	if s.Gen < 1 {
+		return fmt.Errorf("checkpoint: cannot save generation %d (must be ≥1)", s.Gen)
+	}
+	if s.Frequent == nil {
+		return fmt.Errorf("checkpoint: cannot save a nil result set")
+	}
+	payload, err := encodePayload(s)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	crc := crc32.ChecksumIEEE(payload)
+	if _, err := fmt.Fprintf(tmp, "%s\ncrc32 %08x\n", magic, crc); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if testHookAfterTemp != nil {
+		if err := testHookAfterTemp(); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// encodePayload renders the checksummed portion of the file: header
+// key/value lines, a "---" divider, then the resultio body.
+func encodePayload(s Snapshot) ([]byte, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "gen %d\n", s.Gen)
+	fmt.Fprintf(&b, "minsup %d\n", s.MinSupport)
+	fmt.Fprintf(&b, "maxlen %d\n", s.MaxLen)
+	fmt.Fprintf(&b, "fingerprint %016x\n", s.Fingerprint)
+	keys := make([]string, 0, len(s.Meta))
+	for k := range s.Meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v := s.Meta[k]
+		if strings.ContainsAny(k, " \n") || strings.Contains(v, "\n") {
+			return nil, fmt.Errorf("checkpoint: meta entry %q must be single-line with a space-free key", k)
+		}
+		fmt.Fprintf(&b, "meta %s %s\n", k, v)
+	}
+	fmt.Fprintf(&b, "sets %d\n", s.Frequent.Len())
+	b.WriteString("---\n")
+	var body strings.Builder
+	if err := resultio.Write(&body, s.Frequent); err != nil {
+		return nil, err
+	}
+	b.WriteString(body.String())
+	return []byte(b.String()), nil
+}
+
+// Load reads and validates the checkpoint at path. Structural damage and
+// checksum failures return errors matching ErrCorrupt; os.IsNotExist
+// (errors.Is(err, os.ErrNotExist)) is passed through for callers that
+// treat a missing checkpoint as "start fresh".
+func Load(path string) (Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	defer f.Close()
+	return decode(f)
+}
+
+// corrupt wraps a reason so errors.Is(err, ErrCorrupt) holds.
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+func decode(r io.Reader) (Snapshot, error) {
+	br := bufio.NewReader(r)
+	readLine := func() (string, error) {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return "", err
+		}
+		return strings.TrimSuffix(line, "\n"), nil
+	}
+	first, err := readLine()
+	if err != nil {
+		return Snapshot{}, corrupt("missing magic line")
+	}
+	if first != magic {
+		return Snapshot{}, corrupt("bad magic %q", first)
+	}
+	crcLine, err := readLine()
+	if err != nil {
+		return Snapshot{}, corrupt("missing crc line")
+	}
+	crcHex, ok := strings.CutPrefix(crcLine, "crc32 ")
+	if !ok {
+		return Snapshot{}, corrupt("bad crc line %q", crcLine)
+	}
+	wantCRC, err := strconv.ParseUint(crcHex, 16, 32)
+	if err != nil {
+		return Snapshot{}, corrupt("unparsable crc %q", crcHex)
+	}
+	payload, err := io.ReadAll(br)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("checkpoint: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != uint32(wantCRC) {
+		return Snapshot{}, corrupt("checksum mismatch: file says %08x, payload is %08x", uint32(wantCRC), got)
+	}
+	// The checksum held, so the payload is exactly what Save wrote; any
+	// parse failure past this point still reports as corruption (it can
+	// only mean a version skew or an in-memory bug, never torn I/O).
+	header, body, found := strings.Cut(string(payload), "---\n")
+	if !found {
+		return Snapshot{}, corrupt("missing '---' divider")
+	}
+	s := Snapshot{Meta: map[string]string{}}
+	wantSets := -1
+	for _, line := range strings.Split(strings.TrimSuffix(header, "\n"), "\n") {
+		key, val, ok := strings.Cut(line, " ")
+		if !ok {
+			return Snapshot{}, corrupt("bad header line %q", line)
+		}
+		switch key {
+		case "gen":
+			s.Gen, err = strconv.Atoi(val)
+		case "minsup":
+			s.MinSupport, err = strconv.Atoi(val)
+		case "maxlen":
+			s.MaxLen, err = strconv.Atoi(val)
+		case "fingerprint":
+			s.Fingerprint, err = strconv.ParseUint(val, 16, 64)
+		case "sets":
+			wantSets, err = strconv.Atoi(val)
+		case "meta":
+			mk, mv, _ := strings.Cut(val, " ")
+			s.Meta[mk] = mv
+		default:
+			return Snapshot{}, corrupt("unknown header key %q", key)
+		}
+		if err != nil {
+			return Snapshot{}, corrupt("bad header value in %q: %v", line, err)
+		}
+	}
+	if s.Gen < 1 {
+		return Snapshot{}, corrupt("generation %d out of range", s.Gen)
+	}
+	if s.MinSupport < 1 {
+		return Snapshot{}, corrupt("minimum support %d out of range", s.MinSupport)
+	}
+	rs, err := resultio.Read(strings.NewReader(body))
+	if err != nil {
+		return Snapshot{}, corrupt("body: %v", err)
+	}
+	if wantSets >= 0 && rs.Len() != wantSets {
+		return Snapshot{}, corrupt("header promises %d sets, body has %d", wantSets, rs.Len())
+	}
+	s.Frequent = rs
+	return s, nil
+}
+
+// TryResume loads the checkpoint at path and validates it against the
+// run identity (fingerprint + absolute support). It returns (nil, nil)
+// when no checkpoint exists — the caller starts fresh — and ErrMismatch
+// when one exists but belongs to a different run, so a stale file is
+// surfaced instead of silently overwritten.
+func TryResume(path string, fingerprint uint64, minSupport int) (*Snapshot, error) {
+	s, err := Load(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if s.Fingerprint != fingerprint || s.MinSupport != minSupport {
+		return nil, fmt.Errorf("%w: %s holds fingerprint %016x @ minsup %d, this run is %016x @ minsup %d",
+			ErrMismatch, path, s.Fingerprint, s.MinSupport, fingerprint, minSupport)
+	}
+	return &s, nil
+}
+
+// Spec is the checkpoint configuration threaded through the miner option
+// structs (core.Options, core.MultiOptions, cluster.Config). The zero
+// value disables checkpointing.
+type Spec struct {
+	// Path is the checkpoint file ("" = checkpointing off).
+	Path string
+	// EveryGens checkpoints every N counted generations. It must be ≥1
+	// whenever Path is set: an accidental zero would mean "never", which
+	// on a crash silently loses the whole run.
+	EveryGens int
+	// Resume makes the miner fast-forward from an existing compatible
+	// checkpoint at Path before mining (a missing file starts fresh).
+	Resume bool
+}
+
+// Enabled reports whether the spec actually checkpoints.
+func (s Spec) Enabled() bool { return s.Path != "" }
+
+// Validate rejects unusable specs with errors naming the field.
+func (s Spec) Validate() error {
+	if s.Path == "" {
+		if s.EveryGens != 0 {
+			return fmt.Errorf("checkpoint: Spec.EveryGens %d set without Spec.Path", s.EveryGens)
+		}
+		return nil
+	}
+	if s.EveryGens < 1 {
+		return fmt.Errorf("checkpoint: Spec.EveryGens %d must be ≥1 when Spec.Path is set", s.EveryGens)
+	}
+	return nil
+}
+
+// Wire installs spec into an apriori.Config: a save hook writing
+// snapshots to spec.Path (tagged with the run fingerprint and, when meta
+// is non-nil, its key/value pairs at save time), and — when spec.Resume —
+// the resume point recovered from an existing compatible checkpoint.
+// A cfg that already carries a Checkpoint hook is left untouched, so
+// higher layers (the public API) win over miner-level specs.
+func Wire(spec Spec, db *dataset.DB, minSupport int, cfg *apriori.Config, meta func() map[string]string) error {
+	if !spec.Enabled() || cfg.Checkpoint != nil {
+		return nil
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	fp := Fingerprint(db, minSupport, cfg.MaxLen)
+	if spec.Resume && cfg.Resume == nil {
+		snap, err := TryResume(spec.Path, fp, minSupport)
+		if err != nil {
+			return err
+		}
+		if snap != nil {
+			cfg.Resume = &apriori.Resume{Gen: snap.Gen, Frequent: snap.Frequent}
+		}
+	}
+	maxLen := cfg.MaxLen
+	cfg.CheckpointEvery = spec.EveryGens
+	cfg.Checkpoint = func(gen int, frequent *dataset.ResultSet) error {
+		s := Snapshot{
+			Gen: gen, MinSupport: minSupport, MaxLen: maxLen,
+			Fingerprint: fp, Frequent: frequent,
+		}
+		if meta != nil {
+			s.Meta = meta()
+		}
+		return Save(spec.Path, s)
+	}
+	return nil
+}

@@ -1,0 +1,389 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gpapriori/internal/apriori"
+	"gpapriori/internal/dataset"
+)
+
+func sampleSnapshot() Snapshot {
+	rs := &dataset.ResultSet{}
+	rs.Add([]dataset.Item{0}, 5)
+	rs.Add([]dataset.Item{1}, 4)
+	rs.Add([]dataset.Item{0, 1}, 3)
+	return Snapshot{
+		Gen: 2, MinSupport: 3, MaxLen: 0,
+		Fingerprint: 0xdeadbeefcafef00d,
+		Meta:        map[string]string{"faults": "none", "miner": "test"},
+		Frequent:    rs,
+	}
+}
+
+func sampleDB() *dataset.DB {
+	return dataset.New([][]dataset.Item{
+		{0, 1, 2}, {0, 1}, {0, 1, 3}, {0, 2}, {1, 3},
+	})
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck")
+	want := sampleSnapshot()
+	if err := Save(path, want); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Gen != want.Gen || got.MinSupport != want.MinSupport ||
+		got.MaxLen != want.MaxLen || got.Fingerprint != want.Fingerprint {
+		t.Errorf("header mismatch: got %+v want %+v", got, want)
+	}
+	if got.Meta["faults"] != "none" || got.Meta["miner"] != "test" {
+		t.Errorf("meta mismatch: %v", got.Meta)
+	}
+	if !got.Frequent.Equal(want.Frequent) {
+		t.Errorf("frequent sets differ:\n%s", strings.Join(got.Frequent.Diff(want.Frequent), "\n"))
+	}
+}
+
+func TestSaveReplacesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck")
+	first := sampleSnapshot()
+	if err := Save(path, first); err != nil {
+		t.Fatal(err)
+	}
+	second := sampleSnapshot()
+	second.Gen = 3
+	second.Frequent.Add([]dataset.Item{0, 1, 2}, 3)
+	if err := Save(path, second); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Gen != 3 || got.Frequent.Len() != 4 {
+		t.Errorf("got gen %d with %d sets, want gen 3 with 4", got.Gen, got.Frequent.Len())
+	}
+}
+
+func TestSaveRejectsInvalid(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck")
+	if err := Save(path, Snapshot{Gen: 0, Frequent: &dataset.ResultSet{}}); err == nil {
+		t.Error("Save accepted generation 0")
+	}
+	if err := Save(path, Snapshot{Gen: 1}); err == nil {
+		t.Error("Save accepted nil result set")
+	}
+	s := sampleSnapshot()
+	s.Meta = map[string]string{"bad key": "x"}
+	if err := Save(path, s); err == nil {
+		t.Error("Save accepted a meta key containing a space")
+	}
+	s.Meta = map[string]string{"k": "multi\nline"}
+	if err := Save(path, s); err == nil {
+		t.Error("Save accepted a multi-line meta value")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	_, err := Load(filepath.Join(t.TempDir(), "nope"))
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("want os.ErrNotExist, got %v", err)
+	}
+}
+
+// TestLoadCorrupt damages a valid file in every structural way a crash or
+// bit rot could produce; each must surface as ErrCorrupt, never as a
+// silently wrong snapshot.
+func TestLoadCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck")
+	if err := Save(path, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":            {},
+		"bad magic":        []byte("not-a-checkpoint v9\n" + string(raw)),
+		"missing crc":      []byte(magic + "\n"),
+		"bad crc line":     []byte(magic + "\nchecksum zzz\nrest\n"),
+		"truncated":        raw[:len(raw)-7],
+		"bit flip":         append(append([]byte{}, raw[:len(raw)-2]...), raw[len(raw)-2]^0x40, raw[len(raw)-1]),
+		"payload appended": append(append([]byte{}, raw...), []byte("3 9 9\n")...),
+	}
+	for name, data := range cases {
+		p := filepath.Join(dir, "bad")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Load(p)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: want ErrCorrupt, got %v", name, err)
+		}
+	}
+}
+
+// TestLoadCorruptHeader tampers with the payload and fixes up the CRC, so
+// only the header/body validation can catch it.
+func TestLoadCorruptHeader(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"no divider":     "gen 2\nminsup 3\n",
+		"bad gen":        "gen 0\nminsup 3\nmaxlen 0\nfingerprint 0\nsets 0\n---\n",
+		"bad minsup":     "gen 1\nminsup 0\nmaxlen 0\nfingerprint 0\nsets 0\n---\n",
+		"unknown key":    "gen 1\nminsup 3\nbogus 7\nsets 0\n---\n",
+		"unparsable":     "gen x\nminsup 3\nsets 0\n---\n",
+		"set count lies": "gen 1\nminsup 3\nmaxlen 0\nfingerprint 0\nsets 5\n---\n",
+		"body corrupt":   "gen 1\nminsup 3\nmaxlen 0\nfingerprint 0\nsets 1\n---\n1 zz 4\n",
+	}
+	for name, payload := range cases {
+		p := filepath.Join(dir, "bad")
+		writePayload(t, p, payload)
+		_, err := Load(p)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: want ErrCorrupt, got %v", name, err)
+		}
+	}
+}
+
+// writePayload writes a checkpoint file with a correct CRC over an
+// arbitrary payload, for header-validation tests.
+func writePayload(t *testing.T, path, payload string) {
+	t.Helper()
+	crc := crc32.ChecksumIEEE([]byte(payload))
+	data := fmt.Sprintf("%s\ncrc32 %08x\n%s", magic, crc, payload)
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTryResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck")
+	s := sampleSnapshot()
+	if err := Save(path, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := TryResume(path, s.Fingerprint, s.MinSupport)
+	if err != nil || got == nil {
+		t.Fatalf("TryResume(match): %v, %v", got, err)
+	}
+	if got.Gen != s.Gen {
+		t.Errorf("resumed gen %d, want %d", got.Gen, s.Gen)
+	}
+
+	// Missing file: start fresh, no error.
+	got, err = TryResume(filepath.Join(t.TempDir(), "nope"), s.Fingerprint, s.MinSupport)
+	if err != nil || got != nil {
+		t.Errorf("TryResume(missing) = %v, %v; want nil, nil", got, err)
+	}
+
+	// Wrong fingerprint / support: ErrMismatch naming both identities.
+	if _, err := TryResume(path, s.Fingerprint+1, s.MinSupport); !errors.Is(err, ErrMismatch) {
+		t.Errorf("fingerprint mismatch: want ErrMismatch, got %v", err)
+	}
+	if _, err := TryResume(path, s.Fingerprint, s.MinSupport+1); !errors.Is(err, ErrMismatch) {
+		t.Errorf("minsup mismatch: want ErrMismatch, got %v", err)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	db := sampleDB()
+	base := Fingerprint(db, 2, 0)
+	if Fingerprint(db, 2, 0) != base {
+		t.Error("fingerprint not deterministic")
+	}
+	if Fingerprint(db, 3, 0) == base {
+		t.Error("fingerprint ignores minimum support")
+	}
+	if Fingerprint(db, 2, 4) == base {
+		t.Error("fingerprint ignores MaxLen")
+	}
+	other := dataset.New([][]dataset.Item{
+		{0, 1, 2}, {0, 1}, {0, 1, 3}, {0, 2}, {1, 2},
+	})
+	if Fingerprint(other, 2, 0) == base {
+		t.Error("fingerprint ignores transaction content")
+	}
+}
+
+// TestSaveAbandonedLeavesOldCheckpoint models a crash (or cancellation)
+// after the temp file is written but before the rename: the previous
+// checkpoint must survive untouched and no temp litter may accumulate at
+// the target path.
+func TestSaveAbandonedLeavesOldCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck")
+	first := sampleSnapshot()
+	if err := Save(path, first); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("crash before rename")
+	testHookAfterTemp = func() error { return boom }
+	defer func() { testHookAfterTemp = nil }()
+	second := sampleSnapshot()
+	second.Gen = 3
+	if err := Save(path, second); !errors.Is(err, boom) {
+		t.Fatalf("Save under injected crash: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("previous checkpoint unreadable after aborted save: %v", err)
+	}
+	if got.Gen != first.Gen {
+		t.Errorf("previous checkpoint clobbered: gen %d, want %d", got.Gen, first.Gen)
+	}
+}
+
+// TestSaveSlowWriterNeverTorn uses the hook as a slow-writer window: a
+// concurrent Load during the window must see either the old snapshot or
+// (after rename) the new one — never a torn or invalid file.
+func TestSaveSlowWriterNeverTorn(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck")
+	first := sampleSnapshot()
+	if err := Save(path, first); err != nil {
+		t.Fatal(err)
+	}
+	inWindow := make(chan struct{})
+	release := make(chan struct{})
+	testHookAfterTemp = func() error {
+		close(inWindow)
+		<-release
+		return nil
+	}
+	defer func() { testHookAfterTemp = nil }()
+	second := sampleSnapshot()
+	second.Gen = 3
+	done := make(chan error, 1)
+	go func() { done <- Save(path, second) }()
+	<-inWindow
+	// Mid-save: the old checkpoint must still load cleanly.
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load mid-save: %v", err)
+	}
+	if got.Gen != first.Gen {
+		t.Errorf("mid-save read gen %d, want old gen %d", got.Gen, first.Gen)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err = Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Gen != second.Gen {
+		t.Errorf("post-save read gen %d, want %d", got.Gen, second.Gen)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		ok   bool
+	}{
+		{Spec{}, true},
+		{Spec{Path: "x", EveryGens: 1}, true},
+		{Spec{Path: "x", EveryGens: 5}, true},
+		{Spec{Path: "x"}, false},
+		{Spec{Path: "x", EveryGens: -1}, false},
+		{Spec{EveryGens: 2}, false},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", c.spec, err, c.ok)
+		}
+		if err != nil && !strings.Contains(err.Error(), "EveryGens") {
+			t.Errorf("Validate(%+v) error %q does not name the field", c.spec, err)
+		}
+	}
+}
+
+func TestWire(t *testing.T) {
+	db := sampleDB()
+	path := filepath.Join(t.TempDir(), "ck")
+	var cfg apriori.Config
+	spec := Spec{Path: path, EveryGens: 1, Resume: true}
+	if err := Wire(spec, db, 2, &cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Checkpoint == nil {
+		t.Fatal("Wire did not install a checkpoint hook")
+	}
+	if cfg.Resume != nil {
+		t.Fatal("Wire invented a resume point with no file on disk")
+	}
+	rs := &dataset.ResultSet{}
+	rs.Add([]dataset.Item{0}, 4)
+	if err := cfg.Checkpoint(1, rs); err != nil {
+		t.Fatal(err)
+	}
+	// A second Wire with Resume must pick the snapshot back up.
+	var cfg2 apriori.Config
+	if err := Wire(spec, db, 2, &cfg2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if cfg2.Resume == nil || cfg2.Resume.Gen != 1 {
+		t.Fatalf("Wire did not resume: %+v", cfg2.Resume)
+	}
+	// Wrong identity: the stale file is surfaced, not overwritten.
+	var cfg3 apriori.Config
+	if err := Wire(spec, db, 3, &cfg3, nil); !errors.Is(err, ErrMismatch) {
+		t.Errorf("Wire with different minsup: want ErrMismatch, got %v", err)
+	}
+	// A pre-existing hook wins: Wire must be a no-op.
+	marker := func(int, *dataset.ResultSet) error { return nil }
+	cfg4 := apriori.Config{Checkpoint: marker}
+	if err := Wire(spec, db, 2, &cfg4, nil); err != nil {
+		t.Fatal(err)
+	}
+	if cfg4.Resume != nil || cfg4.CheckpointEvery != 0 {
+		t.Error("Wire modified a config that already had a checkpoint hook")
+	}
+	// Disabled spec: untouched config.
+	var cfg5 apriori.Config
+	if err := Wire(Spec{}, db, 2, &cfg5, nil); err != nil || cfg5.Checkpoint != nil {
+		t.Errorf("Wire with disabled spec: err=%v hook=%v", err, cfg5.Checkpoint != nil)
+	}
+}
+
+func TestWireMeta(t *testing.T) {
+	db := sampleDB()
+	path := filepath.Join(t.TempDir(), "ck")
+	var cfg apriori.Config
+	calls := 0
+	err := Wire(Spec{Path: path, EveryGens: 1}, db, 2, &cfg, func() map[string]string {
+		calls++
+		return map[string]string{"faults": "retries=2"}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := &dataset.ResultSet{}
+	rs.Add([]dataset.Item{1}, 3)
+	if err := cfg.Checkpoint(1, rs); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("meta func called %d times, want 1 (at save time)", calls)
+	}
+	s, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Meta["faults"] != "retries=2" {
+		t.Errorf("meta not persisted: %v", s.Meta)
+	}
+}

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gpapriori/internal/apriori"
+	"gpapriori/internal/checkpoint"
+	"gpapriori/internal/dataset"
+	"gpapriori/internal/gen"
+	"gpapriori/internal/oracle"
+)
+
+var errCrash = errors.New("simulated master crash")
+
+// crashAfter wires spec into an apriori.Config, then wraps the hook so the
+// master "crashes" right after the generation-g snapshot is durable.
+func crashAfter(t *testing.T, spec checkpoint.Spec, db *dataset.DB, minSup, g int) apriori.Config {
+	t.Helper()
+	var cfg apriori.Config
+	if err := checkpoint.Wire(spec, db, minSup, &cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	inner := cfg.Checkpoint
+	cfg.Checkpoint = func(gen int, rs *dataset.ResultSet) error {
+		if err := inner(gen, rs); err != nil {
+			return err
+		}
+		if gen == g {
+			return errCrash
+		}
+		return nil
+	}
+	return cfg
+}
+
+// TestClusterCheckpointResume: a master crash at a generation boundary is
+// survivable — a restarted cluster with the same config fast-forwards from
+// the checkpoint and finishes with the oracle result.
+func TestClusterCheckpointResume(t *testing.T) {
+	db := gen.Random(200, 16, 0.4, 5)
+	minSup := 8
+	path := filepath.Join(t.TempDir(), "ck")
+	spec := checkpoint.Spec{Path: path, EveryGens: 1, Resume: true}
+
+	m, err := New(db, Config{Nodes: 3, GPUsPerNode: 1, Kernel: smallKernel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Mine(minSup, crashAfter(t, spec, db, minSup, 2)); !errors.Is(err, errCrash) {
+		t.Fatalf("want simulated crash, got %v", err)
+	}
+	if s, err := checkpoint.Load(path); err != nil || s.Gen != 2 {
+		t.Fatalf("durable checkpoint after crash: gen=%v err=%v", s.Gen, err)
+	}
+
+	m2, err := New(db, Config{Nodes: 3, GPUsPerNode: 1, Kernel: smallKernel(), Checkpoint: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m2.Mine(minSup, apriori.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracle.Mine(db, minSup)
+	if !rep.Result.Equal(want) {
+		t.Errorf("resumed cluster run differs from oracle:\n%s",
+			strings.Join(rep.Result.Diff(want), "\n"))
+	}
+}
+
+// TestClusterCheckpointResumeUnderNodeFaults: master checkpointing
+// composes with node failover.
+func TestClusterCheckpointResumeUnderNodeFaults(t *testing.T) {
+	db := gen.Random(200, 16, 0.4, 7)
+	minSup := 8
+	path := filepath.Join(t.TempDir(), "ck")
+	spec := checkpoint.Spec{Path: path, EveryGens: 1, Resume: true}
+	base := Config{
+		Nodes: 3, GPUsPerNode: 1, Kernel: smallKernel(),
+		Faults: []NodeFault{{Node: 1, Gen: 2, Kind: NodeDead}},
+	}
+	m, err := New(db, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Mine(minSup, crashAfter(t, spec, db, minSup, 2)); !errors.Is(err, errCrash) {
+		t.Fatalf("want simulated crash, got %v", err)
+	}
+	resumed := base
+	resumed.Checkpoint = spec
+	m2, err := New(db, resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m2.Mine(minSup, apriori.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracle.Mine(db, minSup)
+	if !rep.Result.Equal(want) {
+		t.Errorf("faulted cluster resume differs from oracle:\n%s",
+			strings.Join(rep.Result.Diff(want), "\n"))
+	}
+}
+
+// TestClusterValidateCheckpointAndBudget: the satellite checks — bad
+// checkpoint intervals and undersized budgets rejected with field names.
+func TestClusterValidateCheckpointAndBudget(t *testing.T) {
+	db := gen.Random(80, 10, 0.4, 11)
+
+	_, err := New(db, Config{Nodes: 2, GPUsPerNode: 1,
+		Checkpoint: checkpoint.Spec{Path: "x", EveryGens: 0}})
+	if err == nil || !strings.Contains(err.Error(), "Checkpoint") ||
+		!strings.Contains(err.Error(), "EveryGens") {
+		t.Errorf("zero interval: want error naming Config.Checkpoint.EveryGens, got %v", err)
+	}
+	_, err = New(db, Config{Nodes: 2, GPUsPerNode: 1, MemoryBudgetBytes: -5})
+	if err == nil || !strings.Contains(err.Error(), "MemoryBudgetBytes") {
+		t.Errorf("negative budget: want error naming MemoryBudgetBytes, got %v", err)
+	}
+	_, err = New(db, Config{Nodes: 2, GPUsPerNode: 1, MemoryBudgetBytes: 16})
+	if err == nil || !strings.Contains(err.Error(), "MemoryBudgetBytes") ||
+		!strings.Contains(err.Error(), "first-generation bitsets") {
+		t.Errorf("tiny budget: want error naming MemoryBudgetBytes and the bitset size, got %v", err)
+	}
+	if _, err := New(db, Config{Nodes: 2, GPUsPerNode: 1, MemoryBudgetBytes: 1 << 30}); err != nil {
+		t.Errorf("ample budget rejected: %v", err)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"gpapriori/internal/apriori"
+	"gpapriori/internal/checkpoint"
 	"gpapriori/internal/dataset"
 	"gpapriori/internal/gpusim"
 	"gpapriori/internal/kernels"
@@ -71,6 +72,17 @@ type Config struct {
 	// (0 = DefaultDeadlineSec). A node missing it is marked suspect and its
 	// shard re-scattered.
 	DeadlineSec float64
+	// Checkpoint snapshots master-side mining state at generation
+	// boundaries and, with Spec.Resume, fast-forwards a restarted run
+	// past completed generations — the master is a single point of
+	// failure the node-fault machinery cannot cover, so its state gets
+	// the durability treatment instead. Zero value = no checkpointing.
+	Checkpoint checkpoint.Spec
+	// MemoryBudgetBytes caps the modeled memory the replicated bitsets
+	// may occupy per node (0 = uncapped). New rejects a budget smaller
+	// than one node's single-device copy: such a cluster could never
+	// hold generation 1.
+	MemoryBudgetBytes int64
 }
 
 // Validate checks the configuration eagerly, before any node is built.
@@ -90,6 +102,12 @@ func (c Config) Validate() error {
 	}
 	if c.DeadlineSec < 0 {
 		return fmt.Errorf("cluster: negative scatter/gather deadline %v", c.DeadlineSec)
+	}
+	if err := c.Checkpoint.Validate(); err != nil {
+		return fmt.Errorf("cluster: Config.Checkpoint: %w", err)
+	}
+	if c.MemoryBudgetBytes < 0 {
+		return fmt.Errorf("cluster: Config.MemoryBudgetBytes %d must be ≥0", c.MemoryBudgetBytes)
 	}
 	for _, f := range c.Faults {
 		if err := f.validate(c.Nodes); err != nil {
@@ -180,6 +198,13 @@ func New(db *dataset.DB, cfg Config) (*Miner, error) {
 
 	bits := vertical.BuildBitsets(db)
 	vecWords := len(bits.Vectors) * bits.WordsPerVector() * 2
+	if budget := cfg.MemoryBudgetBytes; budget > 0 {
+		perDevice := int64(vecWords) * 4
+		if budget < perDevice {
+			return nil, fmt.Errorf("cluster: Config.MemoryBudgetBytes %d is smaller than one device's first-generation bitsets (%d bytes)",
+				budget, perDevice)
+		}
+	}
 	scratch := vecWords
 	if scratch < 1<<20 {
 		scratch = 1 << 20
@@ -399,6 +424,11 @@ func (m *Miner) MineContext(ctx context.Context, minSupport int, cfg apriori.Con
 		perNode: make([]int, len(m.nodes)),
 		// Nodes lost in an earlier run stay lost: copy liveness in.
 		alive: append([]bool(nil), m.alive...),
+	}
+	if err := checkpoint.Wire(m.cfg.Checkpoint, m.db, minSupport, &cfg, func() map[string]string {
+		return map[string]string{"faults": c.stats.String()}
+	}); err != nil {
+		return Report{}, err
 	}
 	t0 := time.Now()
 	rs, err := apriori.MineContext(ctx, m.db, minSupport, c, cfg)

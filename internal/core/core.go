@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"gpapriori/internal/apriori"
+	"gpapriori/internal/checkpoint"
 	"gpapriori/internal/dataset"
 	"gpapriori/internal/gpusim"
 	"gpapriori/internal/kernels"
@@ -48,6 +49,12 @@ type Options struct {
 	// Retry bounds fault recovery (zero value = defaults: 3 retries, 1ms
 	// initial backoff, 1s watchdog deadline).
 	Retry RetryPolicy
+	// Checkpoint snapshots mining state at generation boundaries and,
+	// with Spec.Resume, fast-forwards a restarted run past completed
+	// generations. Zero value = no checkpointing. A Checkpoint hook
+	// already present in the apriori.Config passed to Mine wins over
+	// this spec.
+	Checkpoint checkpoint.Spec
 }
 
 // Miner is a GPApriori instance bound to one database: the vertical
@@ -59,6 +66,7 @@ type Miner struct {
 	opt      kernels.Options
 	schedule faultSchedule
 	retry    RetryPolicy
+	ckpt     checkpoint.Spec
 }
 
 // Report describes one mining run.
@@ -94,6 +102,9 @@ func New(db *dataset.DB, opt Options) (*Miner, error) {
 		return nil, fmt.Errorf("core: empty database")
 	}
 	if err := opt.Retry.validate(); err != nil {
+		return nil, err
+	}
+	if err := opt.Checkpoint.Validate(); err != nil {
 		return nil, err
 	}
 	for _, f := range opt.Faults {
@@ -141,6 +152,7 @@ func New(db *dataset.DB, opt Options) (*Miner, error) {
 	return &Miner{
 		db: db, dev: dev, ddb: ddb, opt: kopt,
 		schedule: buildSchedule(opt.Faults), retry: retry,
+		ckpt: opt.Checkpoint,
 	}, nil
 }
 
@@ -220,6 +232,11 @@ func (m *Miner) Mine(minSupport int, cfg apriori.Config) (Report, error) {
 func (m *Miner) MineContext(ctx context.Context, minSupport int, cfg apriori.Config) (Report, error) {
 	m.dev.ResetStats()
 	c := &counter{m: m, tracker: faultTracker{policy: m.retry}}
+	if err := checkpoint.Wire(m.ckpt, m.db, minSupport, &cfg, func() map[string]string {
+		return map[string]string{"faults": c.tracker.stats.String()}
+	}); err != nil {
+		return Report{}, err
+	}
 	t0 := time.Now()
 	rs, err := apriori.MineContext(ctx, m.db, minSupport, c, cfg)
 	if err != nil {

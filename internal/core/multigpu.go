@@ -15,6 +15,7 @@ import (
 
 	"gpapriori/internal/apriori"
 	"gpapriori/internal/bitset"
+	"gpapriori/internal/checkpoint"
 	"gpapriori/internal/dataset"
 	"gpapriori/internal/gpusim"
 	"gpapriori/internal/kernels"
@@ -64,6 +65,18 @@ type MultiOptions struct {
 	// to the surviving devices, or degrade to the host CPU when none
 	// survive.
 	Retry RetryPolicy
+	// Checkpoint snapshots mining state at generation boundaries and,
+	// with Spec.Resume, fast-forwards a restarted run past completed
+	// generations. Zero value = no checkpointing. A Checkpoint hook
+	// already present in the apriori.Config passed to Mine wins over
+	// this spec.
+	Checkpoint checkpoint.Spec
+	// MemoryBudgetBytes caps the modeled memory the replicated
+	// first-generation bitsets may occupy across the device pool
+	// (0 = uncapped). NewMulti rejects a budget smaller than even one
+	// device's bitsets: such a miner could never hold generation 1, so
+	// admission control must shed the job instead of constructing it.
+	MemoryBudgetBytes int64
 }
 
 // Validate checks the options eagerly, with descriptive errors, so a bad
@@ -82,6 +95,12 @@ func (o MultiOptions) Validate() error {
 	if err := o.Retry.validate(); err != nil {
 		return err
 	}
+	if err := o.Checkpoint.Validate(); err != nil {
+		return fmt.Errorf("core: MultiOptions.Checkpoint: %w", err)
+	}
+	if o.MemoryBudgetBytes < 0 {
+		return fmt.Errorf("core: MultiOptions.MemoryBudgetBytes %d must be ≥0", o.MemoryBudgetBytes)
+	}
 	for _, f := range o.Faults {
 		if err := f.validate(o.Devices); err != nil {
 			return err
@@ -99,6 +118,21 @@ type MultiMiner struct {
 	ddbs     []*kernels.DeviceDB
 	opt      MultiOptions
 	schedule faultSchedule
+	// disabled marks devices administratively removed from rotation
+	// (circuit breaker tripped); unlike a dead device, a disabled one can
+	// be re-enabled once its breaker half-opens.
+	disabled []bool
+}
+
+// SetDeviceEnabled removes device i from (or returns it to) rotation for
+// subsequent runs — the hook the jobs-layer circuit breaker uses to trip
+// a repeatedly faulting device out of the pool and to half-open it after
+// a cooldown. A device whose injector reports it permanently dead stays
+// out regardless.
+func (m *MultiMiner) SetDeviceEnabled(i int, enabled bool) {
+	if i >= 0 && i < len(m.disabled) {
+		m.disabled[i] = !enabled
+	}
 }
 
 // MultiReport extends Report with per-device breakdowns.
@@ -160,6 +194,17 @@ func NewMulti(db *dataset.DB, opt MultiOptions) (*MultiMiner, error) {
 	opt.Kernel.DeadlineSec = opt.Retry.DeadlineSec
 	bits := vertical.BuildBitsets(db)
 	vecWords := len(bits.Vectors) * bits.WordsPerVector() * 2
+	if budget := opt.MemoryBudgetBytes; budget > 0 {
+		perDevice := int64(vecWords) * 4
+		if budget < perDevice {
+			return nil, fmt.Errorf("core: MultiOptions.MemoryBudgetBytes %d is smaller than one device's first-generation bitsets (%d bytes)",
+				budget, perDevice)
+		}
+		if total := perDevice * int64(opt.Devices); budget < total {
+			return nil, fmt.Errorf("core: MultiOptions.MemoryBudgetBytes %d cannot hold the bitsets replicated across %d devices (%d bytes)",
+				budget, opt.Devices, total)
+		}
+	}
 	scratch := vecWords
 	if scratch < 1<<20 {
 		scratch = 1 << 20
@@ -167,7 +212,8 @@ func NewMulti(db *dataset.DB, opt MultiOptions) (*MultiMiner, error) {
 	if scratch > 1<<25 {
 		scratch = 1 << 25
 	}
-	m := &MultiMiner{db: db, bits: bits, opt: opt, schedule: buildSchedule(opt.Faults)}
+	m := &MultiMiner{db: db, bits: bits, opt: opt, schedule: buildSchedule(opt.Faults),
+		disabled: make([]bool, opt.Devices)}
 	for i := 0; i < opt.Devices; i++ {
 		dev := gpusim.NewDevice(cfg, vecWords+scratch+1024)
 		if len(opt.Faults) > 0 {
@@ -360,8 +406,9 @@ func (m *MultiMiner) MineContext(ctx context.Context, minSupport int, cfg aprior
 	}
 	alive := make([]bool, len(m.devs))
 	for i, d := range m.devs {
-		// A device killed by a previous run on this miner stays dead.
-		alive[i] = d.Faults() == nil || d.Faults().Alive()
+		// A device killed by a previous run on this miner stays dead, and
+		// a breaker-disabled one sits this run out.
+		alive[i] = (d.Faults() == nil || d.Faults().Alive()) && !m.disabled[i]
 	}
 	c := &multiCounter{
 		m:         m,
@@ -370,6 +417,11 @@ func (m *MultiMiner) MineContext(ctx context.Context, minSupport int, cfg aprior
 		share:     m.opt.HybridCPUShare,
 		alive:     alive,
 		tracker:   faultTracker{policy: m.opt.Retry},
+	}
+	if err := checkpoint.Wire(m.opt.Checkpoint, m.db, minSupport, &cfg, func() map[string]string {
+		return map[string]string{"faults": c.tracker.stats.String()}
+	}); err != nil {
+		return MultiReport{}, err
 	}
 	t0 := time.Now()
 	rs, err := apriori.MineContext(ctx, m.db, minSupport, c, cfg)

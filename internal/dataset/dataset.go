@@ -13,11 +13,42 @@ package dataset
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strconv"
 )
+
+// ErrBadRow is the sentinel matched by every malformed-row error of the
+// readers and of DB.Validate: errors.Is(err, ErrBadRow) distinguishes a
+// broken input row from I/O errors.
+var ErrBadRow = errors.New("dataset: bad row")
+
+// RowError describes one malformed row of a transaction database.
+type RowError struct {
+	Row    int    // 1-based row number of the defect
+	Reason string // what was wrong with it
+}
+
+func (e *RowError) Error() string {
+	return fmt.Sprintf("dataset: line %d: %s", e.Row, e.Reason)
+}
+
+// Is makes errors.Is(err, ErrBadRow) true for every RowError.
+func (e *RowError) Is(target error) bool { return target == ErrBadRow }
+
+// badRowf builds a RowError for row with a formatted reason.
+func badRowf(row int, format string, args ...any) error {
+	return &RowError{Row: row, Reason: fmt.Sprintf(format, args...)}
+}
+
+// MaxItemID bounds item identifiers. The vertical builders allocate one
+// bit vector per id up to the maximum seen, so a single stray huge id in
+// an otherwise small file would silently allocate a dictionary-width
+// layout of millions of empty vectors and skew every density statistic;
+// Read rejects such rows instead.
+const MaxItemID = 1<<24 - 1
 
 // Item is a single item identifier. Items are small dense integers; the
 // vertical builders allocate one bit vector per distinct item.
@@ -199,7 +230,10 @@ func Read(r io.Reader) (*DB, error) {
 			}
 			v, err := strconv.ParseUint(string(text[start:i]), 10, 32)
 			if err != nil {
-				return nil, fmt.Errorf("dataset: line %d: bad item %q: %v", line, text[start:i], err)
+				return nil, badRowf(line, "bad item %q: %v", text[start:i], err)
+			}
+			if v > MaxItemID {
+				return nil, badRowf(line, "item id %d exceeds MaxItemID %d", v, MaxItemID)
 			}
 			row = append(row, Item(v))
 		}
@@ -211,6 +245,48 @@ func Read(r io.Reader) (*DB, error) {
 		return nil, fmt.Errorf("dataset: line %d: %v", line, err)
 	}
 	return db, nil
+}
+
+// Validate checks the invariants every miner relies on: no empty
+// transactions (they inflate the support denominator without ever
+// matching), items strictly ascending, and every id inside the declared
+// dictionary width. Violations are *RowError values carrying the 1-based
+// transaction number, matchable with errors.Is(err, ErrBadRow). The
+// readers maintain these invariants by construction; Validate guards
+// databases assembled by other means before they reach a miner.
+func (db *DB) Validate() error {
+	for i, t := range db.trans {
+		if len(t) == 0 {
+			return badRowf(i+1, "empty transaction")
+		}
+		for j, it := range t {
+			if j > 0 && t[j-1] >= it {
+				return badRowf(i+1, "items not strictly ascending: %d after %d", it, t[j-1])
+			}
+			if int(it) >= db.nItem {
+				return badRowf(i+1, "item id %d outside dictionary width %d", it, db.nItem)
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateNamed additionally checks that every item id resolves to an
+// interned name — ids past the dictionary mean the database and
+// dictionary are out of sync (a wrong file pairing), which would
+// mis-label every mined itemset.
+func (db *DB) ValidateNamed(dict *Dictionary) error {
+	if err := db.Validate(); err != nil {
+		return err
+	}
+	for i, t := range db.trans {
+		for _, it := range t {
+			if int(it) >= dict.Len() {
+				return badRowf(i+1, "item id %d has no name in the %d-entry dictionary", it, dict.Len())
+			}
+		}
+	}
+	return nil
 }
 
 // Write serializes the database in FIMI ".dat" format.

@@ -29,6 +29,9 @@ func ReadFile(path string) (*DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
+	if err := db.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
 	return db, nil
 }
 
@@ -48,6 +51,9 @@ func ReadNamedFile(path string, dict *Dictionary) (*DB, error) {
 	}
 	db, err := ReadNamed(r, dict)
 	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := db.ValidateNamed(dict); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return db, nil

@@ -2,8 +2,10 @@ package dataset
 
 import (
 	"compress/gzip"
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -112,5 +114,84 @@ func TestReadFileEmpty(t *testing.T) {
 	}
 	if db.Len() != 0 {
 		t.Fatalf("empty file produced %d transactions", db.Len())
+	}
+}
+
+// TestReadFileBadRowTyped: a malformed row in a .dat file surfaces as a
+// typed RowError carrying the line number, wrapped with the path.
+func TestReadFileBadRowTyped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.dat")
+	if err := os.WriteFile(path, []byte("1 2\n3 x 4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadFile(path)
+	if err == nil {
+		t.Fatal("malformed row accepted")
+	}
+	if !errors.Is(err, ErrBadRow) {
+		t.Errorf("error %v does not match ErrBadRow", err)
+	}
+	var re *RowError
+	if !errors.As(err, &re) || re.Row != 2 {
+		t.Errorf("error %v should be a RowError for line 2", err)
+	}
+	if !strings.Contains(err.Error(), "line 2") || !strings.Contains(err.Error(), path) {
+		t.Errorf("error %q should name the path and line 2", err)
+	}
+}
+
+// TestReadFileRejectsHugeItemID: one stray huge id must not silently
+// allocate a multi-million-item dictionary width.
+func TestReadFileRejectsHugeItemID(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "huge.dat")
+	if err := os.WriteFile(path, []byte("1 2\n3 4294967295\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadFile(path)
+	if err == nil || !errors.Is(err, ErrBadRow) || !strings.Contains(err.Error(), "MaxItemID") {
+		t.Errorf("want a MaxItemID RowError, got %v", err)
+	}
+}
+
+// TestDBValidate covers the invariants on hand-assembled databases.
+func TestDBValidate(t *testing.T) {
+	if err := New([][]Item{{1, 2}, {0, 3}}).Validate(); err != nil {
+		t.Errorf("valid db rejected: %v", err)
+	}
+	cases := []struct {
+		db   *DB
+		want string
+	}{
+		{&DB{trans: []Transaction{{0, 1}, {}}, nItem: 2}, "empty transaction"},
+		{&DB{trans: []Transaction{{2, 1}}, nItem: 3}, "ascending"},
+		{&DB{trans: []Transaction{{0}, {7}}, nItem: 3}, "outside dictionary width"},
+	}
+	for _, c := range cases {
+		err := c.db.Validate()
+		if err == nil || !errors.Is(err, ErrBadRow) || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("want RowError containing %q, got %v", c.want, err)
+		}
+		if !strings.Contains(err.Error(), "line 2") && !strings.Contains(err.Error(), "line 1") {
+			t.Errorf("error %q should carry a row number", err)
+		}
+	}
+}
+
+// TestValidateNamed: item ids must resolve in the dictionary they are
+// paired with.
+func TestValidateNamed(t *testing.T) {
+	dict := NewDictionary()
+	db, err := ReadNamed(strings.NewReader("bread milk\neggs\n"), dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ValidateNamed(dict); err != nil {
+		t.Errorf("in-sync pairing rejected: %v", err)
+	}
+	stale := NewDictionary()
+	stale.Intern("bread")
+	err = db.ValidateNamed(stale)
+	if err == nil || !errors.Is(err, ErrBadRow) || !strings.Contains(err.Error(), "dictionary") {
+		t.Errorf("out-of-sync dictionary accepted: %v", err)
 	}
 }

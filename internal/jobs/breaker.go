@@ -1,0 +1,191 @@
+package jobs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BreakerState is one device's position in the circuit-breaker state
+// machine.
+type BreakerState int
+
+const (
+	// BreakerClosed: the device is healthy and in rotation.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the device is out of rotation until the cooldown
+	// elapses.
+	BreakerOpen
+	// BreakerHalfOpen: cooldown elapsed; one probe run is allowed
+	// through to decide between re-closing and re-opening.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("breaker(%d)", int(s))
+}
+
+// BreakerPolicy tunes the circuit breaker.
+type BreakerPolicy struct {
+	// Failures is the consecutive-failure count that trips a device out
+	// of rotation (0 = DefaultBreakerFailures).
+	Failures int
+	// Cooldown is how long a tripped device stays out before a probe is
+	// allowed (0 = DefaultBreakerCooldown).
+	Cooldown time.Duration
+}
+
+// DefaultBreakerFailures trips a device after this many consecutive
+// failures when BreakerPolicy.Failures is 0.
+const DefaultBreakerFailures = 3
+
+// DefaultBreakerCooldown keeps a tripped device out this long when
+// BreakerPolicy.Cooldown is 0.
+const DefaultBreakerCooldown = 30 * time.Second
+
+func (p BreakerPolicy) withDefaults() BreakerPolicy {
+	if p.Failures == 0 {
+		p.Failures = DefaultBreakerFailures
+	}
+	if p.Cooldown == 0 {
+		p.Cooldown = DefaultBreakerCooldown
+	}
+	return p
+}
+
+// Validate rejects unusable policies with errors naming the field.
+func (p BreakerPolicy) Validate() error {
+	if p.Failures < 0 {
+		return fmt.Errorf("jobs: BreakerPolicy.Failures %d must be ≥0", p.Failures)
+	}
+	if p.Cooldown < 0 {
+		return fmt.Errorf("jobs: BreakerPolicy.Cooldown %v must be ≥0", p.Cooldown)
+	}
+	return nil
+}
+
+// Breaker is a per-device circuit breaker: repeated failures trip a
+// device out of the mining pool, a cooldown later one probe run is let
+// through, and its outcome decides between restoring the device and
+// re-opening the circuit. Keys are device indices (or any small int
+// identity). All methods are safe for concurrent use.
+type Breaker struct {
+	policy BreakerPolicy
+	// now is the clock, injectable for deterministic tests.
+	now func() time.Time
+
+	mu  sync.Mutex
+	per map[int]*breakerEntry
+}
+
+type breakerEntry struct {
+	state    BreakerState
+	failures int // consecutive failures while Closed
+	openedAt time.Time
+	probeOut bool // a HalfOpen probe has been handed out, outcome pending
+}
+
+// NewBreaker builds a Breaker with the given policy (zero value =
+// defaults).
+func NewBreaker(policy BreakerPolicy) (*Breaker, error) {
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	return &Breaker{policy: policy.withDefaults(), now: time.Now, per: map[int]*breakerEntry{}}, nil
+}
+
+// withClock swaps the breaker's clock; tests use it to drive cooldowns
+// deterministically.
+func (b *Breaker) withClock(now func() time.Time) *Breaker {
+	b.now = now
+	return b
+}
+
+func (b *Breaker) entry(key int) *breakerEntry {
+	e, ok := b.per[key]
+	if !ok {
+		e = &breakerEntry{}
+		b.per[key] = e
+	}
+	return e
+}
+
+// Allow reports whether device key may participate in the next run. An
+// Open device whose cooldown has elapsed transitions to HalfOpen and
+// Allow grants exactly one probe until its outcome is recorded.
+func (b *Breaker) Allow(key int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entry(key)
+	switch e.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(e.openedAt) < b.policy.Cooldown {
+			return false
+		}
+		e.state = BreakerHalfOpen
+		e.probeOut = true
+		return true
+	case BreakerHalfOpen:
+		if e.probeOut {
+			return false
+		}
+		e.probeOut = true
+		return true
+	}
+	return false
+}
+
+// RecordSuccess reports a successful run on device key: a HalfOpen probe
+// success re-closes the circuit; any success resets the failure streak.
+func (b *Breaker) RecordSuccess(key int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entry(key)
+	e.state = BreakerClosed
+	e.failures = 0
+	e.probeOut = false
+}
+
+// RecordFailure reports a failed run on device key. The Failures-th
+// consecutive failure trips the circuit; a HalfOpen probe failure
+// re-opens it immediately and restarts the cooldown.
+func (b *Breaker) RecordFailure(key int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entry(key)
+	switch e.state {
+	case BreakerHalfOpen:
+		e.state = BreakerOpen
+		e.openedAt = b.now()
+		e.probeOut = false
+	case BreakerClosed:
+		e.failures++
+		if e.failures >= b.policy.Failures {
+			e.state = BreakerOpen
+			e.openedAt = b.now()
+			e.failures = 0
+		}
+	case BreakerOpen:
+		// Already out of rotation; nothing to count.
+	}
+}
+
+// State reports device key's current breaker state.
+func (b *Breaker) State(key int) BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if e, ok := b.per[key]; ok {
+		return e.state
+	}
+	return BreakerClosed
+}

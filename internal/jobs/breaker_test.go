@@ -1,0 +1,148 @@
+package jobs
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives breaker cooldowns deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(t *testing.T, p BreakerPolicy) (*Breaker, *fakeClock) {
+	t.Helper()
+	b, err := NewBreaker(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	return b.withClock(clk.now), clk
+}
+
+func TestBreakerPolicyValidate(t *testing.T) {
+	if err := (BreakerPolicy{Failures: -1}).Validate(); err == nil {
+		t.Error("accepted negative Failures")
+	}
+	if err := (BreakerPolicy{Cooldown: -time.Second}).Validate(); err == nil {
+		t.Error("accepted negative Cooldown")
+	}
+	if err := (BreakerPolicy{}).Validate(); err != nil {
+		t.Errorf("rejected zero policy: %v", err)
+	}
+}
+
+// TestBreakerTripsAfterConsecutiveFailures: the seeded fault schedule —
+// fail, fail, trip on the third; a success in between resets the streak.
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	b, _ := newTestBreaker(t, BreakerPolicy{Failures: 3, Cooldown: time.Minute})
+	const dev = 0
+	b.RecordFailure(dev)
+	b.RecordFailure(dev)
+	if !b.Allow(dev) || b.State(dev) != BreakerClosed {
+		t.Fatal("tripped before the threshold")
+	}
+	// A success resets the streak: two more failures must not trip.
+	b.RecordSuccess(dev)
+	b.RecordFailure(dev)
+	b.RecordFailure(dev)
+	if b.State(dev) != BreakerClosed {
+		t.Fatal("success did not reset the failure streak")
+	}
+	b.RecordFailure(dev)
+	if b.State(dev) != BreakerOpen || b.Allow(dev) {
+		t.Errorf("third consecutive failure did not trip: state=%v", b.State(dev))
+	}
+}
+
+// TestBreakerHalfOpenProbe: after the cooldown exactly one probe goes
+// through; its success re-closes the circuit.
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := newTestBreaker(t, BreakerPolicy{Failures: 1, Cooldown: time.Minute})
+	const dev = 2
+	b.RecordFailure(dev)
+	if b.Allow(dev) {
+		t.Fatal("open breaker allowed a run")
+	}
+	clk.advance(30 * time.Second)
+	if b.Allow(dev) {
+		t.Fatal("breaker allowed a run mid-cooldown")
+	}
+	clk.advance(31 * time.Second)
+	if !b.Allow(dev) || b.State(dev) != BreakerHalfOpen {
+		t.Fatalf("cooldown elapsed but no probe allowed: state=%v", b.State(dev))
+	}
+	// Only one probe until its outcome lands.
+	if b.Allow(dev) {
+		t.Error("second probe granted while the first is outstanding")
+	}
+	b.RecordSuccess(dev)
+	if b.State(dev) != BreakerClosed || !b.Allow(dev) {
+		t.Errorf("probe success did not close the circuit: state=%v", b.State(dev))
+	}
+}
+
+// TestBreakerHalfOpenProbeFailureReopens: a failed probe restarts the
+// cooldown from the failure time.
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(t, BreakerPolicy{Failures: 1, Cooldown: time.Minute})
+	const dev = 1
+	b.RecordFailure(dev)
+	clk.advance(2 * time.Minute)
+	if !b.Allow(dev) {
+		t.Fatal("no probe after cooldown")
+	}
+	b.RecordFailure(dev)
+	if b.State(dev) != BreakerOpen || b.Allow(dev) {
+		t.Errorf("failed probe did not reopen: state=%v", b.State(dev))
+	}
+	// The cooldown restarted at the probe failure.
+	clk.advance(59 * time.Second)
+	if b.Allow(dev) {
+		t.Error("reopened breaker allowed a run before the new cooldown elapsed")
+	}
+	clk.advance(2 * time.Second)
+	if !b.Allow(dev) {
+		t.Error("no probe after the restarted cooldown")
+	}
+}
+
+// TestBreakerIsolatesDevices: one device's failures never affect another.
+func TestBreakerIsolatesDevices(t *testing.T) {
+	b, _ := newTestBreaker(t, BreakerPolicy{Failures: 1, Cooldown: time.Minute})
+	b.RecordFailure(3)
+	if b.Allow(3) {
+		t.Error("failed device still allowed")
+	}
+	if !b.Allow(0) || !b.Allow(7) {
+		t.Error("healthy devices blocked by another device's breaker")
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b, err := NewBreaker(BreakerPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < DefaultBreakerFailures-1; i++ {
+		b.RecordFailure(0)
+	}
+	if b.State(0) != BreakerClosed {
+		t.Fatal("tripped before the default threshold")
+	}
+	b.RecordFailure(0)
+	if b.State(0) != BreakerOpen {
+		t.Errorf("default threshold did not trip: state=%v", b.State(0))
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for s, want := range map[BreakerState]string{
+		BreakerClosed: "closed", BreakerOpen: "open", BreakerHalfOpen: "half-open",
+	} {
+		if s.String() != want {
+			t.Errorf("BreakerState(%d).String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}

@@ -1,0 +1,391 @@
+// Package jobs is the admission-controlled job manager for mining runs.
+//
+// GPApriori's device memory model makes a mining run's footprint knowable
+// before it starts: the vertical bitset layout is numItems × alignedWords
+// — computed, not guessed (vertical.EstimateBitsetBytes). The manager
+// exploits that: every job declares its modeled footprint up front, and
+// admission control guarantees the sum of in-flight footprints never
+// exceeds the configured budget. Jobs that cannot run yet wait in a
+// bounded queue ordered by priority; when the queue overflows, the
+// lowest-priority job is shed — deterministically, so the same submission
+// sequence always sheds the same jobs.
+//
+// Scheduling is strict priority with head-of-line blocking: the
+// highest-priority queued job is always next, and if its footprint does
+// not fit the remaining budget the manager waits for memory to free
+// rather than sneaking smaller low-priority jobs past it. That forgoes
+// some utilization in exchange for a property worth more in an
+// admission controller: a job's start order depends only on priority and
+// submission order, never on the sizes of its competitors.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// State is a job's position in its lifecycle.
+type State int32
+
+const (
+	// Queued: accepted, waiting for admission.
+	Queued State = iota
+	// Admitted: memory reserved and a worker claimed, about to run.
+	Admitted
+	// Running: the job's Run function is executing.
+	Running
+	// Checkpointed: running, and at least one checkpoint has been
+	// written (a crash now loses at most the current generation).
+	Checkpointed
+	// Done: finished successfully.
+	Done
+	// Failed: finished with an error (including deadline expiry).
+	Failed
+	// Shed: evicted from the queue to admit higher-priority work.
+	Shed
+)
+
+func (s State) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Admitted:
+		return "admitted"
+	case Running:
+		return "running"
+	case Checkpointed:
+		return "checkpointed"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	case Shed:
+		return "shed"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+var (
+	// ErrQueueFull rejects a submission when the queue is at its limit
+	// and the new job's priority is not high enough to shed anything.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrOverBudget rejects a job whose declared footprint exceeds the
+	// manager's whole memory budget — it could never be admitted.
+	ErrOverBudget = errors.New("jobs: job exceeds the memory budget")
+	// ErrShed marks a job evicted from the queue by a higher-priority
+	// submission.
+	ErrShed = errors.New("jobs: shed by a higher-priority job")
+	// ErrDeadline marks a job cancelled because its deadline expired.
+	ErrDeadline = errors.New("jobs: deadline exceeded")
+	// ErrClosed rejects submissions to a closed manager.
+	ErrClosed = errors.New("jobs: manager closed")
+)
+
+// Job is one unit of admission-controlled work. Name, Priority, MemBytes,
+// Deadline, and Run are set by the caller before Submit; everything else
+// is managed by the Manager.
+type Job struct {
+	// Name identifies the job in reports.
+	Name string
+	// Priority orders admission (higher runs first) and sheds (lower
+	// sheds first). Ties break by submission order.
+	Priority int
+	// MemBytes is the job's modeled in-flight memory footprint; the
+	// manager reserves it for the job's whole run. Must be ≥0.
+	MemBytes int64
+	// Deadline bounds the job's run time (0 = none); expiry cancels the
+	// job's context and fails it with ErrDeadline.
+	Deadline time.Duration
+	// Run does the work. The context is cancelled on deadline expiry or
+	// manager shutdown.
+	Run func(ctx context.Context) error
+
+	mu    sync.Mutex
+	state State
+	err   error
+	done  chan struct{}
+	seq   int64
+}
+
+// State reports the job's current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Err returns the job's terminal error (nil while running or on success).
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Done is closed when the job reaches a terminal state (Done, Failed,
+// Shed).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// MarkCheckpointed transitions a Running job to Checkpointed; run glue
+// calls it from the mining checkpoint hook. It is a no-op in any other
+// state (a checkpoint racing termination must not resurrect the job).
+func (j *Job) MarkCheckpointed() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == Running {
+		j.state = Checkpointed
+	}
+}
+
+func (j *Job) setState(s State) {
+	j.mu.Lock()
+	j.state = s
+	j.mu.Unlock()
+}
+
+func (j *Job) finish(s State, err error) {
+	j.mu.Lock()
+	j.state = s
+	j.err = err
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// Options configures a Manager.
+type Options struct {
+	// QueueLimit bounds the number of jobs waiting for admission
+	// (0 = DefaultQueueLimit). Running jobs do not count.
+	QueueLimit int
+	// MemoryBudgetBytes is the total modeled memory the admitted jobs
+	// may hold at once. It must be >0: an admission controller without
+	// a budget admits everything, which is exactly the failure mode this
+	// package exists to prevent.
+	MemoryBudgetBytes int64
+	// Workers bounds concurrently running jobs (0 = DefaultWorkers).
+	Workers int
+}
+
+// DefaultQueueLimit bounds the admission queue when Options.QueueLimit
+// is 0.
+const DefaultQueueLimit = 64
+
+// DefaultWorkers bounds concurrency when Options.Workers is 0.
+const DefaultWorkers = 2
+
+// Validate rejects unusable options with errors naming the field.
+func (o Options) Validate() error {
+	if o.QueueLimit < 0 {
+		return fmt.Errorf("jobs: Options.QueueLimit %d must be ≥0", o.QueueLimit)
+	}
+	if o.MemoryBudgetBytes <= 0 {
+		return fmt.Errorf("jobs: Options.MemoryBudgetBytes %d must be >0", o.MemoryBudgetBytes)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("jobs: Options.Workers %d must be ≥0", o.Workers)
+	}
+	return nil
+}
+
+// Manager runs jobs under a memory budget with bounded queueing.
+type Manager struct {
+	opt Options
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*Job // admission order: highest priority first, FIFO within
+	inUse   int64  // reserved memory of admitted+running jobs
+	running int
+	nextSeq int64
+	closed  bool
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+// NewManager builds a Manager and starts its scheduler.
+func NewManager(opt Options) (*Manager, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.QueueLimit == 0 {
+		opt.QueueLimit = DefaultQueueLimit
+	}
+	if opt.Workers == 0 {
+		opt.Workers = DefaultWorkers
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{opt: opt, baseCtx: ctx, cancel: cancel}
+	m.cond = sync.NewCond(&m.mu)
+	m.wg.Add(1)
+	go m.schedule()
+	return m, nil
+}
+
+// Submit queues j for admission. It fails fast with ErrOverBudget when the
+// job could never fit, ErrClosed after Close, and ErrQueueFull when the
+// queue is at its limit and j's priority is not strictly higher than the
+// lowest-priority queued job. When it is, that job is shed instead —
+// deterministically the lowest priority, latest submitted.
+func (m *Manager) Submit(j *Job) error {
+	if j.Run == nil {
+		return fmt.Errorf("jobs: job %q has no Run function", j.Name)
+	}
+	if j.MemBytes < 0 {
+		return fmt.Errorf("jobs: job %q declares negative footprint %d", j.Name, j.MemBytes)
+	}
+	if j.MemBytes > m.opt.MemoryBudgetBytes {
+		return fmt.Errorf("%w: job %q needs %d bytes, budget is %d",
+			ErrOverBudget, j.Name, j.MemBytes, m.opt.MemoryBudgetBytes)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if len(m.queue) >= m.opt.QueueLimit {
+		victim := m.shedCandidateLocked()
+		if victim == nil || victim.Priority >= j.Priority {
+			return fmt.Errorf("%w: %d jobs queued (limit %d)",
+				ErrQueueFull, len(m.queue), m.opt.QueueLimit)
+		}
+		m.removeLocked(victim)
+		victim.finish(Shed, fmt.Errorf("%w: displaced by %q", ErrShed, j.Name))
+	}
+	j.done = make(chan struct{})
+	j.state = Queued
+	j.seq = m.nextSeq
+	m.nextSeq++
+	m.queue = append(m.queue, j)
+	m.cond.Broadcast()
+	return nil
+}
+
+// shedCandidateLocked picks the queued job to evict on overflow: lowest
+// priority; among equals, the most recently submitted (shedding the
+// oldest would starve FIFO fairness inside a priority class).
+func (m *Manager) shedCandidateLocked() *Job {
+	var victim *Job
+	for _, j := range m.queue {
+		if victim == nil || j.Priority < victim.Priority ||
+			(j.Priority == victim.Priority && j.seq > victim.seq) {
+			victim = j
+		}
+	}
+	return victim
+}
+
+// bestLocked picks the next job to admit: highest priority, FIFO within.
+func (m *Manager) bestLocked() *Job {
+	var best *Job
+	for _, j := range m.queue {
+		if best == nil || j.Priority > best.Priority ||
+			(j.Priority == best.Priority && j.seq < best.seq) {
+			best = j
+		}
+	}
+	return best
+}
+
+func (m *Manager) removeLocked(victim *Job) {
+	for i, j := range m.queue {
+		if j == victim {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// schedule is the single admission loop: it owns the decision of which
+// job starts next, so admission order is a pure function of the queue
+// state rather than a race between workers.
+func (m *Manager) schedule() {
+	defer m.wg.Done()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		best := m.bestLocked()
+		if m.closed {
+			if best != nil {
+				// Drain: queued jobs on a closed manager fail, they
+				// don't run.
+				m.removeLocked(best)
+				best.finish(Failed, ErrClosed)
+				continue
+			}
+			if m.running == 0 {
+				return
+			}
+			m.cond.Wait()
+			continue
+		}
+		if best == nil || m.running >= m.opt.Workers ||
+			m.inUse+best.MemBytes > m.opt.MemoryBudgetBytes {
+			m.cond.Wait()
+			continue
+		}
+		m.removeLocked(best)
+		m.inUse += best.MemBytes
+		m.running++
+		best.setState(Admitted)
+		m.wg.Add(1)
+		go m.run(best)
+	}
+}
+
+func (m *Manager) run(j *Job) {
+	defer m.wg.Done()
+	ctx := m.baseCtx
+	var cancel context.CancelFunc = func() {}
+	if j.Deadline > 0 {
+		ctx, cancel = context.WithTimeout(ctx, j.Deadline)
+	}
+	j.setState(Running)
+	err := j.Run(ctx)
+	cancel()
+	if err != nil && errors.Is(err, context.DeadlineExceeded) {
+		err = fmt.Errorf("%w: job %q after %v", ErrDeadline, j.Name, j.Deadline)
+	}
+	m.mu.Lock()
+	m.inUse -= j.MemBytes
+	m.running--
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	if err != nil {
+		j.finish(Failed, err)
+	} else {
+		j.finish(Done, nil)
+	}
+}
+
+// InFlightBytes reports the reserved memory of admitted and running jobs
+// — by construction never above Options.MemoryBudgetBytes.
+func (m *Manager) InFlightBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.inUse
+}
+
+// QueueLen reports the number of jobs waiting for admission.
+func (m *Manager) QueueLen() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}
+
+// Close stops admission: running jobs finish, queued jobs fail with
+// ErrClosed, and Close returns once the manager is fully drained.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.wg.Wait()
+	m.cancel()
+}

@@ -1,0 +1,377 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newTestManager(t *testing.T, opt Options) *Manager {
+	t.Helper()
+	m, err := NewManager(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m
+}
+
+func TestOptionsValidate(t *testing.T) {
+	cases := []struct {
+		opt  Options
+		ok   bool
+		name string
+	}{
+		{Options{MemoryBudgetBytes: 1}, true, ""},
+		{Options{}, false, "MemoryBudgetBytes"},
+		{Options{MemoryBudgetBytes: -1}, false, "MemoryBudgetBytes"},
+		{Options{MemoryBudgetBytes: 1, QueueLimit: -1}, false, "QueueLimit"},
+		{Options{MemoryBudgetBytes: 1, Workers: -1}, false, "Workers"},
+	}
+	for _, c := range cases {
+		err := c.opt.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", c.opt, err, c.ok)
+		}
+		if err != nil && !contains(err.Error(), c.name) {
+			t.Errorf("Validate(%+v) error %q does not name %s", c.opt, err, c.name)
+		}
+	}
+}
+
+func contains(s, sub string) bool { return sub == "" || len(s) >= len(sub) && index(s, sub) }
+
+func index(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestJobLifecycle(t *testing.T) {
+	m := newTestManager(t, Options{MemoryBudgetBytes: 100, Workers: 1})
+	ran := false
+	j := &Job{Name: "a", MemBytes: 10, Run: func(ctx context.Context) error {
+		ran = true
+		return nil
+	}}
+	if err := m.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	if !ran || j.State() != Done || j.Err() != nil {
+		t.Errorf("ran=%v state=%v err=%v", ran, j.State(), j.Err())
+	}
+}
+
+func TestJobFailure(t *testing.T) {
+	m := newTestManager(t, Options{MemoryBudgetBytes: 100})
+	boom := errors.New("kernel fault")
+	j := &Job{Name: "a", Run: func(ctx context.Context) error { return boom }}
+	if err := m.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	if j.State() != Failed || !errors.Is(j.Err(), boom) {
+		t.Errorf("state=%v err=%v", j.State(), j.Err())
+	}
+}
+
+func TestJobDeadline(t *testing.T) {
+	m := newTestManager(t, Options{MemoryBudgetBytes: 100})
+	j := &Job{Name: "slow", Deadline: 10 * time.Millisecond, Run: func(ctx context.Context) error {
+		<-ctx.Done()
+		return ctx.Err()
+	}}
+	if err := m.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	if j.State() != Failed || !errors.Is(j.Err(), ErrDeadline) {
+		t.Errorf("state=%v err=%v, want Failed/ErrDeadline", j.State(), j.Err())
+	}
+}
+
+func TestSubmitRejections(t *testing.T) {
+	m := newTestManager(t, Options{MemoryBudgetBytes: 100})
+	if err := m.Submit(&Job{Name: "norun"}); err == nil {
+		t.Error("accepted a job with no Run function")
+	}
+	nop := func(ctx context.Context) error { return nil }
+	if err := m.Submit(&Job{Name: "neg", MemBytes: -1, Run: nop}); err == nil {
+		t.Error("accepted a negative footprint")
+	}
+	if err := m.Submit(&Job{Name: "huge", MemBytes: 101, Run: nop}); !errors.Is(err, ErrOverBudget) {
+		t.Errorf("oversized job: want ErrOverBudget, got %v", err)
+	}
+}
+
+// TestMemoryBudgetNeverExceeded is the admission-control invariant: under
+// a swarm of concurrent jobs with random footprints, the sum of in-flight
+// reservations never exceeds the budget.
+func TestMemoryBudgetNeverExceeded(t *testing.T) {
+	const budget = 100
+	m := newTestManager(t, Options{MemoryBudgetBytes: budget, Workers: 8, QueueLimit: 256})
+	var inFlight, maxSeen atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 60; i++ {
+		mem := int64(10 + (i*7)%60)
+		j := &Job{Name: fmt.Sprintf("j%d", i), MemBytes: mem, Run: func(ctx context.Context) error {
+			cur := inFlight.Add(mem)
+			for {
+				old := maxSeen.Load()
+				if cur <= old || maxSeen.CompareAndSwap(old, cur) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inFlight.Add(-mem)
+			return nil
+		}}
+		if err := m.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() { defer wg.Done(); <-j.Done() }()
+	}
+	wg.Wait()
+	if got := maxSeen.Load(); got > budget {
+		t.Errorf("in-flight memory peaked at %d, budget is %d", got, budget)
+	}
+	if got := m.InFlightBytes(); got != 0 {
+		t.Errorf("reservations leaked: %d bytes still held", got)
+	}
+}
+
+// TestPriorityAdmissionOrder: with one worker, queued jobs start strictly
+// by priority (FIFO within a class), regardless of submission order.
+func TestPriorityAdmissionOrder(t *testing.T) {
+	m := newTestManager(t, Options{MemoryBudgetBytes: 100, Workers: 1, QueueLimit: 16})
+	release := make(chan struct{})
+	gate := &Job{Name: "gate", MemBytes: 1, Run: func(ctx context.Context) error {
+		<-release
+		return nil
+	}}
+	if err := m.Submit(gate); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the gate occupies the only worker.
+	for m.QueueLen() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	var mu sync.Mutex
+	var order []string
+	mk := func(name string, prio int) *Job {
+		return &Job{Name: name, Priority: prio, MemBytes: 1, Run: func(ctx context.Context) error {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			return nil
+		}}
+	}
+	jobs := []*Job{mk("low-1", 1), mk("high-1", 9), mk("mid", 5), mk("high-2", 9), mk("low-2", 1)}
+	for _, j := range jobs {
+		if err := m.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(release)
+	for _, j := range jobs {
+		<-j.Done()
+	}
+	want := []string{"high-1", "high-2", "mid", "low-1", "low-2"}
+	mu.Lock()
+	defer mu.Unlock()
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Errorf("admission order %v, want %v", order, want)
+	}
+}
+
+// TestHeadOfLineBlocking: a big high-priority job at the head blocks
+// smaller low-priority jobs from sneaking past it — start order stays a
+// pure function of priority and submission order.
+func TestHeadOfLineBlocking(t *testing.T) {
+	m := newTestManager(t, Options{MemoryBudgetBytes: 100, Workers: 4, QueueLimit: 16})
+	release := make(chan struct{})
+	hog := &Job{Name: "hog", Priority: 5, MemBytes: 50, Run: func(ctx context.Context) error {
+		<-release
+		return nil
+	}}
+	if err := m.Submit(hog); err != nil {
+		t.Fatal(err)
+	}
+	for m.QueueLen() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	var mu sync.Mutex
+	var order []string
+	mk := func(name string, prio int, mem int64) *Job {
+		return &Job{Name: name, Priority: prio, MemBytes: mem, Run: func(ctx context.Context) error {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			return nil
+		}}
+	}
+	// big cannot fit beside the hog (50+80 > 100); small could (50+30),
+	// so only priority blocking keeps it queued. After the hog releases,
+	// big+small still exceed the budget, so their start order is forcibly
+	// serial and observable.
+	big := mk("big-high", 9, 80)
+	small := mk("small-low", 1, 30)
+	if err := m.Submit(big); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Submit(small); err != nil {
+		t.Fatal(err)
+	}
+	// Give the scheduler a chance to (incorrectly) start small-low.
+	time.Sleep(10 * time.Millisecond)
+	mu.Lock()
+	ran := len(order)
+	mu.Unlock()
+	if ran != 0 {
+		t.Fatalf("jobs %v started past a blocked higher-priority head", order)
+	}
+	close(release)
+	<-big.Done()
+	<-small.Done()
+	mu.Lock()
+	defer mu.Unlock()
+	if fmt.Sprint(order) != fmt.Sprint([]string{"big-high", "small-low"}) {
+		t.Errorf("order %v, want big-high before small-low", order)
+	}
+}
+
+// TestShedLowestPriorityFirst: queue overflow sheds deterministically —
+// the lowest-priority, most recently submitted job goes first, and a
+// submission that is itself the lowest is rejected outright.
+func TestShedLowestPriorityFirst(t *testing.T) {
+	m := newTestManager(t, Options{MemoryBudgetBytes: 100, Workers: 1, QueueLimit: 3})
+	release := make(chan struct{})
+	gate := &Job{Name: "gate", MemBytes: 1, Run: func(ctx context.Context) error {
+		<-release
+		return nil
+	}}
+	if err := m.Submit(gate); err != nil {
+		t.Fatal(err)
+	}
+	for m.QueueLen() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	defer close(release)
+	nop := func(ctx context.Context) error { return nil }
+	low1 := &Job{Name: "low-1", Priority: 1, MemBytes: 1, Run: nop}
+	low2 := &Job{Name: "low-2", Priority: 1, MemBytes: 1, Run: nop}
+	mid := &Job{Name: "mid", Priority: 5, MemBytes: 1, Run: nop}
+	for _, j := range []*Job{low1, low2, mid} {
+		if err := m.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Queue is now full. An equal-priority submission is rejected…
+	if err := m.Submit(&Job{Name: "low-3", Priority: 1, MemBytes: 1, Run: nop}); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("equal-priority overflow: want ErrQueueFull, got %v", err)
+	}
+	// …a higher-priority one sheds the lowest-priority latest job: low-2.
+	high := &Job{Name: "high", Priority: 9, MemBytes: 1, Run: nop}
+	if err := m.Submit(high); err != nil {
+		t.Fatal(err)
+	}
+	<-low2.Done()
+	if low2.State() != Shed || !errors.Is(low2.Err(), ErrShed) {
+		t.Errorf("low-2: state=%v err=%v, want Shed/ErrShed", low2.State(), low2.Err())
+	}
+	if low1.State() == Shed {
+		t.Error("low-1 shed before the later-submitted low-2")
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	m, err := NewManager(Options{MemoryBudgetBytes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	err = m.Submit(&Job{Name: "late", Run: func(ctx context.Context) error { return nil }})
+	if !errors.Is(err, ErrClosed) {
+		t.Errorf("want ErrClosed, got %v", err)
+	}
+}
+
+func TestCloseDrainsQueuedJobs(t *testing.T) {
+	m, err := NewManager(Options{MemoryBudgetBytes: 100, Workers: 1, QueueLimit: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	gate := &Job{Name: "gate", MemBytes: 1, Run: func(ctx context.Context) error {
+		<-release
+		return nil
+	}}
+	if err := m.Submit(gate); err != nil {
+		t.Fatal(err)
+	}
+	for m.QueueLen() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	queued := &Job{Name: "queued", MemBytes: 1, Run: func(ctx context.Context) error { return nil }}
+	if err := m.Submit(queued); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		close(release)
+	}()
+	m.Close()
+	if gate.State() != Done {
+		t.Errorf("running job at close: state=%v, want Done", gate.State())
+	}
+	if queued.State() != Failed || !errors.Is(queued.Err(), ErrClosed) {
+		t.Errorf("queued job at close: state=%v err=%v, want Failed/ErrClosed", queued.State(), queued.Err())
+	}
+}
+
+func TestMarkCheckpointed(t *testing.T) {
+	m := newTestManager(t, Options{MemoryBudgetBytes: 10})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var j *Job
+	j = &Job{Name: "ck", Run: func(ctx context.Context) error {
+		close(started)
+		<-release
+		j.MarkCheckpointed()
+		return nil
+	}}
+	if err := m.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	close(release)
+	<-j.Done()
+	if j.State() != Done {
+		t.Errorf("state=%v, want Done", j.State())
+	}
+	// A checkpoint racing termination must not resurrect the job.
+	j.MarkCheckpointed()
+	if j.State() != Done {
+		t.Errorf("MarkCheckpointed resurrected a terminal job: %v", j.State())
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for s, want := range map[State]string{
+		Queued: "queued", Admitted: "admitted", Running: "running",
+		Checkpointed: "checkpointed", Done: "done", Failed: "failed", Shed: "shed",
+	} {
+		if s.String() != want {
+			t.Errorf("State(%d).String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package resultio
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks that the result parser never panics, that every
+// rejection is a typed *CorruptError (checkpoint resume relies on
+// errors.Is(err, ErrCorrupt) to tell damage from I/O failure), and that
+// everything it accepts survives a write/read round trip unchanged.
+func FuzzRead(f *testing.F) {
+	f.Add("1 2 3 : 5\n7 : 2\n")
+	f.Add("")
+	f.Add("0 : 0\n")
+	f.Add("1 2 : 5\n1 2 : 5\n") // duplicate itemset
+	f.Add("1 2 5\n")            // missing separator
+	f.Add("1 zz : 5\n")         // bad item
+	f.Add("1 : -3\n")           // negative support
+	f.Add(" : 4\n")             // empty itemset
+	f.Add("1 : 5 : 6\n")        // extra separator
+	f.Add("4294967296 : 1\n")   // item overflows uint32
+	f.Add("\n\n2 : 1\n")        // blank lines are fine
+	f.Fuzz(func(t *testing.T, input string) {
+		rs, err := Read(strings.NewReader(input))
+		if err != nil {
+			// Only damage (ErrCorrupt) or an oversized token (scanner
+			// limit) may be reported; anything else is a bare error that
+			// resume could not classify.
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, bufio.ErrTooLong) {
+				t.Fatalf("rejection is not a CorruptError: %v", err)
+			}
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, rs); err != nil {
+			t.Fatalf("Write after successful Read: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-Read of own output: %v", err)
+		}
+		// Write sorted rs in place, so both sides are in canonical order.
+		if len(back.Sets) != len(rs.Sets) {
+			t.Fatalf("round trip changed size: %d vs %d", len(back.Sets), len(rs.Sets))
+		}
+		for i := range rs.Sets {
+			a, b := rs.Sets[i], back.Sets[i]
+			if a.Support != b.Support || a.Key() != b.Key() {
+				t.Fatalf("itemset %d changed: %v vs %v", i, a, b)
+			}
+		}
+	})
+}

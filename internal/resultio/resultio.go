@@ -3,10 +3,16 @@
 // worth caching: the text format is one itemset per line — space-
 // separated items, a colon, the absolute support — stable, diffable, and
 // independent of mining order.
+//
+// The format is also the payload of generation-boundary checkpoints
+// (internal/checkpoint), so Read is strict: malformed lines, truncated
+// separators, and duplicate itemsets are typed *CorruptError values that
+// carry the offending line number and satisfy errors.Is(err, ErrCorrupt).
 package resultio
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -14,6 +20,29 @@ import (
 
 	"gpapriori/internal/dataset"
 )
+
+// ErrCorrupt is the sentinel matched by every parse failure of Read:
+// errors.Is(err, ErrCorrupt) distinguishes a damaged result file from I/O
+// errors on the underlying reader.
+var ErrCorrupt = errors.New("resultio: corrupt result data")
+
+// CorruptError describes one malformed line of a result file.
+type CorruptError struct {
+	Line   int    // 1-based line number of the defect
+	Reason string // what was wrong with it
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("resultio: line %d: %s", e.Line, e.Reason)
+}
+
+// Is makes errors.Is(err, ErrCorrupt) true for every CorruptError.
+func (e *CorruptError) Is(target error) bool { return target == ErrCorrupt }
+
+// corruptf builds a CorruptError for line with a formatted reason.
+func corruptf(line int, format string, args ...any) error {
+	return &CorruptError{Line: line, Reason: fmt.Sprintf(format, args...)}
+}
 
 // Write serializes rs in canonical order.
 func Write(w io.Writer, rs *dataset.ResultSet) error {
@@ -38,9 +67,14 @@ func Write(w io.Writer, rs *dataset.ResultSet) error {
 }
 
 // Read parses the Write format. Malformed lines are errors (results are
-// machine-written; silent skips would hide corruption).
+// machine-written; silent skips would hide corruption): every defect is a
+// *CorruptError carrying the line number, matchable with
+// errors.Is(err, ErrCorrupt). Duplicate itemsets are rejected — Write
+// never emits them, so their presence means the file was damaged or
+// concatenated.
 func Read(r io.Reader) (*dataset.ResultSet, error) {
 	rs := &dataset.ResultSet{}
+	seen := make(map[string]int)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	line := 0
@@ -52,25 +86,33 @@ func Read(r io.Reader) (*dataset.ResultSet, error) {
 		}
 		parts := strings.SplitN(text, " : ", 2)
 		if len(parts) != 2 {
-			return nil, fmt.Errorf("resultio: line %d: missing ' : ' separator", line)
+			return nil, corruptf(line, "missing ' : ' separator")
 		}
 		sup, err := strconv.Atoi(strings.TrimSpace(parts[1]))
 		if err != nil {
-			return nil, fmt.Errorf("resultio: line %d: bad support: %v", line, err)
+			return nil, corruptf(line, "bad support: %v", err)
+		}
+		if sup < 0 {
+			return nil, corruptf(line, "negative support %d", sup)
 		}
 		fields := strings.Fields(parts[0])
 		if len(fields) == 0 {
-			return nil, fmt.Errorf("resultio: line %d: empty itemset", line)
+			return nil, corruptf(line, "empty itemset")
 		}
 		items := make([]dataset.Item, len(fields))
 		for i, f := range fields {
 			v, err := strconv.ParseUint(f, 10, 32)
 			if err != nil {
-				return nil, fmt.Errorf("resultio: line %d: bad item %q: %v", line, f, err)
+				return nil, corruptf(line, "bad item %q: %v", f, err)
 			}
 			items[i] = dataset.Item(v)
 		}
-		rs.Add(items, sup)
+		set := dataset.NewItemset(items, sup)
+		if first, dup := seen[set.Key()]; dup {
+			return nil, corruptf(line, "duplicate itemset {%s} (first on line %d)", set.Key(), first)
+		}
+		seen[set.Key()] = line
+		rs.Sets = append(rs.Sets, set)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

@@ -129,6 +129,14 @@ func (v *BitsetDB) Flatten() []uint64 {
 // paper trades against the tidset layout's compactness.
 func (v *BitsetDB) MemoryBytes() int { return len(v.Vectors) * v.WordsPerVector() * 8 }
 
+// EstimateBitsetBytes models the bitset layout's footprint for db without
+// building it: one aligned bit-vector per item. Admission control sizes
+// jobs with this estimate, so it must agree exactly with what BuildBitsets
+// would allocate.
+func EstimateBitsetBytes(db *dataset.DB) int64 {
+	return int64(db.NumItems()) * int64(bitset.AlignedWords(db.Len())) * 8
+}
+
 // MemoryBytes reports the total bytes of the tidset layout (4 bytes per
 // transaction id).
 func (v *TidsetDB) MemoryBytes() int {

@@ -151,3 +151,16 @@ func TestWordsPerVectorAlignment(t *testing.T) {
 		t.Fatal("empty BitsetDB WordsPerVector != 0")
 	}
 }
+
+// TestEstimateBitsetBytes: the admission-control estimate must agree
+// exactly with what BuildBitsets allocates.
+func TestEstimateBitsetBytes(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		db := gen.Random(97, 13, 0.4, seed)
+		got := EstimateBitsetBytes(db)
+		want := int64(BuildBitsets(db).MemoryBytes())
+		if got != want {
+			t.Errorf("seed %d: EstimateBitsetBytes = %d, built layout = %d", seed, got, want)
+		}
+	}
+}

@@ -13,3 +13,34 @@ go test -race ./...
 # Benchmark smoke: every benchmark (including the pooled-pipeline and
 # prefix-cache macro benchmarks) must run one iteration cleanly.
 go test -run='^$' -bench=. -benchtime=1x ./...
+
+# Fuzz smoke: each hardened parser fuzzes for 10s (one target per
+# invocation, as go test requires).
+go test -fuzz='^FuzzRead$' -fuzztime=10s ./internal/resultio/
+go test -fuzz='^FuzzRead$' -fuzztime=10s ./internal/dataset/
+go test -fuzz='^FuzzReadNamed$' -fuzztime=10s ./internal/dataset/
+
+# Kill/resume smoke: SIGKILL a checkpointing mine mid-run, resume it,
+# and require the itemsets to be bit-identical to an uninterrupted run.
+# (If the kill lands after completion the resume fast-forwards from the
+# final checkpoint; the equality check is timing-independent.)
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+go build -o "$SMOKE/gpapriori" ./cmd/gpapriori
+MINE="-dataset accidents -scale 0.3 -minsup 0.25 -algo cpu-bitset -json -top 0"
+
+"$SMOKE/gpapriori" $MINE > "$SMOKE/oracle.json"
+
+"$SMOKE/gpapriori" $MINE -checkpoint "$SMOKE/run.ckpt" > /dev/null 2>&1 &
+PID=$!
+sleep 0.8
+kill -9 "$PID" 2>/dev/null || true
+wait "$PID" || true
+
+"$SMOKE/gpapriori" $MINE -checkpoint "$SMOKE/run.ckpt" -resume > "$SMOKE/resumed.json"
+
+# Timings differ run to run; everything else must match exactly.
+grep -v '_seconds"' "$SMOKE/oracle.json"  > "$SMOKE/oracle.cmp"
+grep -v '_seconds"' "$SMOKE/resumed.json" > "$SMOKE/resumed.cmp"
+diff -u "$SMOKE/oracle.cmp" "$SMOKE/resumed.cmp"
+echo "kill/resume smoke: OK"
