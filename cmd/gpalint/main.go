@@ -1,0 +1,132 @@
+// gpalint is the project's invariant linter: a multichecker running the
+// internal/analysis suite (determinism, maporder, faultpath, ctxthread,
+// typederr, lockscope) over the module's packages. It is wired into
+// scripts/verify.sh and CI; a non-empty finding list is a build failure.
+//
+// Usage:
+//
+//	go run ./cmd/gpalint ./...
+//	go run ./cmd/gpalint -only determinism,maporder ./internal/core
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gpapriori/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gpalint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated analyzer subset (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	root := fs.String("root", "", "module root (default: nearest go.mod above the working directory)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: gpalint [-only a,b] [-root dir] packages...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(stderr, "gpalint: unknown analyzer %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	dir := *root
+	if dir == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			fmt.Fprintf(stderr, "gpalint: %v\n", err)
+			return 2
+		}
+		dir, err = findModuleRoot(wd)
+		if err != nil {
+			fmt.Fprintf(stderr, "gpalint: %v\n", err)
+			return 2
+		}
+	}
+
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "gpalint: %v\n", err)
+		return 2
+	}
+	paths, err := loader.ExpandPatterns(patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "gpalint: %v\n", err)
+		return 2
+	}
+
+	findings := 0
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "gpalint: %v\n", err)
+			return 2
+		}
+		diags, err := analysis.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(stderr, "gpalint: %v\n", err)
+			return 2
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			rel, rerr := filepath.Rel(dir, pos.Filename)
+			if rerr != nil {
+				rel = pos.Filename
+			}
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", rel, pos.Line, pos.Column, d.Analyzer, d.Message)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "gpalint: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
+func findModuleRoot(dir string) (string, error) {
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := findModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func TestListPrintsEveryAnalyzer(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errb.String())
+	}
+	for _, name := range []string{"ctxthread", "determinism", "faultpath", "lockscope", "maporder", "typederr"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-only", "nope", "./..."}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), `unknown analyzer "nope"`) {
+		t.Fatalf("stderr = %q", errb.String())
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	root := repoRoot(t)
+	var out, errb bytes.Buffer
+	code := run([]string{"-root", root, "./internal/clock"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("unexpected findings: %s", out.String())
+	}
+}
+
+func TestFindingsExitOne(t *testing.T) {
+	// The determinism testdata hit-case is a ready-made dirty package;
+	// point the driver straight at its directory.
+	root := repoRoot(t)
+	dirty := "./" + filepath.ToSlash(filepath.Join("internal", "analysis", "testdata", "src", "determinism", "core"))
+	var out, errb bytes.Buffer
+	code := run([]string{"-root", root, "-only", "determinism", dirty}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "determinism:") {
+		t.Fatalf("stdout = %q", out.String())
+	}
+	if !strings.Contains(errb.String(), "finding(s)") {
+		t.Fatalf("stderr = %q", errb.String())
+	}
+}

@@ -395,7 +395,7 @@ func parseBatchFile(path string) ([]batchJob, error) {
 		}
 		j := batchJob{name: f[0]}
 		if j.priority, err = strconv.Atoi(f[1]); err != nil {
-			return nil, fmt.Errorf("%s: line %d: bad priority %q: %v", path, i+1, f[1], err)
+			return nil, fmt.Errorf("%s: line %d: bad priority %q: %w", path, i+1, f[1], err)
 		}
 		if j.minsup, err = strconv.ParseFloat(f[2], 64); err != nil || j.minsup <= 0 {
 			return nil, fmt.Errorf("%s: line %d: bad minsup %q", path, i+1, f[2])

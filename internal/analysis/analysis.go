@@ -1,0 +1,249 @@
+// Package analysis is gpalint's analyzer framework: a small, offline
+// reimplementation of the golang.org/x/tools/go/analysis surface the
+// project's custom analyzers need. The real x/tools module is not a
+// dependency (the repo is dependency-free by policy), so the framework
+// provides the same shape — Analyzer, Pass, Diagnostic, a loader, and
+// an analysistest-style harness — on top of go/ast, go/parser and
+// go/types alone.
+//
+// Each analyzer mechanically enforces one invariant the miner's
+// clean-run-equivalence claim rests on; see DESIGN.md §11 for the
+// catalogue. Diagnostics can be suppressed line-by-line with
+//
+//	//gpalint:ignore <analyzer> <reason>
+//
+// on, or immediately above, the offending line. The maporder analyzer
+// additionally honours the dedicated
+//
+//	//gpalint:orderok <reason>
+//
+// directive for loops whose iteration order provably cannot reach an
+// output (see maporder.go).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check over a type-checked package.
+type Analyzer struct {
+	// Name is the short identifier used in diagnostics and in
+	// //gpalint:ignore directives.
+	Name string
+	// Doc is the one-paragraph description shown by `gpalint -help`.
+	Doc string
+	// Run inspects pass and reports findings via pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's parsed and type-checked state to an
+// analyzer, mirroring go/analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	PkgPath   string
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// Reportf records a finding against the current analyzer.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Inspect walks every file of the pass in source order, calling fn for
+// each node; fn returning false prunes the subtree.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// TypeOf returns the static type of e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}
+
+// ObjectOf resolves id to its object, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	return p.TypesInfo.ObjectOf(id)
+}
+
+// CalleeFunc resolves a call expression to the *types.Func it invokes
+// (package-level function or method), or nil for indirect calls,
+// builtins and conversions.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether call invokes the package-level function
+// pkgPath.name (not a method).
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := CalleeFunc(info, call)
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// ReceiverNamed returns the named type of a method call's receiver
+// (pointers dereferenced), or nil when call is not a method call.
+func ReceiverNamed(info *types.Info, call *ast.CallExpr) *types.Named {
+	fn := CalleeFunc(info, call)
+	if fn == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// PkgBase returns the last segment of an import path — the basis on
+// which scoped analyzers (determinism, maporder) decide applicability,
+// so analysistest packages named like the real targets exercise the
+// same matching.
+func PkgBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// directives maps file → set of lines carrying an ignore for a given
+// analyzer name (or "*").
+type directiveKey struct {
+	file string
+	line int
+}
+
+const (
+	ignorePrefix  = "//gpalint:ignore"
+	orderOKPrefix = "//gpalint:orderok"
+)
+
+// collectIgnores scans the files' comments for //gpalint:ignore
+// directives and returns the (file, line) → analyzer-names map. A
+// directive suppresses findings on its own line and the line below it
+// (so it can sit on the preceding line, nolint-style).
+func collectIgnores(fset *token.FileSet, files []*ast.File) map[directiveKey]map[string]bool {
+	out := map[directiveKey]map[string]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				name := "*"
+				if fields := strings.Fields(rest); len(fields) > 0 {
+					name = fields[0]
+				}
+				pos := fset.Position(c.Pos())
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					k := directiveKey{pos.Filename, line}
+					if out[k] == nil {
+						out[k] = map[string]bool{}
+					}
+					out[k][name] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// HasOrderOK reports whether an //gpalint:orderok directive covers the
+// line of pos (same line or the line above).
+func HasOrderOK(fset *token.FileSet, files []*ast.File, pos token.Pos) bool {
+	want := fset.Position(pos)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(strings.TrimSpace(c.Text), orderOKPrefix) {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				if p.Filename == want.Filename && (p.Line == want.Line || p.Line+1 == want.Line) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// RunAnalyzers applies each analyzer to pkg and returns the surviving
+// diagnostics in position order, //gpalint:ignore directives applied.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	ignores := collectIgnores(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			PkgPath:   pkg.PkgPath,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+		}
+		for _, d := range pass.diags {
+			pos := pkg.Fset.Position(d.Pos)
+			if names := ignores[directiveKey{pos.Filename, pos.Line}]; names[a.Name] || names["*"] {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(out[i].Pos), pkg.Fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}

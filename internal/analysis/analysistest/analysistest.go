@@ -1,0 +1,143 @@
+// Package analysistest is the offline counterpart of
+// golang.org/x/tools/go/analysis/analysistest: it loads a testdata
+// package, runs one analyzer over it, and checks the reported
+// diagnostics against `// want "regexp"` comments in the sources.
+//
+// Layout mirrors the x/tools convention: testdata packages live under
+// <caller>/testdata/src/<analyzer>/<case>. Because scoped analyzers
+// (determinism, maporder, lockscope) decide applicability from the
+// final import-path segment, each case directory is loaded under an
+// import path ending in the case name — naming a case "core" or
+// "jobs" puts it in scope, any other name proves the out-of-scope
+// behaviour with the very same matching logic production uses.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"gpapriori/internal/analysis"
+)
+
+// wantRe pulls the quoted regexps out of a want comment; both
+// double-quoted and backquoted forms are accepted, as in x/tools:
+//
+//	// want "pattern" `pattern with "quotes"`
+var wantRe = regexp.MustCompile("`([^`]*)`" + `|"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// Run loads testdata/src/<caseDir> as an import path ending in the
+// case name and checks a's diagnostics against the // want comments.
+func Run(t *testing.T, a *analysis.Analyzer, caseDir string) {
+	t.Helper()
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	dir := filepath.Join(root, "internal", "analysis", "testdata", "src", filepath.FromSlash(caseDir))
+	pkg, err := loader.LoadDirAs(dir, "gpalint.test/"+caseDir)
+	if err != nil {
+		t.Fatalf("analysistest: loading %s: %v", caseDir, err)
+	}
+
+	expects, err := collectWants(pkg)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	diags, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !claim(expects, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s:%d: unexpected %s diagnostic: %s",
+				filepath.Base(pos.Filename), pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none",
+				filepath.Base(e.file), e.line, e.re)
+		}
+	}
+}
+
+// claim marks the first unused expectation at (file, line) whose
+// regexp matches msg.
+func claim(expects []*expectation, file string, line int, msg string) bool {
+	for _, e := range expects {
+		if !e.used && e.file == file && e.line == line && e.re.MatchString(msg) {
+			e.used = true
+			return true
+		}
+	}
+	return false
+}
+
+func collectWants(pkg *analysis.Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := strings.Index(text, "want ")
+				if !strings.HasPrefix(text, "//") || idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				matches := wantRe.FindAllStringSubmatch(text[idx:], -1)
+				if len(matches) == 0 {
+					return nil, fmt.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, text)
+				}
+				for _, m := range matches {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp: %w", pos.Filename, pos.Line, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// moduleRoot walks up from the package source location to go.mod. Tests
+// run with the package directory as the working directory, so walking
+// up from "." is sufficient and keeps the helper free of runtime tricks.
+func moduleRoot() (string, error) {
+	dir, err := filepath.Abs(".")
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above the test working directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,75 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"gpapriori/internal/analysis"
+	"gpapriori/internal/analysis/analysistest"
+)
+
+// Each analyzer is proven against a failing-case package (want
+// comments) and a package that must stay silent — either the same
+// constructs out of scope, or the sanctioned idioms in scope.
+
+func TestDeterminismFlagsMiningPackages(t *testing.T) {
+	analysistest.Run(t, analysis.Determinism, "determinism/core")
+}
+
+func TestDeterminismIgnoresOutOfScopePackages(t *testing.T) {
+	analysistest.Run(t, analysis.Determinism, "determinism/gen")
+}
+
+func TestMapOrderFlagsOrderedSinks(t *testing.T) {
+	analysistest.Run(t, analysis.MapOrder, "maporder/core")
+}
+
+func TestMapOrderIgnoresOutOfScopePackages(t *testing.T) {
+	analysistest.Run(t, analysis.MapOrder, "maporder/other")
+}
+
+func TestFaultPathFlagsBareDeviceOps(t *testing.T) {
+	analysistest.Run(t, analysis.FaultPath, "faultpath/kernels")
+}
+
+func TestFaultPathExemptsSimulatorPackage(t *testing.T) {
+	analysistest.Run(t, analysis.FaultPath, "faultpath/gpusim")
+}
+
+func TestCtxThreadFlagsBrokenChains(t *testing.T) {
+	analysistest.Run(t, analysis.CtxThread, "ctxthread/lib")
+}
+
+func TestCtxThreadExemptsMainPackages(t *testing.T) {
+	analysistest.Run(t, analysis.CtxThread, "ctxthread/mainpkg")
+}
+
+func TestTypedErrFlagsUntypedChecks(t *testing.T) {
+	analysistest.Run(t, analysis.TypedErr, "typederr/lib")
+}
+
+func TestLockScopeFlagsBlockingUnderMutex(t *testing.T) {
+	analysistest.Run(t, analysis.LockScope, "lockscope/jobs")
+}
+
+func TestLockScopeIgnoresOutOfScopePackages(t *testing.T) {
+	analysistest.Run(t, analysis.LockScope, "lockscope/other")
+}
+
+func TestRegistryNamesAreUniqueAndResolvable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range analysis.All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Fatalf("analyzer %+v incompletely declared", a)
+		}
+		if seen[a.Name] {
+			t.Fatalf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if analysis.ByName(a.Name) != a {
+			t.Fatalf("ByName(%q) does not round-trip", a.Name)
+		}
+	}
+	if analysis.ByName("nope") != nil {
+		t.Fatal("ByName of unknown analyzer should be nil")
+	}
+}

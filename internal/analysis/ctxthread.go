@@ -1,0 +1,152 @@
+// The ctxthread analyzer: cancellation must reach every layer. The
+// public API promises that cancelling the context of any Mine*/Count*
+// entry point stops the run promptly (watchdog tests depend on it), so
+// a library function that owns a ctx and then calls
+// context.Background() — or takes a ctx it never uses — has silently
+// broken the chain. context.Background is sanctioned in exactly one
+// library position: the body of a convenience wrapper F that delegates
+// to its F+"Context" sibling.
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxThread enforces context threading in library (non-main) packages.
+var CtxThread = &Analyzer{
+	Name: "ctxthread",
+	Doc: "forbid context.Background/TODO in library code except inside an F → FContext " +
+		"delegation wrapper, and forbid declared-but-unused ctx parameters",
+	Run: runCtxThread,
+}
+
+func runCtxThread(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	siblings := contextSiblings(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxParam := contextParam(pass, fd)
+			hasSibling := siblings[funcKey(pass, fd)]
+			flagged := checkBackgroundCalls(pass, fd, ctxParam, hasSibling)
+			// A function already flagged for forking a fresh root has one
+			// defect, not two: skip the unused-ctx report for it.
+			if !flagged && ctxParam != nil && ctxParam.Name() != "_" && !identUsed(pass, fd.Body, ctxParam) {
+				pass.Reportf(fd.Pos(),
+					"%s takes a context.Context %q it never uses: thread it into the blocking calls or drop the parameter",
+					fd.Name.Name, ctxParam.Name())
+			}
+		}
+	}
+	return nil
+}
+
+// funcKey identifies a function by receiver type + name so methods on
+// different types with the same name don't collide.
+func funcKey(pass *Pass, fd *ast.FuncDecl) string {
+	key := fd.Name.Name
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		if t := pass.TypeOf(fd.Recv.List[0].Type); t != nil {
+			key = t.String() + "." + key
+		}
+	}
+	return key
+}
+
+// contextSiblings returns the set of function keys F for which a
+// sibling named F+"Context" (same receiver) exists in the package.
+func contextSiblings(pass *Pass) map[string]bool {
+	have := map[string]bool{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				have[funcKey(pass, fd)] = true
+			}
+		}
+	}
+	out := map[string]bool{}
+	for key := range have {
+		if have[key+"Context"] {
+			out[key] = true
+		}
+	}
+	return out
+}
+
+// contextParam returns the (last) parameter of fd whose type is
+// context.Context, or nil.
+func contextParam(pass *Pass, fd *ast.FuncDecl) *types.Var {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		t := pass.TypeOf(field.Type)
+		if t == nil || !isContextType(t) {
+			continue
+		}
+		for _, name := range field.Names {
+			if v, ok := pass.ObjectOf(name).(*types.Var); ok {
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+func identUsed(pass *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+func checkBackgroundCalls(pass *Pass, fd *ast.FuncDecl, ctxParam *types.Var, hasSibling bool) (flagged bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := ""
+		switch {
+		case IsPkgFunc(pass.TypesInfo, call, "context", "Background"):
+			name = "Background"
+		case IsPkgFunc(pass.TypesInfo, call, "context", "TODO"):
+			name = "TODO"
+		default:
+			return true
+		}
+		switch {
+		case ctxParam != nil:
+			flagged = true
+			pass.Reportf(call.Pos(),
+				"context.%s inside %s, which already has a ctx parameter %q: pass it down instead of breaking the cancellation chain",
+				name, fd.Name.Name, ctxParam.Name())
+		case !hasSibling:
+			flagged = true
+			pass.Reportf(call.Pos(),
+				"context.%s in library function %s: accept a context.Context (or add a %sContext sibling and delegate)",
+				name, fd.Name.Name, fd.Name.Name)
+		}
+		return true
+	})
+	return flagged
+}

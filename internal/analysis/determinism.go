@@ -1,0 +1,70 @@
+// The determinism analyzer: mining code must be a pure function of
+// (database, config, seed). Wall-clock reads and the global math/rand
+// source both break that — a fault-injected or resumed run could then
+// diverge from the clean run it must replay bit-identically — so inside
+// the mining packages every timestamp must come from internal/clock's
+// seam and every random stream from an explicitly seeded *rand.Rand.
+package analysis
+
+import (
+	"go/ast"
+)
+
+// DeterminismPkgs names the packages (by final path segment) the
+// determinism and maporder analyzers police: the packages on the
+// mining path whose outputs feed the clean-run-equivalence checks.
+var DeterminismPkgs = map[string]bool{
+	"apriori":    true,
+	"core":       true,
+	"kernels":    true,
+	"bitset":     true,
+	"gpusim":     true,
+	"cluster":    true,
+	"checkpoint": true,
+}
+
+// globalRandFuncs are the math/rand package-level functions that draw
+// from the process-global source. rand.New/NewSource/NewZipf are
+// excluded: they build explicitly seeded generators, which is exactly
+// the sanctioned plumbing.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
+	"Read": true,
+}
+
+// Determinism flags wall-clock and global-rand use in mining packages.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid time.Now and global math/rand in mining packages; " +
+		"timing goes through internal/clock, randomness through seeded *rand.Rand",
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !DeterminismPkgs[PkgBase(pass.PkgPath)] {
+		return nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if IsPkgFunc(pass.TypesInfo, call, "time", "Now") {
+			pass.Reportf(call.Pos(),
+				"time.Now in mining package %s: route timestamps through internal/clock so runs stay replayable",
+				PkgBase(pass.PkgPath))
+		}
+		fn := CalleeFunc(pass.TypesInfo, call)
+		if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "math/rand" &&
+			globalRandFuncs[fn.Name()] && IsPkgFunc(pass.TypesInfo, call, "math/rand", fn.Name()) {
+			pass.Reportf(call.Pos(),
+				"global math/rand.%s in mining package %s: use a seeded *rand.Rand (rand.New(rand.NewSource(seed)))",
+				fn.Name(), PkgBase(pass.PkgPath))
+		}
+		return true
+	})
+	return nil
+}

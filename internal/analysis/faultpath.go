@@ -1,0 +1,58 @@
+// The faultpath analyzer: outside the simulator itself, device kernel
+// launches and transfers must go through gpusim's Try* wrappers. The
+// bare Launch/CopyToDevice/CopyFromDevice methods panic-or-ignore on an
+// armed fault injector, so a bare call on any path reachable under
+// fault injection (core failover, cluster recovery, the jobs breaker's
+// probes) silently bypasses the watchdog, the retry accounting, and
+// the dead-device bookkeeping that failover correctness rests on.
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// bareDeviceOps are the gpusim.Device methods that skip fault
+// injection; TryLaunch/TryCopyToDevice/TryCopyFromDevice are the
+// sanctioned equivalents.
+var bareDeviceOps = map[string]string{
+	"Launch":         "TryLaunch",
+	"CopyToDevice":   "TryCopyToDevice",
+	"CopyFromDevice": "TryCopyFromDevice",
+}
+
+// FaultPath flags bare gpusim.Device operations outside package gpusim.
+var FaultPath = &Analyzer{
+	Name: "faultpath",
+	Doc: "forbid bare gpusim.Device Launch/Copy* calls outside package gpusim; " +
+		"fault-aware paths must use the Try* wrappers",
+	Run: runFaultPath,
+}
+
+func runFaultPath(pass *Pass) error {
+	if PkgBase(pass.PkgPath) == "gpusim" {
+		return nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		named := ReceiverNamed(pass.TypesInfo, call)
+		if named == nil || named.Obj().Name() != "Device" {
+			return true
+		}
+		pkg := named.Obj().Pkg()
+		if pkg == nil || !strings.HasSuffix(pkg.Path(), "internal/gpusim") {
+			return true
+		}
+		fn := CalleeFunc(pass.TypesInfo, call)
+		if try, bare := bareDeviceOps[fn.Name()]; bare {
+			pass.Reportf(call.Pos(),
+				"bare gpusim.Device.%s on a fault-aware path: use %s so injected faults hit the watchdog/retry machinery",
+				fn.Name(), try)
+		}
+		return true
+	})
+	return nil
+}

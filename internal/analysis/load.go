@@ -1,0 +1,287 @@
+// The loader: offline, module-aware package loading for gpalint.
+//
+// x/tools' go/packages is unavailable (no module proxy in the build
+// environment), so packages are loaded the hard way: module-local
+// import paths are mapped to directories under the module root and
+// parsed + type-checked from source, while standard-library imports
+// are delegated to go/importer's source importer. Results are cached
+// per Loader, so a whole-repo run type-checks each package once.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// PkgPath is the import path the package was loaded as.
+	PkgPath string
+	// Dir is the directory its files were read from.
+	Dir string
+	// Fset positions all files (shared across the whole Loader).
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Loader loads and caches packages of one module plus their stdlib
+// dependencies.
+type Loader struct {
+	fset   *token.FileSet
+	root   string // module root directory
+	module string // module path from go.mod
+	std    types.ImporterFrom
+	pkgs   map[string]*Package // module-local, by import path
+	stdlib map[string]*types.Package
+	// loading guards against import cycles.
+	loading map[string]bool
+}
+
+// NewLoader builds a loader for the module rooted at dir (the directory
+// containing go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	mod, err := modulePath(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	src, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("analysis: source importer does not implement ImporterFrom")
+	}
+	return &Loader{
+		fset:    fset,
+		root:    dir,
+		module:  mod,
+		std:     src,
+		pkgs:    map[string]*Package{},
+		stdlib:  map[string]*types.Package{},
+		loading: map[string]bool{},
+	}, nil
+}
+
+// Module returns the module path read from go.mod.
+func (l *Loader) Module() string { return l.module }
+
+// Fset returns the loader-wide file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("analysis: reading %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s", gomod)
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-local paths load
+// from source under the module root, everything else is stdlib.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	if p, ok := l.stdlib[path]; ok {
+		return p, nil
+	}
+	p, err := l.std.ImportFrom(path, srcDir, mode)
+	if err != nil {
+		return nil, err
+	}
+	l.stdlib[path] = p
+	return p, nil
+}
+
+// Load loads the module-local package with the given import path.
+func (l *Loader) Load(path string) (*Package, error) {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.module), "/")
+	return l.LoadDirAs(filepath.Join(l.root, filepath.FromSlash(rel)), path)
+}
+
+// LoadDirAs parses and type-checks the non-test Go files of dir as the
+// package with import path pkgPath. analysistest uses the explicit
+// pkgPath to load testdata trees under paths that exercise an
+// analyzer's package scoping.
+func (l *Loader) LoadDirAs(dir, pkgPath string) (*Package, error) {
+	if p, ok := l.pkgs[pkgPath]; ok {
+		return p, nil
+	}
+	if l.loading[pkgPath] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", pkgPath)
+	}
+	l.loading[pkgPath] = true
+	defer func() { delete(l.loading, pkgPath) }()
+
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(pkgPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", pkgPath, err)
+	}
+	p := &Package{
+		PkgPath:   pkgPath,
+		Dir:       dir,
+		Fset:      l.fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	l.pkgs[pkgPath] = p
+	return p, nil
+}
+
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// ExpandPatterns resolves gpalint's command-line patterns into
+// module-local import paths. Supported forms: "./..." (every package
+// under the module root), "./x" or "./x/..." (relative to root), and
+// plain import paths inside the module. testdata, hidden, and
+// dependency-less directories (no .go files) are skipped.
+func (l *Loader) ExpandPatterns(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./...":
+			paths, err := l.walk(l.root)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range paths {
+				add(p)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(pat, "/...")
+			base = strings.TrimPrefix(base, "./")
+			paths, err := l.walk(filepath.Join(l.root, filepath.FromSlash(base)))
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range paths {
+				add(p)
+			}
+		case pat == ".":
+			add(l.module)
+		case strings.HasPrefix(pat, "./"):
+			rel := strings.TrimPrefix(pat, "./")
+			if rel == "" {
+				add(l.module)
+			} else {
+				add(l.module + "/" + filepath.ToSlash(rel))
+			}
+		default:
+			add(pat)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// walk returns the import paths of every directory under base that
+// holds at least one non-test Go file.
+func (l *Loader) walk(base string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		hasGo := false
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			n := e.Name()
+			if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+				hasGo = true
+				break
+			}
+		}
+		if !hasGo {
+			return nil
+		}
+		rel, err := filepath.Rel(l.root, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			out = append(out, l.module)
+		} else {
+			out = append(out, l.module+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("analysis: walking %s: %w", base, err)
+	}
+	return out, nil
+}

@@ -1,0 +1,109 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gpapriori/internal/analysis"
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+func TestLoaderResolvesModuleAndStdlibImports(t *testing.T) {
+	root := moduleRoot(t)
+	l, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// core imports both stdlib (context, fmt) and module-local packages
+	// (apriori, gpusim, kernels) — loading it exercises the whole
+	// importer split.
+	pkg, err := l.Load(l.Module() + "/internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Types == nil || pkg.TypesInfo == nil || len(pkg.Files) == 0 {
+		t.Fatalf("incomplete package: %+v", pkg)
+	}
+	if got := pkg.Types.Name(); got != "core" {
+		t.Fatalf("package name = %q, want core", got)
+	}
+	// Loading again must hit the cache (same pointer).
+	again, err := l.Load(l.Module() + "/internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != pkg {
+		t.Fatal("second Load did not return the cached package")
+	}
+}
+
+func TestExpandPatternsWalksModule(t *testing.T) {
+	root := moduleRoot(t)
+	l, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := l.ExpandPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		l.Module():                        false, // root package
+		l.Module() + "/internal/core":     false,
+		l.Module() + "/internal/analysis": false,
+		l.Module() + "/cmd/gpalint":       false,
+	}
+	for _, p := range paths {
+		if _, ok := want[p]; ok {
+			want[p] = true
+		}
+	}
+	for p, seen := range want {
+		if !seen {
+			t.Errorf("ExpandPatterns(./...) missing %s", p)
+		}
+	}
+	// testdata trees must not be walked into.
+	for _, p := range paths {
+		if filepath.Base(p) == "testdata" {
+			t.Errorf("ExpandPatterns included a testdata dir: %s", p)
+		}
+	}
+}
+
+func TestExpandPatternsRelativeForms(t *testing.T) {
+	root := moduleRoot(t)
+	l, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := l.ExpandPatterns([]string{"./internal/jobs", "."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, p := range paths {
+		got[p] = true
+	}
+	if !got[l.Module()+"/internal/jobs"] || !got[l.Module()] {
+		t.Fatalf("ExpandPatterns = %v", paths)
+	}
+}

@@ -1,0 +1,244 @@
+// The lockscope analyzer: the jobs manager's admission loop is the
+// serialization point for every mining job, so a mutex held across a
+// blocking call — a channel op, a WaitGroup.Wait, a sleep, a
+// checkpoint write — stalls admission, deadline enforcement and
+// shedding for the whole fleet at once. The analyzer does a
+// straight-line scan of each function: between x.Lock()/x.RLock() and
+// the matching Unlock (a deferred Unlock holds to function end) no
+// blocking construct may appear. sync.Cond.Wait is exempt — it
+// releases the mutex while parked, which is the sanctioned way to
+// block inside the admission loop.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockScopePkgs names the packages (by final path segment) lockscope
+// polices. Only the jobs manager today: its mutexes serialize global
+// admission, so blocking under them is a fleet-wide stall.
+var LockScopePkgs = map[string]bool{
+	"jobs": true,
+}
+
+// LockScope flags blocking calls made while a sync.Mutex/RWMutex is
+// held.
+var LockScope = &Analyzer{
+	Name: "lockscope",
+	Doc: "forbid blocking operations (channel ops, WaitGroup.Wait, time.Sleep, " +
+		"checkpoint writes) while a mutex is held in internal/jobs",
+	Run: runLockScope,
+}
+
+func runLockScope(pass *Pass) error {
+	if !LockScopePkgs[PkgBase(pass.PkgPath)] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				scanBlock(pass, fd.Body, map[string]bool{})
+			}
+		}
+	}
+	return nil
+}
+
+// scanBlock walks one statement list with the set of mutexes currently
+// held (keyed by the printed receiver expression). Nested blocks get a
+// copy: an early-return branch that unlocks must not clear the lock
+// for the fallthrough path, and vice versa.
+func scanBlock(pass *Pass, block *ast.BlockStmt, held map[string]bool) {
+	for _, stmt := range block.List {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if recv, op, ok := mutexOp(pass, s.X); ok {
+				switch op {
+				case "Lock", "RLock":
+					held[recv] = true
+				case "Unlock", "RUnlock":
+					delete(held, recv)
+				}
+				continue
+			}
+		case *ast.DeferStmt:
+			// A deferred Unlock keeps the mutex held for the rest of the
+			// scan, which is exactly the region to check — nothing to do.
+			if _, op, ok := mutexOp(pass, s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+				continue
+			}
+		}
+		// Compound statements: check only their header expressions here
+		// (a branch may unlock before blocking), then recurse into each
+		// body with a copy of the held set.
+		switch s := stmt.(type) {
+		case *ast.IfStmt:
+			reportBlocking(pass, held, exprStmtOrNil(s.Init), condStmt(s.Cond))
+			scanBlock(pass, s.Body, copySet(held))
+			switch els := s.Else.(type) {
+			case *ast.BlockStmt:
+				scanBlock(pass, els, copySet(held))
+			case *ast.IfStmt:
+				scanBlock(pass, &ast.BlockStmt{List: []ast.Stmt{els}}, copySet(held))
+			}
+			continue
+		case *ast.ForStmt:
+			reportBlocking(pass, held, exprStmtOrNil(s.Init), condStmt(s.Cond))
+			scanBlock(pass, s.Body, copySet(held))
+			continue
+		case *ast.RangeStmt:
+			reportBlocking(pass, held, condStmt(s.X))
+			scanBlock(pass, s.Body, copySet(held))
+			continue
+		case *ast.BlockStmt:
+			scanBlock(pass, s, copySet(held))
+			continue
+		case *ast.SwitchStmt:
+			reportBlocking(pass, held, exprStmtOrNil(s.Init), condStmt(s.Tag))
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanBlock(pass, &ast.BlockStmt{List: cc.Body}, copySet(held))
+				}
+			}
+			continue
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanBlock(pass, &ast.BlockStmt{List: cc.Body}, copySet(held))
+				}
+			}
+			continue
+		}
+		// Simple statements (including select, sends, returns): flag any
+		// blocking construct while a mutex is held.
+		reportBlocking(pass, held, stmt)
+	}
+}
+
+// exprStmtOrNil and condStmt adapt optional headers to statements the
+// blocking scan understands.
+func exprStmtOrNil(s ast.Stmt) ast.Stmt { return s }
+
+func condStmt(e ast.Expr) ast.Stmt {
+	if e == nil {
+		return nil
+	}
+	return &ast.ExprStmt{X: e}
+}
+
+func reportBlocking(pass *Pass, held map[string]bool, stmts ...ast.Stmt) {
+	if len(held) == 0 {
+		return
+	}
+	for _, stmt := range stmts {
+		if stmt == nil {
+			continue
+		}
+		if pos, kind := blockingIn(pass, stmt); kind != "" {
+			names := make([]string, 0, len(held))
+			for k := range held {
+				names = append(names, k)
+			}
+			sort.Strings(names)
+			pass.Reportf(pos,
+				"%s while holding %s: blocking under the jobs mutex stalls admission for every queued job",
+				kind, strings.Join(names, ", "))
+		}
+	}
+}
+
+func copySet(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+// mutexOp matches expr as a Lock/Unlock/RLock/RUnlock method call on a
+// sync.Mutex or sync.RWMutex value and returns the printed receiver.
+func mutexOp(pass *Pass, expr ast.Expr) (recv, op string, ok bool) {
+	call, isCall := ast.Unparen(expr).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	named := ReceiverNamed(pass.TypesInfo, call)
+	if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	if n := named.Obj().Name(); n != "Mutex" && n != "RWMutex" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// blockingIn returns the position and description of the first
+// blocking construct inside stmt, not descending into function
+// literals (a goroutine body runs outside the lock).
+func blockingIn(pass *Pass, stmt ast.Stmt) (pos token.Pos, kind string) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if kind != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			pos, kind = n.Pos(), "channel send"
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pos, kind = n.Pos(), "channel receive"
+				return false
+			}
+		case *ast.SelectStmt:
+			pos, kind = n.Pos(), "select"
+			return false
+		case *ast.CallExpr:
+			if k := blockingCall(pass, n); k != "" {
+				pos, kind = n.Pos(), k
+				return false
+			}
+		}
+		return true
+	})
+	return pos, kind
+}
+
+func blockingCall(pass *Pass, call *ast.CallExpr) string {
+	fn := CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	path := fn.Pkg().Path()
+	if named := ReceiverNamed(pass.TypesInfo, call); named != nil && path == "sync" {
+		switch named.Obj().Name() {
+		case "WaitGroup":
+			if fn.Name() == "Wait" {
+				return "sync.WaitGroup.Wait"
+			}
+		case "Cond":
+			return "" // Cond.Wait releases the mutex: sanctioned
+		}
+	}
+	if path == "time" && fn.Name() == "Sleep" {
+		return "time.Sleep"
+	}
+	if strings.HasSuffix(path, "internal/checkpoint") {
+		return "checkpoint " + fn.Name()
+	}
+	return ""
+}

@@ -1,0 +1,24 @@
+package analysis
+
+// All returns the full gpalint analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		CtxThread,
+		Determinism,
+		FaultPath,
+		LockScope,
+		MapOrder,
+		TypedErr,
+	}
+}
+
+// ByName resolves a comma-separated analyzer selection; unknown names
+// return nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+// Hit and non-hit cases for ctxthread in a library (non-main) package.
+package lib
+
+import "context"
+
+func blocked(ctx context.Context) error { <-ctx.Done(); return ctx.Err() }
+
+// MineContext is the context-threading entry point.
+func MineContext(ctx context.Context, n int) error { return blocked(ctx) }
+
+// Mine is the sanctioned convenience wrapper: Background is allowed
+// exactly here because the Context sibling exists.
+func Mine(n int) error { return MineContext(context.Background(), n) }
+
+// breaksChain owns a ctx but forks a fresh root — the caller's
+// cancellation no longer reaches the work.
+func breaksChain(ctx context.Context, n int) error {
+	return MineContext(context.Background(), n) // want `context.Background inside breaksChain, which already has a ctx parameter "ctx"`
+}
+
+// orphanRoot has no Context sibling, so Background is a missing
+// parameter, not a wrapper.
+func orphanRoot(n int) error {
+	return MineContext(context.TODO(), n) // want `context.TODO in library function orphanRoot`
+}
+
+// CountDropped takes a context and ignores it.
+func CountDropped(ctx context.Context, n int) int { // want `CountDropped takes a context.Context "ctx" it never uses`
+	return n * 2
+}
+
+// CountUsed threads its context.
+func CountUsed(ctx context.Context, n int) (int, error) {
+	if err := blocked(ctx); err != nil {
+		return 0, err
+	}
+	return n * 2, nil
+}
+
+// anonymous context parameters are an explicit opt-out (interface
+// conformance), never flagged.
+func conformsToInterface(_ context.Context, n int) int { return n }

@@ -1,0 +1,10 @@
+// Non-hit case: package main is the composition root — creating root
+// contexts is exactly its job.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

@@ -1,0 +1,38 @@
+// Hit cases: this package's import path ends in "core", which is in
+// the determinism set.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `time.Now in mining package core`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand.Intn in mining package core`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand.Shuffle`
+}
+
+// seededRand is the sanctioned pattern: an explicit seed makes the
+// stream replayable.
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// timeArithmetic on values passed in is fine; only reading the wall
+// clock is flagged.
+func timeArithmetic(t time.Time) time.Time {
+	return t.Add(time.Second)
+}
+
+func suppressed() time.Time {
+	//gpalint:ignore determinism calibration-only path, not on the mining result
+	return time.Now()
+}

@@ -1,0 +1,13 @@
+// Non-hit case: identical code, but the import path ends in "gen",
+// which is outside the determinism set (dataset generators are allowed
+// wall-clock and may wrap the global source behind explicit seeds).
+package gen
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time { return time.Now() }
+
+func globalRand() int { return rand.Intn(10) }

@@ -1,0 +1,10 @@
+// Non-hit case: the import path ends in "gpusim" — the simulator
+// itself implements the Try* wrappers, so bare ops are its business.
+package gpusim
+
+import real "gpapriori/internal/gpusim"
+
+func bareOpsInsideSimulator(dev *real.Device, buf real.Buffer, data []uint32) {
+	dev.CopyToDevice(buf, data)
+	dev.Launch(real.LaunchConfig{Grid: 1, Block: 32}, func(ctx *real.Ctx) {})
+}

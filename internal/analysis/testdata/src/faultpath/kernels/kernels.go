@@ -1,0 +1,34 @@
+// Hit cases: bare device ops on the real gpusim.Device type outside
+// package gpusim.
+package kernels
+
+import "gpapriori/internal/gpusim"
+
+func bareOps(dev *gpusim.Device, buf gpusim.Buffer, data []uint32) {
+	dev.CopyToDevice(buf, data)                                                   // want `bare gpusim.Device.CopyToDevice on a fault-aware path: use TryCopyToDevice`
+	dev.Launch(gpusim.LaunchConfig{Grid: 1, Block: 32}, func(ctx *gpusim.Ctx) {}) // want `bare gpusim.Device.Launch on a fault-aware path: use TryLaunch`
+	out := make([]uint32, 4)
+	dev.CopyFromDevice(out, buf) // want `bare gpusim.Device.CopyFromDevice on a fault-aware path: use TryCopyFromDevice`
+}
+
+func sanctionedOps(dev *gpusim.Device, buf gpusim.Buffer, data []uint32) error {
+	if err := dev.TryCopyToDevice(buf, data); err != nil {
+		return err
+	}
+	if _, err := dev.TryLaunch(gpusim.LaunchConfig{Grid: 1, Block: 32}, func(ctx *gpusim.Ctx) {}, 0); err != nil {
+		return err
+	}
+	out := make([]uint32, 4)
+	return dev.TryCopyFromDevice(out, buf)
+}
+
+// nonDeviceLaunch proves the check keys on the receiver type, not the
+// method name.
+type launcher struct{}
+
+func (launcher) Launch()               {}
+func (launcher) CopyToDevice(any, any) {}
+func nameCollision(l launcher) {
+	l.Launch()
+	l.CopyToDevice(nil, nil)
+}

@@ -1,0 +1,79 @@
+// Hit and non-hit cases for lockscope; the import path ends in
+// "jobs", which is in scope.
+package jobs
+
+import (
+	"sync"
+	"time"
+)
+
+type manager struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	wg   sync.WaitGroup
+	ch   chan int
+}
+
+func (m *manager) receiveUnderLock() int {
+	m.mu.Lock()
+	v := <-m.ch // want `channel receive while holding m.mu`
+	m.mu.Unlock()
+	return v
+}
+
+func (m *manager) sendUnderDeferredLock(v int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ch <- v // want `channel send while holding m.mu`
+}
+
+func (m *manager) waitUnderLock() {
+	m.mu.Lock()
+	m.wg.Wait() // want `sync.WaitGroup.Wait while holding m.mu`
+	m.mu.Unlock()
+}
+
+func (m *manager) sleepUnderLock() {
+	m.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while holding m.mu`
+	m.mu.Unlock()
+}
+
+func (m *manager) selectUnderLock() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	select { // want `select while holding m.mu`
+	case v := <-m.ch:
+		_ = v
+	default:
+	}
+}
+
+// unlockBeforeBlocking is the sanctioned shape: the early-return branch
+// releases the mutex before waiting, and so does the fallthrough path.
+func (m *manager) unlockBeforeBlocking(done bool) {
+	m.mu.Lock()
+	if done {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.mu.Unlock()
+	m.wg.Wait()
+}
+
+// condWait is exempt: sync.Cond.Wait releases the mutex while parked.
+func (m *manager) condWait() {
+	m.mu.Lock()
+	for m.ch == nil {
+		m.cond.Wait()
+	}
+	m.mu.Unlock()
+}
+
+// goroutineEscapes: a go statement's body runs outside the lock.
+func (m *manager) goroutineEscapes() {
+	m.mu.Lock()
+	go func() { m.wg.Wait() }()
+	m.mu.Unlock()
+}

@@ -1,0 +1,16 @@
+// Non-hit case: the import path ends in "other" — lockscope only
+// polices the jobs manager, whose mutexes serialize global admission.
+package other
+
+import "sync"
+
+type pool struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (p *pool) receiveUnderLock() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return <-p.ch
+}

@@ -1,0 +1,64 @@
+// Hit and non-hit cases for maporder; the import path ends in "core",
+// which is in scope.
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// unsortedAppend leaks map order into the returned slice.
+func unsortedAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `map iteration order reaches an ordered sink \(append\)`
+	}
+	return out
+}
+
+// collectThenSort is the sanctioned idiom: the append target is sorted
+// before anything order-sensitive sees it.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// directWrite emits bytes in iteration order — unfixable by sorting
+// later, always flagged.
+func directWrite(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `map iteration order reaches an ordered sink \(Fprintf\)`
+	}
+}
+
+// channelSend publishes in iteration order.
+func channelSend(ch chan<- string, m map[string]bool) {
+	for k := range m {
+		ch <- k // want `map iteration order reaches an ordered sink \(channel send\)`
+	}
+}
+
+// accumulate is order-insensitive: commutative folds never flag.
+func accumulate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// vouched is order-relevant in form but the author takes
+// responsibility via the directive.
+func vouched(m map[string]int) []string {
+	var out []string
+	//gpalint:orderok feeds a set-equality check, order never observed
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

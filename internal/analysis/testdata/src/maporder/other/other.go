@@ -1,0 +1,11 @@
+// Non-hit case: the import path ends in "other", outside both the
+// determinism and maporder package sets.
+package other
+
+func unsortedAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

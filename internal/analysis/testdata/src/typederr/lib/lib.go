@@ -1,0 +1,59 @@
+// Hit and non-hit cases for typederr.
+package lib
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrCorrupt mirrors the repo's sentinel-error contracts.
+var ErrCorrupt = errors.New("lib: corrupt")
+
+// RowError mirrors the repo's typed errors implementing the errors.Is
+// protocol.
+type RowError struct{ Line int }
+
+func (e *RowError) Error() string { return fmt.Sprintf("lib: row %d", e.Line) }
+
+// Is implements the errors.Is protocol; identity comparison against
+// the sentinel is the documented way to write it and is exempt.
+func (e *RowError) Is(target error) bool { return target == ErrCorrupt }
+
+func identityCompare(err error) bool {
+	return err == ErrCorrupt // want `error compared with ==: use errors.Is`
+}
+
+func identityNotEqual(err error) bool {
+	if err != ErrCorrupt { // want `error compared with !=: use errors.Is`
+		return false
+	}
+	return true
+}
+
+// nilChecks are ordinary control flow, never flagged.
+func nilChecks(err error) bool { return err == nil || nil != err }
+
+func sanctionedIs(err error) bool { return errors.Is(err, ErrCorrupt) }
+
+func substringMatch(err error) bool {
+	return strings.Contains(err.Error(), "corrupt") // want `strings.Contains over err.Error\(\) text`
+}
+
+func prefixMatch(err error) bool {
+	return strings.HasPrefix(err.Error(), "lib:") // want `strings.HasPrefix over err.Error\(\) text`
+}
+
+// substringOnPlainStrings is fine — only Error() text is protected.
+func substringOnPlainStrings(s string) bool { return strings.Contains(s, "corrupt") }
+
+func wrapWithoutVerb(err error) error {
+	return fmt.Errorf("loading: %v", err) // want `fmt.Errorf formats an error without %w`
+}
+
+func wrapProperly(err error) error {
+	return fmt.Errorf("loading: %w", err)
+}
+
+// formatNonError has no error argument; %v is fine.
+func formatNonError(n int) error { return fmt.Errorf("bad count: %v", n) }

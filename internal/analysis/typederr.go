@@ -1,0 +1,146 @@
+// The typederr analyzer: the repo's error contracts — ErrMismatch,
+// ErrCorrupt, CorruptError{line}, RowError, the jobs sentinels — are
+// only honoured when callers test them with errors.Is/errors.As and
+// producers wrap with %w. Identity comparison breaks as soon as an
+// error is wrapped; substring matching on Error() text breaks when a
+// message is reworded; fmt.Errorf with %v instead of %w severs the
+// chain so downstream errors.Is checks silently stop matching.
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// TypedErr flags ==/!= on errors, substring-matching on Error() text,
+// and fmt.Errorf calls that format an error without %w.
+var TypedErr = &Analyzer{
+	Name: "typederr",
+	Doc: "require errors.Is/errors.As instead of ==/Error()-substring checks, " +
+		"and %w (not %v/%s) when fmt.Errorf wraps an error",
+	Run: runTypedErr,
+}
+
+func runTypedErr(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// x == ErrFoo inside an Is(error) bool method is the
+			// documented way to implement the errors.Is protocol itself.
+			if isIsMethod(pass, fd) {
+				continue
+			}
+			checkErrExprs(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func isIsMethod(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || fd.Name.Name != "Is" || fd.Type.Params == nil || len(fd.Type.Params.List) != 1 {
+		return false
+	}
+	t := pass.TypeOf(fd.Type.Params.List[0].Type)
+	return t != nil && isErrorType(t)
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func isNilExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}
+
+func checkErrExprs(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			if isNilExpr(pass, n.X) || isNilExpr(pass, n.Y) {
+				return true
+			}
+			tx, ty := pass.TypeOf(n.X), pass.TypeOf(n.Y)
+			if tx != nil && ty != nil && isErrorType(tx) && isErrorType(ty) {
+				pass.Reportf(n.Pos(),
+					"error compared with %s: use errors.Is so wrapped errors still match", n.Op)
+			}
+		case *ast.CallExpr:
+			checkErrCall(pass, n)
+		}
+		return true
+	})
+}
+
+func checkErrCall(pass *Pass, call *ast.CallExpr) {
+	fn := CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch {
+	case fn.Pkg().Path() == "strings" &&
+		(fn.Name() == "Contains" || fn.Name() == "HasPrefix" || fn.Name() == "HasSuffix"):
+		for _, arg := range call.Args {
+			if isErrorTextCall(pass, arg) {
+				pass.Reportf(call.Pos(),
+					"strings.%s over err.Error() text: match the error with errors.Is/errors.As, not its message",
+					fn.Name())
+				return
+			}
+		}
+	case fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf":
+		checkErrorfWrap(pass, call)
+	}
+}
+
+// isErrorTextCall reports whether e is a call of the Error() method on
+// an error value.
+func isErrorTextCall(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	t := pass.TypeOf(sel.X)
+	return t != nil && (isErrorType(t) || types.Implements(t, errorInterface()))
+}
+
+func errorInterface() *types.Interface {
+	return types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that pass an error argument
+// while the (constant) format string carries no %w verb.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // non-constant format: nothing to prove
+	}
+	format := constant.StringVal(tv.Value)
+	if strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		t := pass.TypeOf(arg)
+		if t != nil && isErrorType(t) {
+			pass.Reportf(call.Pos(),
+				"fmt.Errorf formats an error without %%w: the typed-error chain is severed (errors.Is on the result fails)")
+			return
+		}
+	}
+}

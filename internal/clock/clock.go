@@ -1,0 +1,56 @@
+// Package clock is the single wall-clock seam for the mining packages.
+//
+// The determinism analyzer (internal/analysis, DESIGN.md §11) forbids
+// direct time.Now calls on the mining path: wall-clock reads scattered
+// through mining code are how nondeterminism leaks into decisions that
+// must replay bit-identically under fault injection and resume. The
+// packages instead call clock.Now — behaviourally identical in
+// production, but a single audited point that (a) makes every timing
+// read greppable, and (b) lets tests freeze or script time without
+// monkey-patching.
+//
+// Timings taken through this seam may only feed *reporting* fields
+// (TimeBreakdown, wall-seconds in reports), never mining decisions;
+// the analyzer plus this package's tiny surface keep that auditable.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+var (
+	mu  sync.RWMutex
+	now = time.Now
+)
+
+// Now returns the current time via the active source (time.Now unless
+// a test has installed an override).
+func Now() time.Time {
+	mu.RLock()
+	defer mu.RUnlock()
+	return now()
+}
+
+// Since returns the elapsed wall time since t via the active source.
+func Since(t time.Time) time.Duration {
+	return Now().Sub(t)
+}
+
+// SetForTest replaces the time source and returns a restore function;
+// tests defer the restore. Passing nil panics rather than silently
+// installing a crashing source.
+func SetForTest(fn func() time.Time) (restore func()) {
+	if fn == nil {
+		panic("clock: nil time source")
+	}
+	mu.Lock()
+	prev := now
+	now = fn
+	mu.Unlock()
+	return func() {
+		mu.Lock()
+		now = prev
+		mu.Unlock()
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"gpapriori/internal/apriori"
 	"gpapriori/internal/checkpoint"
+	"gpapriori/internal/clock"
 	"gpapriori/internal/dataset"
 	"gpapriori/internal/gpusim"
 	"gpapriori/internal/kernels"
@@ -327,8 +328,8 @@ func (c *counter) countOnNode(ni int, part []trie.Candidate, k int) (netSec, dev
 // waiting, and has its shard re-scattered over the survivors. Timed-out
 // nodes rejoin the next generation; dead nodes do not.
 func (c *counter) Count(_ *trie.Trie, cands []trie.Candidate, k int) error {
-	start := time.Now()
-	defer func() { c.simWall += time.Since(start) }()
+	start := clock.Now()
+	defer func() { c.simWall += clock.Since(start) }()
 	c.generations++
 
 	// Faults scheduled for this generation, by node. Faults on nodes that
@@ -430,14 +431,14 @@ func (m *Miner) MineContext(ctx context.Context, minSupport int, cfg apriori.Con
 	}); err != nil {
 		return Report{}, err
 	}
-	t0 := time.Now()
+	t0 := clock.Now()
 	rs, err := apriori.MineContext(ctx, m.db, minSupport, c, cfg)
 	if err != nil {
 		return Report{}, err
 	}
 	copy(m.alive, c.alive)
 	sort.Ints(c.stats.DeadNodes)
-	wall := time.Since(t0)
+	wall := clock.Since(t0)
 	host := wall - c.simWall
 	if host < 0 {
 		host = 0

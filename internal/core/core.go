@@ -24,6 +24,7 @@ import (
 
 	"gpapriori/internal/apriori"
 	"gpapriori/internal/checkpoint"
+	"gpapriori/internal/clock"
 	"gpapriori/internal/dataset"
 	"gpapriori/internal/gpusim"
 	"gpapriori/internal/kernels"
@@ -179,8 +180,8 @@ func (c *counter) Name() string { return "GPApriori(gpusim)" }
 
 // Count implements apriori.Counter.
 func (c *counter) Count(_ *trie.Trie, cands []trie.Candidate, k int) error {
-	start := time.Now()
-	defer func() { c.simWall += time.Since(start) }()
+	start := clock.Now()
+	defer func() { c.simWall += clock.Since(start) }()
 	c.generations++
 	c.candidates += len(cands)
 	c.m.schedule.arm([]*gpusim.Device{c.m.dev}, k)
@@ -237,12 +238,12 @@ func (m *Miner) MineContext(ctx context.Context, minSupport int, cfg apriori.Con
 	}); err != nil {
 		return Report{}, err
 	}
-	t0 := time.Now()
+	t0 := clock.Now()
 	rs, err := apriori.MineContext(ctx, m.db, minSupport, c, cfg)
 	if err != nil {
 		return Report{}, err
 	}
-	wall := time.Since(t0)
+	wall := clock.Since(t0)
 	host := wall - c.simWall
 	if host < 0 {
 		host = 0

@@ -35,18 +35,18 @@ func TestParseFaultSpec(t *testing.T) {
 
 func TestParseFaultSpecErrors(t *testing.T) {
 	for _, spec := range []string{
-		"dev1",                      // no kind
-		"dev1:kernel-fail",          // no generation
-		"1:kernel-fail@gen3",        // missing dev prefix
-		"devX:kernel-fail@gen3",     // bad device index
-		"dev1:explode@gen3",         // unknown kind
-		"dev1:kernel-fail@3",        // missing gen prefix
-		"dev1:kernel-fail@genX",     // bad generation
-		"dev1:kernel-fail@gen1",     // generation below first device gen
-		"dev1:hang=-2@gen3",         // negative hang
-		"dev1:hang=abc@gen3",        // unparsable hang
-		"dev-1:kernel-fail@gen3",    // negative device
-		"dev1 kernel-fail@gen3",     // malformed separator
+		"dev1",                   // no kind
+		"dev1:kernel-fail",       // no generation
+		"1:kernel-fail@gen3",     // missing dev prefix
+		"devX:kernel-fail@gen3",  // bad device index
+		"dev1:explode@gen3",      // unknown kind
+		"dev1:kernel-fail@3",     // missing gen prefix
+		"dev1:kernel-fail@genX",  // bad generation
+		"dev1:kernel-fail@gen1",  // generation below first device gen
+		"dev1:hang=-2@gen3",      // negative hang
+		"dev1:hang=abc@gen3",     // unparsable hang
+		"dev-1:kernel-fail@gen3", // negative device
+		"dev1 kernel-fail@gen3",  // malformed separator
 	} {
 		if _, err := ParseFaultSpec(spec); err == nil {
 			t.Errorf("spec %q accepted", spec)

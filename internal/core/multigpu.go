@@ -16,6 +16,7 @@ import (
 	"gpapriori/internal/apriori"
 	"gpapriori/internal/bitset"
 	"gpapriori/internal/checkpoint"
+	"gpapriori/internal/clock"
 	"gpapriori/internal/dataset"
 	"gpapriori/internal/gpusim"
 	"gpapriori/internal/kernels"
@@ -271,10 +272,10 @@ func (c *multiCounter) aliveDevices() []int {
 // charging the measured time to the hybrid CPU clock. Used for the
 // planned hybrid share and as the degraded path when no device survives.
 func (c *multiCounter) countOnCPU(cands []trie.Candidate, k int) time.Duration {
-	t0 := time.Now()
+	t0 := clock.Now()
 	// CPUBitset.Count never fails over a valid vertical DB.
 	_ = c.cpu.Count(nil, cands, k)
-	d := time.Since(t0)
+	d := clock.Since(t0)
 	c.cpuWall += d
 	return d
 }
@@ -310,8 +311,8 @@ func (c *multiCounter) Name() string {
 
 // Count implements apriori.Counter.
 func (c *multiCounter) Count(_ *trie.Trie, cands []trie.Candidate, k int) error {
-	start := time.Now()
-	defer func() { c.simWall += time.Since(start) }()
+	start := clock.Now()
+	defer func() { c.simWall += clock.Since(start) }()
 	c.generations++
 	c.m.schedule.arm(c.m.devs, k)
 
@@ -423,12 +424,12 @@ func (m *MultiMiner) MineContext(ctx context.Context, minSupport int, cfg aprior
 	}); err != nil {
 		return MultiReport{}, err
 	}
-	t0 := time.Now()
+	t0 := clock.Now()
 	rs, err := apriori.MineContext(ctx, m.db, minSupport, c, cfg)
 	if err != nil {
 		return MultiReport{}, err
 	}
-	wall := time.Since(t0)
+	wall := clock.Since(t0)
 	host := wall - c.simWall + c.cpuWall
 	if host < 0 {
 		host = 0

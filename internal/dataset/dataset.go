@@ -242,7 +242,7 @@ func Read(r io.Reader) (*DB, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("dataset: line %d: %v", line, err)
+		return nil, fmt.Errorf("dataset: line %d: %w", line, err)
 	}
 	return db, nil
 }

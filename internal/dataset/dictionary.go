@@ -88,7 +88,7 @@ func ReadNamed(r io.Reader, dict *Dictionary) (*DB, error) {
 		db.Append(row)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("dataset: line %d: %v", line, err)
+		return nil, fmt.Errorf("dataset: line %d: %w", line, err)
 	}
 	return db, nil
 }

@@ -13,8 +13,8 @@ func FuzzRead(f *testing.F) {
 	f.Add("")
 	f.Add("0\n")
 	f.Add(" 7\t8 \r\n9\n\n")
-	f.Add("16777215\n")  // MaxItemID: largest accepted id
-	f.Add("16777216\n")  // MaxItemID+1: rejected
+	f.Add("16777215\n") // MaxItemID: largest accepted id
+	f.Add("16777216\n") // MaxItemID+1: rejected
 	f.Add("4294967295\n")
 	f.Add("1 1 1\n")
 	f.Fuzz(func(t *testing.T, input string) {

@@ -204,8 +204,17 @@ type Manager struct {
 	wg      sync.WaitGroup
 }
 
-// NewManager builds a Manager and starts its scheduler.
+// NewManager builds a Manager and starts its scheduler. The manager's
+// lifetime is bounded only by Close; use NewManagerContext to also tie
+// every job's context to a caller-owned parent.
 func NewManager(opt Options) (*Manager, error) {
+	return NewManagerContext(context.Background(), opt)
+}
+
+// NewManagerContext is NewManager with a parent context: cancelling
+// parent cancels every running job's context, exactly as Close does,
+// so a manager embedded in a server shuts down with it.
+func NewManagerContext(parent context.Context, opt Options) (*Manager, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
@@ -215,7 +224,7 @@ func NewManager(opt Options) (*Manager, error) {
 	if opt.Workers == 0 {
 		opt.Workers = DefaultWorkers
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(parent)
 	m := &Manager{opt: opt, baseCtx: ctx, cancel: cancel}
 	m.cond = sync.NewCond(&m.mu)
 	m.wg.Add(1)

@@ -46,9 +46,13 @@ func (d *DeviceDB) SupportCountsAtomic(cands [][]dataset.Item, opt Options) ([]i
 		return nil, err
 	}
 	defer d.dev.FreeAllAbove(d.vectors)
-	d.dev.CopyToDevice(candBuf, flat)
+	if err := d.dev.TryCopyToDevice(candBuf, flat); err != nil {
+		return nil, fmt.Errorf("kernels: candidate upload: %w", err)
+	}
 	// Zero the output counters (atomicAdd accumulates in place).
-	d.dev.CopyToDevice(outBuf, make([]uint32, len(cands)))
+	if err := d.dev.TryCopyToDevice(outBuf, make([]uint32, len(cands))); err != nil {
+		return nil, fmt.Errorf("kernels: zeroing supports: %w", err)
+	}
 
 	sharedWords := 0
 	if opt.Preload {
@@ -58,7 +62,7 @@ func (d *DeviceDB) SupportCountsAtomic(cands [][]dataset.Item, opt Options) ([]i
 	words := d.wordsPerVec
 	vectors := d.vectors
 
-	d.dev.Launch(cfg, func(ctx *gpusim.Ctx) {
+	_, lerr := d.dev.TryLaunch(cfg, func(ctx *gpusim.Ctx) {
 		cand := ctx.BlockIdx
 		tid := ctx.ThreadIdx
 		if opt.Preload {
@@ -88,10 +92,15 @@ func (d *DeviceDB) SupportCountsAtomic(cands [][]dataset.Item, opt Options) ([]i
 		if sum > 0 {
 			ctx.AtomicAddGlobal(outBuf, cand, sum)
 		}
-	})
+	}, opt.DeadlineSec)
+	if lerr != nil {
+		return nil, fmt.Errorf("kernels: atomic support-count launch: %w", lerr)
+	}
 
 	out32 := make([]uint32, len(cands))
-	d.dev.CopyFromDevice(out32, outBuf)
+	if err := d.dev.TryCopyFromDevice(out32, outBuf); err != nil {
+		return nil, fmt.Errorf("kernels: support download: %w", err)
+	}
 	out := make([]int, len(cands))
 	for i, v := range out32 {
 		out[i] = int(v)

@@ -54,7 +54,9 @@ func Upload(dev *gpusim.Device, v *vertical.BitsetDB) (*DeviceDB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("kernels: uploading %d items × %d words: %w", len(v.Vectors), w64*2, err)
 	}
-	dev.CopyToDevice(buf, flat32)
+	if err := dev.TryCopyToDevice(buf, flat32); err != nil {
+		return nil, fmt.Errorf("kernels: uploading %d items × %d words: %w", len(v.Vectors), w64*2, err)
+	}
 	return &DeviceDB{
 		dev:         dev,
 		vectors:     buf,

@@ -50,8 +50,12 @@ func UploadTidsets(dev *gpusim.Device, v *vertical.TidsetDB) (*DeviceTidsets, er
 	if err != nil {
 		return nil, fmt.Errorf("kernels: offsets upload: %w", err)
 	}
-	dev.CopyToDevice(tidBuf, flat)
-	dev.CopyToDevice(offBuf, offsets)
+	if err := dev.TryCopyToDevice(tidBuf, flat); err != nil {
+		return nil, fmt.Errorf("kernels: tidset upload: %w", err)
+	}
+	if err := dev.TryCopyToDevice(offBuf, offsets); err != nil {
+		return nil, fmt.Errorf("kernels: offsets upload: %w", err)
+	}
 	return &DeviceTidsets{
 		dev: dev, tids: tidBuf, offsets: offBuf,
 		numItems: len(v.Lists), numTrans: v.NumTrans, lengths: lengths,
@@ -96,13 +100,15 @@ func (d *DeviceTidsets) SupportCounts(cands [][]dataset.Item, blockSize int) ([]
 		return nil, err
 	}
 	defer d.dev.FreeAllAbove(d.offsets)
-	d.dev.CopyToDevice(candBuf, flat)
+	if err := d.dev.TryCopyToDevice(candBuf, flat); err != nil {
+		return nil, fmt.Errorf("kernels: candidate upload: %w", err)
+	}
 
 	grid := (len(cands) + blockSize - 1) / blockSize
 	n := len(cands)
 	tids, offsets := d.tids, d.offsets
 
-	d.dev.Launch(gpusim.LaunchConfig{Grid: grid, Block: blockSize}, func(ctx *gpusim.Ctx) {
+	_, lerr := d.dev.TryLaunch(gpusim.LaunchConfig{Grid: grid, Block: blockSize}, func(ctx *gpusim.Ctx) {
 		cand := ctx.GlobalThreadID()
 		if cand >= n {
 			return
@@ -161,10 +167,15 @@ func (d *DeviceTidsets) SupportCounts(cands [][]dataset.Item, blockSize int) ([]
 			}
 		}
 		ctx.StoreGlobal(outBuf, cand, count)
-	})
+	}, 0)
+	if lerr != nil {
+		return nil, fmt.Errorf("kernels: tidset-join launch: %w", lerr)
+	}
 
 	out32 := make([]uint32, len(cands))
-	d.dev.CopyFromDevice(out32, outBuf)
+	if err := d.dev.TryCopyFromDevice(out32, outBuf); err != nil {
+		return nil, fmt.Errorf("kernels: support download: %w", err)
+	}
 	out := make([]int, len(cands))
 	for i, v := range out32 {
 		out[i] = int(v)

@@ -115,9 +115,18 @@ type JobManager struct {
 	breaker *jobs.Breaker
 }
 
-// NewJobManager builds a JobManager.
+// NewJobManager builds a JobManager whose lifetime is bounded only by
+// Close. Use NewJobManagerContext to also tie every job to a
+// caller-owned parent context.
 func NewJobManager(cfg JobManagerConfig) (*JobManager, error) {
-	mgr, err := jobs.NewManager(jobs.Options{
+	return NewJobManagerContext(context.Background(), cfg)
+}
+
+// NewJobManagerContext is NewJobManager with a parent context:
+// cancelling it cancels every running job, so a manager embedded in a
+// server shuts down with the server.
+func NewJobManagerContext(ctx context.Context, cfg JobManagerConfig) (*JobManager, error) {
+	mgr, err := jobs.NewManagerContext(ctx, jobs.Options{
 		QueueLimit:        cfg.QueueLimit,
 		MemoryBudgetBytes: int64(cfg.MemoryBudgetMB) << 20,
 		Workers:           cfg.Workers,

@@ -8,6 +8,23 @@ set -eux
 cd "$(dirname "$0")/.."
 
 go vet ./...
+
+# Project-specific invariant linter (internal/analysis suite): any
+# finding — nondeterminism source, bare device op on a fault-aware
+# path, broken ctx chain, untyped error check, lock held across a
+# blocking call — fails the build.
+go run ./cmd/gpalint ./...
+
+# Pinned staticcheck, when the module cache or network can supply it.
+# Offline environments (no proxy access, tool not pre-fetched) skip it
+# rather than fail; CI environments with network always run it.
+STATICCHECK_VERSION=2024.1.1
+if go run "honnef.co/go/tools/cmd/staticcheck@$STATICCHECK_VERSION" -version >/dev/null 2>&1; then
+    go run "honnef.co/go/tools/cmd/staticcheck@$STATICCHECK_VERSION" ./...
+else
+    echo "staticcheck $STATICCHECK_VERSION unavailable (offline); skipping"
+fi
+
 go test -race ./...
 
 # Benchmark smoke: every benchmark (including the pooled-pipeline and
