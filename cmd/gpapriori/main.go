@@ -14,10 +14,17 @@
 //	gpapriori -input t40.dat -minsup 0.02 -checkpoint run.ckpt       # durable
 //	gpapriori -input t40.dat -minsup 0.02 -checkpoint run.ckpt -resume
 //	gpapriori -input chess.dat -batch jobs.txt -batch-mem-mb 512     # job manager
+//	gpapriori -serve-url http://127.0.0.1:8080 -dataset chess -minsup 0.8
+//
+// Exit status: 0 on success, 1 on any other error, 2 when -resume finds
+// a checkpoint that belongs to a different run (ErrCheckpointMismatch),
+// 3 when the checkpoint file is damaged (ErrCheckpointCorrupt).
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +34,8 @@ import (
 	"time"
 
 	"gpapriori"
+	"gpapriori/internal/dataset"
+	"gpapriori/internal/resultio"
 )
 
 func main() {
@@ -60,6 +69,12 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of text")
 		top      = flag.Int("top", 25, "print at most this many itemsets/rules (0 = all)")
 		quiet    = flag.Bool("quiet", false, "print only summary counts and timings")
+		resOnly  = flag.Bool("result-only", false, "print only the canonical 'items : support' result lines (diffable across runs and servers)")
+		serveURL = flag.String("serve-url", "", "submit to a running gpaserve daemon instead of mining locally; -dataset names a registry entry")
+		srvStats = flag.Bool("serve-stats", false, "with -serve-url: also print the daemon's /statsz snapshot")
+		priority = flag.Int("priority", 0, "with -serve-url: admission priority (higher first)")
+		deadline = flag.Float64("deadline", 0, "with -serve-url: job deadline in seconds (0 = none)")
+		noCache  = flag.Bool("no-cache", false, "with -serve-url: bypass the daemon's result cache")
 	)
 	flag.Parse()
 	opts := runOpts{
@@ -72,11 +87,28 @@ func main() {
 		prefix: *prefix, budget: *budget, blocked: *blocked,
 		checkpoint: *ckpt, ckptEvery: *ckptN, resume: *resume,
 		batch: *batch, batchQueue: *batchQ, batchMemMB: *batchMem, batchWorkers: *batchW,
+		resultOnly: *resOnly, serveURL: *serveURL, serveStats: *srvStats,
+		priority: *priority, deadlineSec: *deadline, noCache: *noCache,
 	}
 	if err := run(os.Stdout, opts); err != nil {
-		fmt.Fprintln(os.Stderr, "gpapriori:", err)
-		os.Exit(1)
+		code, msg := exitStatus(err)
+		fmt.Fprintln(os.Stderr, "gpapriori: "+msg)
+		os.Exit(code)
 	}
+}
+
+// exitStatus maps an error to the process exit code and message. The
+// two checkpoint failure modes get distinct codes so scripts can tell a
+// stale snapshot (rerun without -resume) from a damaged file (restore
+// or delete it) without parsing prose.
+func exitStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, gpapriori.ErrCheckpointMismatch):
+		return 2, "checkpoint mismatch: " + err.Error()
+	case errors.Is(err, gpapriori.ErrCheckpointCorrupt):
+		return 3, "checkpoint corrupt: " + err.Error()
+	}
+	return 1, err.Error()
 }
 
 type runOpts struct {
@@ -99,6 +131,13 @@ type runOpts struct {
 
 	batch                                string
 	batchQueue, batchMemMB, batchWorkers int
+
+	resultOnly  bool
+	serveURL    string
+	serveStats  bool
+	noCache     bool
+	priority    int
+	deadlineSec float64
 }
 
 // jsonReport is the machine-readable output shape.
@@ -147,6 +186,9 @@ type jsonApprox struct {
 }
 
 func run(w io.Writer, o runOpts) error {
+	if o.serveURL != "" {
+		return runServe(w, o)
+	}
 	db, dict, err := loadDatabase(o)
 	if err != nil {
 		return err
@@ -236,10 +278,175 @@ func run(w io.Writer, o runOpts) error {
 		}
 	}
 
+	if o.resultOnly {
+		return writeCanonical(w, res.Itemsets)
+	}
 	if o.jsonOut {
 		return emitJSON(w, db, dict, res, rules, approxInfo)
 	}
 	emitText(w, db, dict, res, rules, approxInfo, o)
+	return nil
+}
+
+// writeCanonical prints the resultio-normalized result body — the same
+// bytes for an offline run and a served one, which is what makes the
+// two diffable.
+func writeCanonical(w io.Writer, itemsets []gpapriori.Itemset) error {
+	rs := &dataset.ResultSet{}
+	for _, s := range itemsets {
+		rs.Add(s.Items, s.Support)
+	}
+	return resultio.Write(w, rs)
+}
+
+// runServe is the -serve-url client mode: the request is submitted to a
+// gpaserve daemon, the per-generation stream is reassembled into the
+// same Result a local run produces, and the output paths are shared
+// with offline mining.
+func runServe(w io.Writer, o runOpts) error {
+	if o.dsName == "" {
+		return fmt.Errorf("-serve-url needs -dataset to name a registry entry on the daemon")
+	}
+	if o.input != "" || o.named != "" || o.batch != "" {
+		return fmt.Errorf("-serve-url mines a daemon-registered dataset; -input, -named, and -batch do not apply")
+	}
+	if o.minConf > 0 || o.condense != "" || o.approx > 0 || o.topk > 0 ||
+		o.checkpoint != "" || o.resume {
+		return fmt.Errorf("-serve-url supports plain mining only (the daemon owns checkpointing)")
+	}
+	if o.minsup <= 0 {
+		return fmt.Errorf("-minsup (ratio or absolute count) is required")
+	}
+	req := gpapriori.ServeMineRequest{
+		Dataset:             o.dsName,
+		Algorithm:           o.algo,
+		MaxLen:              o.maxLen,
+		Priority:            o.priority,
+		DeadlineSec:         o.deadlineSec,
+		Workers:             o.workers,
+		Devices:             o.devices,
+		HybridCPUShare:      o.cpuShare,
+		PrefixCache:         o.prefix,
+		PrefixCacheBudgetMB: o.budget,
+		CacheBlocked:        o.blocked,
+		Faults:              o.faults,
+		FaultSeed:           o.seed,
+		NoCache:             o.noCache,
+	}
+	if o.minsup < 1 {
+		req.RelativeSupport = o.minsup
+	} else {
+		req.MinSupport = int(o.minsup)
+	}
+	cl, err := gpapriori.NewServeClient(gpapriori.ServeConfig{BaseURL: o.serveURL})
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	res, info, err := cl.Mine(ctx, req)
+	if err != nil {
+		return err
+	}
+	switch {
+	case o.resultOnly:
+		if err := writeCanonical(w, res.Itemsets); err != nil {
+			return err
+		}
+	case o.jsonOut:
+		if err := emitServeJSON(w, info, res); err != nil {
+			return err
+		}
+	default:
+		emitServeText(w, info, res, o)
+	}
+	if o.serveStats {
+		st, err := cl.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		return emitServeStats(w, st)
+	}
+	return nil
+}
+
+// emitServeJSON renders a served run in the offline jsonReport shape,
+// so downstream tooling cannot tell where the mining happened.
+func emitServeJSON(w io.Writer, info *gpapriori.ServeJobInfo, res *gpapriori.Result) error {
+	rep := jsonReport{
+		Algorithm:     string(res.Algorithm),
+		MinSupport:    res.MinSupport,
+		Transactions:  info.Transactions,
+		HostSeconds:   res.HostSeconds,
+		DeviceSeconds: res.DeviceSeconds,
+	}
+	if f := res.Faults; f != nil {
+		rep.Faults = &jsonFaults{
+			Injected: f.Injected, KernelFaults: f.KernelFaults,
+			TransferFaults: f.TransferFaults, Hangs: f.Hangs,
+			Retries: f.Retries, Failovers: f.Failovers,
+			DegradedCandidates: f.DegradedCandidates,
+			RecoverySeconds:    f.RecoverySeconds,
+			DeadDevices:        f.DeadDevices,
+		}
+	}
+	for _, s := range res.Itemsets {
+		rep.Itemsets = append(rep.Itemsets, jsonItemset{Items: s.Items, Support: s.Support})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// emitServeText is the text report of a served run.
+func emitServeText(w io.Writer, info *gpapriori.ServeJobInfo, res *gpapriori.Result, o runOpts) {
+	from := "mined"
+	if info.Cached {
+		from = "served from cache"
+	}
+	fmt.Fprintf(w, "job %s on dataset %q (%d transactions): %s\n",
+		info.ID, info.Dataset, info.Transactions, from)
+	fmt.Fprintf(w, "%s @ minsup %d: %d frequent itemsets\n", res.Algorithm, res.MinSupport, res.Len())
+	if res.HostSeconds > 0 || res.DeviceSeconds > 0 {
+		fmt.Fprintf(w, "host time: %.4gs", res.HostSeconds)
+		if res.DeviceSeconds > 0 {
+			fmt.Fprintf(w, "  modeled device time: %.4gs", res.DeviceSeconds)
+		}
+		fmt.Fprintln(w)
+	}
+	if res.Faults != nil {
+		fmt.Fprintf(w, "faults: %s\n", res.Faults)
+	}
+	if o.quiet {
+		return
+	}
+	limit := len(res.Itemsets)
+	if o.top > 0 && o.top < limit {
+		limit = o.top
+	}
+	for _, s := range res.Itemsets[:limit] {
+		fmt.Fprintf(w, "  %v : %d\n", s.Items, s.Support)
+	}
+	if limit < len(res.Itemsets) {
+		fmt.Fprintf(w, "  ... and %d more\n", len(res.Itemsets)-limit)
+	}
+}
+
+// emitServeStats summarizes a /statsz snapshot.
+func emitServeStats(w io.Writer, st *gpapriori.ServeStats) error {
+	fmt.Fprintf(w, "server: draining=%v queue=%d in-flight=%dB\n",
+		st.Draining, st.QueueLen, st.InFlightBytes)
+	fmt.Fprintf(w, "jobs: submitted=%d done=%d failed=%d shed=%d canceled=%d\n",
+		st.Jobs.Submitted, st.Jobs.Done, st.Jobs.Failed, st.Jobs.Shed, st.Jobs.Canceled)
+	c := st.Cache
+	fmt.Fprintf(w, "cache: hits=%d misses=%d entries=%d bytes=%d/%d evictions=%d\n",
+		c.Hits, c.Misses, c.Entries, c.Bytes, c.BudgetBytes, c.Evictions)
+	if st.Faults.Injected > 0 {
+		fmt.Fprintf(w, "faults: %s\n", st.Faults)
+	}
+	for _, d := range st.Datasets {
+		fmt.Fprintf(w, "dataset %s: %d transactions, %d items, %dB resident\n",
+			d.Name, d.Transactions, d.NumItems, d.BitsetBytes)
+	}
 	return nil
 }
 

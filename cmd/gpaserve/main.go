@@ -1,0 +1,140 @@
+// Command gpaserve runs the long-lived GPApriori mining daemon: a
+// dataset registry loaded once at startup, an admission-controlled job
+// manager, a fingerprint-keyed result cache, and an HTTP/JSON API for
+// submitting jobs, long-polling status, streaming per-generation
+// results, and cancelling work.
+//
+// Example:
+//
+//	gpaserve -listen 127.0.0.1:8080 \
+//	    -dataset chess=gen:chess:1.0 \
+//	    -dataset toy=quest:60:400:8:7 \
+//	    -mem-mb 512 -workers 4 -cache-mb 64 -state-dir /var/lib/gpaserve
+//
+// On SIGTERM or SIGINT the daemon drains: new submissions are refused
+// with 503, running jobs are checkpointed and cancelled, queued jobs
+// are journaled to the state directory, and the process exits 0. A
+// restart with the same -state-dir resumes the journaled jobs from
+// their checkpoints.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gpapriori"
+	"gpapriori/internal/server"
+)
+
+// datasetFlags collects repeated -dataset name=spec arguments.
+type datasetFlags []string
+
+func (d *datasetFlags) String() string { return strings.Join(*d, ",") }
+
+func (d *datasetFlags) Set(v string) error {
+	*d = append(*d, v)
+	return nil
+}
+
+func main() {
+	var datasets datasetFlags
+	listen := flag.String("listen", "127.0.0.1:0", "host:port to listen on (port 0 picks a free port)")
+	queue := flag.Int("queue", 0, "admission queue limit (0 = default)")
+	memMB := flag.Int("mem-mb", 256, "modeled memory budget for admitted jobs, in MiB")
+	workers := flag.Int("workers", 0, "concurrently running jobs (0 = default)")
+	cacheMB := flag.Int("cache-mb", 32, "result cache budget, in MiB (0 disables)")
+	stateDir := flag.String("state-dir", "", "directory for checkpoints and the drain journal (empty = stateless)")
+	portFile := flag.String("port-file", "", "write the bound listen address to this file once serving")
+	drainSec := flag.Float64("drain-timeout", 30, "seconds to wait for drain on shutdown")
+	flag.Var(&datasets, "dataset", "name=spec dataset to register (repeatable); spec is file:<path>, gen:<name>:<scale>, or quest:<items>:<trans>:<avglen>:<seed>")
+	flag.Parse()
+
+	if err := run(os.Stderr, *listen, datasets, *queue, *memMB, *workers,
+		*cacheMB, *stateDir, *portFile, *drainSec); err != nil {
+		fmt.Fprintln(os.Stderr, "gpaserve: "+err.Error())
+		os.Exit(1)
+	}
+}
+
+func run(logw io.Writer, listen string, datasets []string, queue, memMB, workers,
+	cacheMB int, stateDir, portFile string, drainSec float64) error {
+	if len(datasets) == 0 {
+		return fmt.Errorf("at least one -dataset name=spec is required")
+	}
+	reg := server.NewRegistry()
+	for _, d := range datasets {
+		name, spec, ok := strings.Cut(d, "=")
+		if !ok {
+			return fmt.Errorf("-dataset %q: want name=spec", d)
+		}
+		entry, err := reg.AddSpec(name, spec)
+		if err != nil {
+			return fmt.Errorf("-dataset %q: %w", d, err)
+		}
+		info := entry.Info
+		fmt.Fprintf(logw, "gpaserve: dataset %s: %d transactions, %d items, %dB resident\n",
+			info.Name, info.Transactions, info.NumItems, info.BitsetBytes)
+	}
+
+	srv, err := server.New(server.Config{
+		Registry: reg,
+		Jobs: gpapriori.JobManagerConfig{
+			QueueLimit:     queue,
+			MemoryBudgetMB: memMB,
+			Workers:        workers,
+		},
+		CacheBudgetBytes: int64(cacheMB) << 20,
+		StateDir:         stateDir,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	addr := ln.Addr().String()
+	if portFile != "" {
+		if err := os.WriteFile(portFile, []byte(addr+"\n"), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	fmt.Fprintf(logw, "gpaserve: listening on %s\n", addr)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(logw, "gpaserve: draining")
+
+	drainCtx, cancel := context.WithTimeout(context.Background(),
+		time.Duration(drainSec*float64(time.Second)))
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	fmt.Fprintln(logw, "gpaserve: drained, bye")
+	return nil
+}

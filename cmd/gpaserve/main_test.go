@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var log bytes.Buffer
+	cases := []struct {
+		name     string
+		datasets []string
+		want     string
+	}{
+		{"no datasets", nil, "-dataset"},
+		{"missing equals", []string{"chess"}, "name=spec"},
+		{"bad spec", []string{"chess=gen:chess:7.0"}, "scale"},
+		{"bad name", []string{"a/b=gen:chess:0.1"}, "reserved"},
+	}
+	for _, c := range cases {
+		err := run(&log, "127.0.0.1:0", c.datasets, 0, 64, 0, 0, "", "", 1)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestRunServesAndDrainsOnSIGTERM boots the daemon on a random port,
+// waits for the port file, checks /healthz, then delivers SIGTERM to
+// the process and expects run to drain and return nil — the exact
+// contract init systems rely on for a clean rolling restart.
+func TestRunServesAndDrainsOnSIGTERM(t *testing.T) {
+	dir := t.TempDir()
+	portFile := filepath.Join(dir, "port")
+	var log safeBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(&log, "127.0.0.1:0", []string{"toy=quest:40:80:6:3"},
+			0, 64, 0, 4, dir, portFile, 10)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		b, err := os.ReadFile(portFile)
+		if err == nil && len(b) > 0 {
+			addr = strings.TrimSpace(string(b))
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("daemon exited before serving: %v", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("port file never appeared")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain exit: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+	if s := log.String(); !strings.Contains(s, "drained") {
+		t.Fatalf("missing drain log line:\n%s", s)
+	}
+}
+
+// safeBuffer is a bytes.Buffer the daemon goroutine and the test can
+// share.
+type safeBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *safeBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *safeBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}

@@ -6,6 +6,7 @@ import (
 
 	"gpapriori/internal/dataset"
 	"gpapriori/internal/gen"
+	"gpapriori/internal/vertical"
 )
 
 // Database is a transaction database: an ordered collection of item sets.
@@ -78,6 +79,11 @@ func (d *Database) Stats() Stats {
 // AbsoluteSupport converts a relative threshold in (0,1] to a transaction
 // count (rounding up).
 func (d *Database) AbsoluteSupport(rel float64) int { return d.db.AbsoluteSupport(rel) }
+
+// EstimateBitsetBytes models the static-bitset vertical layout's
+// footprint for this database without building it — the byte accounting
+// the dataset registry and admission controller share.
+func (d *Database) EstimateBitsetBytes() int64 { return vertical.EstimateBitsetBytes(d.db) }
 
 // PaperDatasets lists the names of the four benchmark datasets of the
 // paper's Table 2, in Figure 6 order: "T40I10D100K", "pumsb", "chess",

@@ -196,6 +196,15 @@ type Config struct {
 	// first-generation bitsets is rejected up front.
 	MemoryBudgetMB int
 
+	// OnGeneration, when set, is invoked after each counted generation
+	// of a level-wise run with the generation number (the itemset length
+	// just counted) and every frequent itemset found so far, in canonical
+	// order. The serving layer streams per-generation results through it.
+	// The depth-first miners (Eclat, FP-Growth) and the overlapped
+	// Pipeline have no generation boundary; they ignore the hook and
+	// deliver results only through the final Result.
+	OnGeneration func(gen int, frequent []Itemset)
+
 	// onCheckpoint, when set, is notified after each successful
 	// checkpoint save. The job manager uses it to surface the
 	// checkpointed lifecycle state.
@@ -205,10 +214,11 @@ type Config struct {
 	excludeDevices []int
 }
 
-// Itemset is one frequent itemset with its absolute support.
+// Itemset is one frequent itemset with its absolute support. The JSON
+// tags fix the wire shape the serving layer streams.
 type Itemset struct {
-	Items   []Item
-	Support int
+	Items   []Item `json:"items"`
+	Support int    `json:"support"`
 }
 
 // Result is the outcome of a mining run.
@@ -310,6 +320,7 @@ func MineContext(ctx context.Context, db *Database, cfg Config) (*Result, error)
 	if err := wireCheckpoint(db, algo, minSup, cfg, &acfg); err != nil {
 		return nil, err
 	}
+	wireGenerationHook(algo, cfg, &acfg)
 
 	res := &Result{Algorithm: algo, MinSupport: minSup}
 	var rs *dataset.ResultSet
@@ -447,11 +458,7 @@ func MineContext(ctx context.Context, db *Database, cfg Config) (*Result, error)
 		return nil, fmt.Errorf("gpapriori: unknown algorithm %q (have %v)", algo, Algorithms())
 	}
 
-	rs.Sort()
-	res.Itemsets = make([]Itemset, rs.Len())
-	for i, s := range rs.Sets {
-		res.Itemsets[i] = Itemset{Items: s.Items, Support: s.Support}
-	}
+	res.Itemsets = toItemsets(rs)
 	return res, nil
 }
 
@@ -503,6 +510,36 @@ func runMultiDevice(ctx context.Context, db *Database, cfg Config, minSup int,
 		res.Faults = &f
 	}
 	return rep.Result, nil
+}
+
+// Typed checkpoint failures, re-exported so CLI and serving callers can
+// distinguish a stale snapshot from a damaged one with errors.Is.
+var (
+	// ErrCheckpointMismatch marks a well-formed checkpoint that belongs
+	// to a different run (different database, support threshold, or
+	// MaxLen) than the one being resumed.
+	ErrCheckpointMismatch = checkpoint.ErrMismatch
+	// ErrCheckpointCorrupt marks a checkpoint file that failed
+	// structural or checksum validation.
+	ErrCheckpointCorrupt = checkpoint.ErrCorrupt
+)
+
+// ResultFingerprint returns the canonical identity of the frequent-
+// itemset result mining db under cfg would produce — the checkpoint
+// package's fingerprint of (database content, absolute support, MaxLen)
+// — plus the resolved absolute support. Every algorithm yields the same
+// result set for equal fingerprints (the clean-run-equivalence
+// invariant), which is what makes the fingerprint a sound result-cache
+// key for the serving layer.
+func ResultFingerprint(db *Database, cfg Config) (uint64, int, error) {
+	if db == nil || db.db.Len() == 0 {
+		return 0, 0, fmt.Errorf("gpapriori: empty database")
+	}
+	minSup, err := cfg.resolveSupport(db)
+	if err != nil {
+		return 0, 0, err
+	}
+	return checkpoint.Fingerprint(db.db, minSup, cfg.MaxLen), minSup, nil
 }
 
 // wireCheckpoint installs the public checkpoint/resume config into the
@@ -557,6 +594,45 @@ func wireCheckpoint(db *Database, algo Algorithm, minSup int, cfg Config, acfg *
 		return err
 	}
 	return nil
+}
+
+// wireGenerationHook chains Config.OnGeneration onto the generation-
+// boundary callback, after any checkpoint save installed by
+// wireCheckpoint — a streamed generation is only announced once it is
+// durable. Depth-first algorithms have no boundary and skip the hook.
+func wireGenerationHook(algo Algorithm, cfg Config, acfg *apriori.Config) {
+	if cfg.OnGeneration == nil {
+		return
+	}
+	switch algo {
+	case AlgoEclat, AlgoEclatDiffset, AlgoFPGrowth, AlgoPipeline:
+		return
+	}
+	prev := acfg.Checkpoint
+	notify := cfg.OnGeneration
+	acfg.Checkpoint = func(gen int, frequent *dataset.ResultSet) error {
+		if prev != nil {
+			if err := prev(gen, frequent); err != nil {
+				return err
+			}
+		}
+		notify(gen, toItemsets(frequent))
+		return nil
+	}
+	if acfg.CheckpointEvery == 0 {
+		acfg.CheckpointEvery = 1
+	}
+}
+
+// toItemsets converts a result set to the public shape in canonical
+// order.
+func toItemsets(rs *dataset.ResultSet) []Itemset {
+	rs.Sort()
+	out := make([]Itemset, rs.Len())
+	for i, s := range rs.Sets {
+		out[i] = Itemset{Items: s.Items, Support: s.Support}
+	}
+	return out
 }
 
 // capLen filters rs to itemsets of at most maxLen items (depth-first

@@ -43,6 +43,14 @@ func TestCtxThreadExemptsMainPackages(t *testing.T) {
 	analysistest.Run(t, analysis.CtxThread, "ctxthread/mainpkg")
 }
 
+func TestCtxThreadFlagsHTTPHandlers(t *testing.T) {
+	analysistest.Run(t, analysis.CtxThread, "ctxthread/httpd")
+}
+
+func TestCtxThreadFlagsHTTPHandlersInMain(t *testing.T) {
+	analysistest.Run(t, analysis.CtxThread, "ctxthread/httpmain")
+}
+
 func TestTypedErrFlagsUntypedChecks(t *testing.T) {
 	analysistest.Run(t, analysis.TypedErr, "typederr/lib")
 }

@@ -6,6 +6,13 @@
 // broken the chain. context.Background is sanctioned in exactly one
 // library position: the body of a convenience wrapper F that delegates
 // to its F+"Context" sibling.
+//
+// HTTP handlers get the same rule with a sharper edge: a function that
+// receives a *net/http.Request already holds a per-request context
+// (r.Context(), cancelled when the client disconnects), so forking a
+// fresh root there detaches server work from the request lifetime. The
+// handler rule applies everywhere — including package main, where the
+// composition-root exemption would otherwise let daemon handlers leak.
 package analysis
 
 import (
@@ -13,23 +20,42 @@ import (
 	"go/types"
 )
 
-// CtxThread enforces context threading in library (non-main) packages.
+// CtxThread enforces context threading in library (non-main) packages
+// and in HTTP handlers everywhere.
 var CtxThread = &Analyzer{
 	Name: "ctxthread",
 	Doc: "forbid context.Background/TODO in library code except inside an F → FContext " +
-		"delegation wrapper, and forbid declared-but-unused ctx parameters",
+		"delegation wrapper, forbid it in HTTP handlers (derive from r.Context()), " +
+		"and forbid declared-but-unused ctx parameters",
 	Run: runCtxThread,
 }
 
 func runCtxThread(pass *Pass) error {
-	if pass.Pkg.Name() == "main" {
-		return nil
-	}
+	isMain := pass.Pkg.Name() == "main"
 	siblings := contextSiblings(pass)
 	for _, file := range pass.Files {
+		// Handler-shaped function literals are checked wherever they
+		// appear — including main packages and inside other functions.
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if req := httpRequestParam(pass, lit.Type); req != nil {
+				checkHandlerBackground(pass, lit.Body, "handler literal", req)
+			}
+			return true
+		})
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
+				continue
+			}
+			if req := httpRequestParam(pass, fd.Type); req != nil {
+				checkHandlerBackground(pass, fd.Body, fd.Name.Name, req)
+				continue
+			}
+			if isMain {
 				continue
 			}
 			ctxParam := contextParam(pass, fd)
@@ -108,6 +134,68 @@ func isContextType(t types.Type) bool {
 	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
 }
 
+// httpRequestParam returns the parameter of ft whose type is
+// *net/http.Request, or nil — the shape that marks a function as an
+// HTTP handler (or a helper on the handler path).
+func httpRequestParam(pass *Pass, ft *ast.FuncType) *types.Var {
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		t := pass.TypeOf(field.Type)
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			continue
+		}
+		named, ok := ptr.Elem().(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Name() != "Request" || obj.Pkg() == nil || obj.Pkg().Path() != "net/http" {
+			continue
+		}
+		for _, name := range field.Names {
+			if v, ok := pass.ObjectOf(name).(*types.Var); ok {
+				return v
+			}
+		}
+		// An unnamed *http.Request parameter still marks the shape;
+		// report against a placeholder name.
+		return types.NewVar(field.Pos(), pass.Pkg, "r", t)
+	}
+	return nil
+}
+
+// checkHandlerBackground flags context.Background/TODO inside a
+// handler-shaped function: the request already carries the lifetime.
+// Nested handler-shaped literals are skipped — the per-file literal
+// walk visits them on their own.
+func checkHandlerBackground(pass *Pass, body *ast.BlockStmt, name string, req *types.Var) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && httpRequestParam(pass, lit.Type) != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := ""
+		switch {
+		case IsPkgFunc(pass.TypesInfo, call, "context", "Background"):
+			fn = "Background"
+		case IsPkgFunc(pass.TypesInfo, call, "context", "TODO"):
+			fn = "TODO"
+		default:
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"context.%s in HTTP handler %s: derive from %s.Context() so client disconnects cancel the work",
+			fn, name, req.Name())
+		return true
+	})
+}
+
 func identUsed(pass *Pass, body *ast.BlockStmt, obj types.Object) bool {
 	used := false
 	ast.Inspect(body, func(n ast.Node) bool {
@@ -121,6 +209,11 @@ func identUsed(pass *Pass, body *ast.BlockStmt, obj types.Object) bool {
 
 func checkBackgroundCalls(pass *Pass, fd *ast.FuncDecl, ctxParam *types.Var, hasSibling bool) (flagged bool) {
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		// Handler-shaped literals belong to the handler rule, which the
+		// per-file walk applies separately.
+		if lit, ok := n.(*ast.FuncLit); ok && httpRequestParam(pass, lit.Type) != nil {
+			return false
+		}
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true

@@ -1,0 +1,51 @@
+// Hit and non-hit cases for the ctxthread HTTP-handler rule in a
+// library package: any function that receives a *net/http.Request
+// already holds the request lifetime and must not fork a fresh root.
+package httpd
+
+import (
+	"context"
+	"net/http"
+)
+
+func mine(ctx context.Context) error { <-ctx.Done(); return ctx.Err() }
+
+// handleGood derives the work context from the request.
+func handleGood(w http.ResponseWriter, r *http.Request) {
+	_ = mine(r.Context())
+}
+
+// handleDetached forks a root: the mining outlives the client.
+func handleDetached(w http.ResponseWriter, r *http.Request) {
+	_ = mine(context.Background()) // want `context.Background in HTTP handler handleDetached: derive from r.Context\(\)`
+}
+
+// handleTODO is the same defect spelled differently.
+func handleTODO(w http.ResponseWriter, req *http.Request) {
+	_ = mine(context.TODO()) // want `context.TODO in HTTP handler handleTODO: derive from req.Context\(\)`
+}
+
+// helperOnRequestPath is not a mux-registered handler but receives the
+// request, so the same lifetime rule applies.
+func helperOnRequestPath(r *http.Request, n int) error {
+	return mine(context.Background()) // want `context.Background in HTTP handler helperOnRequestPath`
+}
+
+// registerLiterals exercises handler-shaped closures: the literal rule
+// fires wherever the closure appears.
+func registerLiterals(mux *http.ServeMux) {
+	mux.HandleFunc("/good", func(w http.ResponseWriter, r *http.Request) {
+		_ = mine(r.Context())
+	})
+	mux.HandleFunc("/bad", func(w http.ResponseWriter, r *http.Request) {
+		_ = mine(context.Background()) // want `context.Background in HTTP handler handler literal`
+	})
+}
+
+// derivedIsFine: building on the request context is the sanctioned
+// pattern, including WithTimeout/WithCancel.
+func derivedIsFine(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	_ = mine(ctx)
+}

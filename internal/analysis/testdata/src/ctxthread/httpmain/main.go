@@ -1,0 +1,30 @@
+// The main-package composition root may create root contexts — but its
+// HTTP handlers may not: the handler rule outranks the main exemption,
+// because a daemon's handlers run for the process lifetime.
+package main
+
+import (
+	"context"
+	"net/http"
+)
+
+func mine(ctx context.Context) error { <-ctx.Done(); return ctx.Err() }
+
+// main is the composition root: Background here stays sanctioned.
+func main() {
+	ctx := context.Background()
+	_ = mine(ctx)
+	http.HandleFunc("/ok", handleOK)
+	http.HandleFunc("/leak", handleLeak)
+}
+
+// handleOK threads the request context.
+func handleOK(w http.ResponseWriter, r *http.Request) {
+	_ = mine(r.Context())
+}
+
+// handleLeak forks a root inside a handler — flagged even though this
+// is package main.
+func handleLeak(w http.ResponseWriter, r *http.Request) {
+	_ = mine(context.Background()) // want `context.Background in HTTP handler handleLeak: derive from r.Context\(\)`
+}

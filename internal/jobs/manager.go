@@ -46,6 +46,10 @@ const (
 	Failed
 	// Shed: evicted from the queue to admit higher-priority work.
 	Shed
+	// Canceled: terminated by an explicit Cancel call — removed from the
+	// queue before admission, or interrupted via its context while
+	// running.
+	Canceled
 )
 
 func (s State) String() string {
@@ -64,6 +68,8 @@ func (s State) String() string {
 		return "failed"
 	case Shed:
 		return "shed"
+	case Canceled:
+		return "canceled"
 	}
 	return fmt.Sprintf("state(%d)", int32(s))
 }
@@ -80,6 +86,8 @@ var (
 	ErrShed = errors.New("jobs: shed by a higher-priority job")
 	// ErrDeadline marks a job cancelled because its deadline expired.
 	ErrDeadline = errors.New("jobs: deadline exceeded")
+	// ErrCanceled marks a job terminated by an explicit Cancel call.
+	ErrCanceled = errors.New("jobs: canceled by caller")
 	// ErrClosed rejects submissions to a closed manager.
 	ErrClosed = errors.New("jobs: manager closed")
 )
@@ -103,11 +111,13 @@ type Job struct {
 	// manager shutdown.
 	Run func(ctx context.Context) error
 
-	mu    sync.Mutex
-	state State
-	err   error
-	done  chan struct{}
-	seq   int64
+	mu        sync.Mutex
+	state     State
+	err       error
+	done      chan struct{}
+	seq       int64
+	cancelReq bool               // Cancel was called before the job finished
+	cancelRun context.CancelFunc // cancels the running job's context
 }
 
 // State reports the job's current lifecycle state.
@@ -188,6 +198,22 @@ func (o Options) Validate() error {
 	return nil
 }
 
+// Counters is a snapshot of the manager's lifecycle accounting. Once
+// every submitted job has reached a terminal state,
+// Submitted == Done + Failed + Shed + Canceled — the balance the race
+// stress test asserts.
+type Counters struct {
+	// Submitted counts jobs accepted by Submit (rejections excluded).
+	Submitted int64
+	// Admitted counts jobs that left the queue with memory reserved.
+	Admitted int64
+	// Done, Failed, Shed, Canceled count terminal outcomes.
+	Done     int64
+	Failed   int64
+	Shed     int64
+	Canceled int64
+}
+
 // Manager runs jobs under a memory budget with bounded queueing.
 type Manager struct {
 	opt Options
@@ -199,6 +225,7 @@ type Manager struct {
 	running int
 	nextSeq int64
 	closed  bool
+	counts  Counters
 	baseCtx context.Context
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
@@ -260,6 +287,7 @@ func (m *Manager) Submit(j *Job) error {
 				ErrQueueFull, len(m.queue), m.opt.QueueLimit)
 		}
 		m.removeLocked(victim)
+		m.counts.Shed++
 		victim.finish(Shed, fmt.Errorf("%w: displaced by %q", ErrShed, j.Name))
 	}
 	j.done = make(chan struct{})
@@ -267,8 +295,45 @@ func (m *Manager) Submit(j *Job) error {
 	j.seq = m.nextSeq
 	m.nextSeq++
 	m.queue = append(m.queue, j)
+	m.counts.Submitted++
 	m.cond.Broadcast()
 	return nil
+}
+
+// Cancel terminates j: a queued job is removed and finished as Canceled
+// without ever running; an admitted or running job has its context
+// cancelled and finishes as Canceled once its Run returns. Cancel
+// reports whether the request took effect (false once j is terminal or
+// was never submitted here).
+func (m *Manager) Cancel(j *Job) bool {
+	m.mu.Lock()
+	for _, q := range m.queue {
+		if q == j {
+			m.removeLocked(j)
+			m.counts.Canceled++
+			m.mu.Unlock()
+			j.finish(Canceled, ErrCanceled)
+			return true
+		}
+	}
+	m.mu.Unlock()
+	j.mu.Lock()
+	switch j.state {
+	// Queued here means the scheduler is admitting j this instant (it
+	// has left the queue but not yet been marked Admitted): the request
+	// is recorded and honoured by run.
+	case Queued, Admitted, Running, Checkpointed:
+	default:
+		j.mu.Unlock()
+		return false
+	}
+	j.cancelReq = true
+	cancel := j.cancelRun
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return true
 }
 
 // shedCandidateLocked picks the queued job to evict on overflow: lowest
@@ -320,6 +385,7 @@ func (m *Manager) schedule() {
 				// Drain: queued jobs on a closed manager fail, they
 				// don't run.
 				m.removeLocked(best)
+				m.counts.Failed++
 				best.finish(Failed, ErrClosed)
 				continue
 			}
@@ -337,6 +403,7 @@ func (m *Manager) schedule() {
 		m.removeLocked(best)
 		m.inUse += best.MemBytes
 		m.running++
+		m.counts.Admitted++
 		best.setState(Admitted)
 		m.wg.Add(1)
 		go m.run(best)
@@ -345,27 +412,54 @@ func (m *Manager) schedule() {
 
 func (m *Manager) run(j *Job) {
 	defer m.wg.Done()
-	ctx := m.baseCtx
-	var cancel context.CancelFunc = func() {}
+	var ctx context.Context
+	var cancel context.CancelFunc
 	if j.Deadline > 0 {
-		ctx, cancel = context.WithTimeout(ctx, j.Deadline)
+		ctx, cancel = context.WithTimeout(m.baseCtx, j.Deadline)
+	} else {
+		ctx, cancel = context.WithCancel(m.baseCtx)
 	}
-	j.setState(Running)
+	j.mu.Lock()
+	j.cancelRun = cancel
+	requested := j.cancelReq
+	j.state = Running
+	j.mu.Unlock()
+	if requested {
+		// Cancel landed between admission and here: the context is dead
+		// before Run starts, so the job returns promptly.
+		cancel()
+	}
 	err := j.Run(ctx)
 	cancel()
-	if err != nil && errors.Is(err, context.DeadlineExceeded) {
-		err = fmt.Errorf("%w: job %q after %v", ErrDeadline, j.Name, j.Deadline)
+	j.mu.Lock()
+	canceled := j.cancelReq
+	j.mu.Unlock()
+	state, terr := Done, error(nil)
+	switch {
+	case err == nil:
+		// A cancelled job that still returned success completed its work
+		// before the cancellation reached it: that is Done, not Canceled.
+	case canceled:
+		state, terr = Canceled, fmt.Errorf("%w: job %q: %v", ErrCanceled, j.Name, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		state, terr = Failed, fmt.Errorf("%w: job %q after %v", ErrDeadline, j.Name, j.Deadline)
+	default:
+		state, terr = Failed, err
 	}
 	m.mu.Lock()
 	m.inUse -= j.MemBytes
 	m.running--
+	switch state {
+	case Done:
+		m.counts.Done++
+	case Failed:
+		m.counts.Failed++
+	case Canceled:
+		m.counts.Canceled++
+	}
 	m.cond.Broadcast()
 	m.mu.Unlock()
-	if err != nil {
-		j.finish(Failed, err)
-	} else {
-		j.finish(Done, nil)
-	}
+	j.finish(state, terr)
 }
 
 // InFlightBytes reports the reserved memory of admitted and running jobs
@@ -374,6 +468,13 @@ func (m *Manager) InFlightBytes() int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.inUse
+}
+
+// Counters returns a snapshot of the lifecycle accounting.
+func (m *Manager) Counters() Counters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counts
 }
 
 // QueueLen reports the number of jobs waiting for admission.

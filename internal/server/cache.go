@@ -1,0 +1,110 @@
+// The result cache: completed mining results keyed by the checkpoint
+// package's database/config fingerprint. Clean-run equivalence (every
+// algorithm yields the identical frequent-itemset set for a given
+// (db, minsup, maxlen)) is what makes this sound — the key ignores the
+// algorithm, workers, and fault schedule, so a GPApriori run can answer
+// a later Eclat query. Entries hold the resultio-canonical text body,
+// evicted LRU under a byte budget.
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"gpapriori"
+)
+
+// cacheEntry is one cached result.
+type cacheEntry struct {
+	key uint64
+	// body is the resultio-canonical rendering of the result set.
+	body []byte
+	// itemsets is the decoded result, shared read-only by every hit.
+	itemsets []gpapriori.Itemset
+	// minSupport/transactions reproduce the job-info fields a cache-hit
+	// answer needs.
+	minSupport   int
+	transactions int
+}
+
+// bytes is the entry's charge against the budget.
+func (e *cacheEntry) bytes() int64 { return int64(len(e.body)) }
+
+// ResultCache is a byte-budgeted LRU of completed mining results.
+type ResultCache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	lru    *list.List               // front = most recent
+	byKey  map[uint64]*list.Element // value: *cacheEntry
+
+	hits, misses, puts, evictions int64
+}
+
+// NewResultCache builds a cache bounded by budgetBytes. A zero or
+// negative budget disables caching: every Get misses, every Put is
+// dropped — the stats still count, so /statsz shows the traffic a
+// budget would have served.
+func NewResultCache(budgetBytes int64) *ResultCache {
+	return &ResultCache{
+		budget: budgetBytes,
+		lru:    list.New(),
+		byKey:  map[uint64]*list.Element{},
+	}
+}
+
+// Get looks up key, refreshing its recency on hit.
+func (c *ResultCache) Get(key uint64) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry), true
+}
+
+// Put inserts an entry, evicting least-recently-used entries until the
+// budget holds. An entry larger than the whole budget is not cached.
+// Re-putting an existing key refreshes recency but keeps the original
+// entry (equivalence guarantees the bodies match).
+func (c *ResultCache) Put(e *cacheEntry) {
+	if e.bytes() > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, dup := c.byKey[e.key]; dup {
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.puts++
+	c.used += e.bytes()
+	c.byKey[e.key] = c.lru.PushFront(e)
+	for c.used > c.budget {
+		back := c.lru.Back()
+		victim := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.byKey, victim.key)
+		c.used -= victim.bytes()
+		c.evictions++
+	}
+}
+
+// Stats snapshots the cache's accounting.
+func (c *ResultCache) Stats() gpapriori.ServeCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return gpapriori.ServeCacheStats{
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Puts:        c.puts,
+		Evictions:   c.evictions,
+		Entries:     c.lru.Len(),
+		Bytes:       c.used,
+		BudgetBytes: c.budget,
+	}
+}

@@ -1,0 +1,62 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+)
+
+// FuzzDecodeMineRequest holds the request decoder to its contract over
+// arbitrary input: it never panics, and every input either decodes to a
+// request that passes validation or comes back as a typed 400 — so no
+// malformed or absurd request can ever reach the job manager.
+func FuzzDecodeMineRequest(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`{"dataset":"q","min_support":5}`,
+		`{"dataset":"q","relative_support":0.5}`,
+		`{"dataset":"q","min_support":5,"algorithm":"eclat","max_len":3}`,
+		`{"dataset":"q","min_support":-99999999999999999999}`,
+		`{"dataset":"q","relative_support":1e308}`,
+		`{"dataset":"q","min_support":5,"deadline_sec":-1}`,
+		`{"dataset":"q","min_support":5,"priority":2147483647}`,
+		`{"dataset":"q","min_support":5,"faults":"dev0:hang=@gen1"}`,
+		`{"dataset":"q","min_support":5,"workers":1e9}`,
+		"{\"dataset\":\"\u0001\",\"min_support\":5}",
+		`{"dataset":"q","min_support":5}trailing`,
+		`[{"dataset":"q"}]`,
+		`"just a string"`,
+		`{"dataset":"q","min_support":5,"unknown_field":true}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, se := DecodeMineRequest(bytes.NewReader(data))
+		if se != nil {
+			if req != nil {
+				t.Fatal("rejected input must not also return a request")
+			}
+			if se.Status != http.StatusBadRequest {
+				t.Fatalf("decoder error status %d, want 400", se.Status)
+			}
+			if se.Code != "bad_request" || se.Message == "" {
+				t.Fatalf("decoder error must be typed bad_request with a message, got %+v", se)
+			}
+			return
+		}
+		if req == nil {
+			t.Fatal("nil request without an error")
+		}
+		// An accepted request must be internally valid: re-validation
+		// cannot fail, and the fields the scheduler consumes are in
+		// range.
+		if se := ValidateMineRequest(req); se != nil {
+			t.Fatalf("accepted request fails re-validation: %v", se)
+		}
+		if req.Dataset == "" || req.MinSupport < 0 || req.DeadlineSec < 0 {
+			t.Fatalf("accepted request out of range: %+v", req)
+		}
+	})
+}

@@ -1,0 +1,765 @@
+// Package server is the gpaserve daemon: a long-lived mining service
+// over the gpapriori library.
+//
+// The server owns four pieces and wires them together:
+//
+//   - a dataset Registry (registry.go): databases loaded once, mined
+//     many times;
+//   - the admission-controlled JobManager from the public API: every
+//     mining request flows through the same queue/budget/shedding
+//     machinery as batch jobs;
+//   - a ResultCache (cache.go) keyed by the checkpoint fingerprint of
+//     (database, support, maxlen) — sound because of clean-run
+//     equivalence;
+//   - an HTTP surface speaking the wire types of the root package's
+//     serve.go: submit, long-poll status, per-generation NDJSON
+//     streaming, cancel, /healthz, /statsz.
+//
+// Durability follows the checkpoint subsystem: level-wise jobs
+// checkpoint into StateDir at every generation boundary, a streamed
+// generation is only announced after its snapshot is durable, and
+// Drain journals unfinished requests so a restarted daemon resumes
+// them from their last checkpoint to the identical result.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"gpapriori"
+	"gpapriori/internal/dataset"
+	"gpapriori/internal/jobs"
+	"gpapriori/internal/resultio"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Registry holds the served datasets. Required; datasets cannot be
+	// added after New.
+	Registry *Registry
+	// Jobs configures the admission controller every request runs under.
+	Jobs gpapriori.JobManagerConfig
+	// CacheBudgetBytes bounds the result cache (0 disables caching).
+	CacheBudgetBytes int64
+	// StateDir, when set, holds per-job checkpoints and the drain
+	// journal. Empty disables durability: jobs neither checkpoint nor
+	// survive a restart.
+	StateDir string
+}
+
+// Server is the daemon core: everything but the listener.
+type Server struct {
+	reg      *Registry
+	jm       *gpapriori.JobManager
+	cache    *ResultCache
+	stateDir string
+	mux      *http.ServeMux
+
+	mu       sync.Mutex
+	draining bool
+	jobs     map[string]*jobRecord
+	nextID   int64
+	// cachedSubmitted/cachedDone count cache-answered jobs, which never
+	// reach the JobManager but still belong in /statsz's lifecycle view.
+	cachedSubmitted int64
+	cachedDone      int64
+	// faults aggregates injected-fault activity across completed runs.
+	faults gpapriori.FaultStats
+	// wg tracks finalizer goroutines so Drain can wait them out.
+	wg sync.WaitGroup
+}
+
+// jobRecord is the server-side state of one submitted job: the stream
+// event log, the terminal snapshot, and the wake channel stream and
+// long-poll readers block on.
+type jobRecord struct {
+	id      string
+	dataset string
+	algo    string
+	minSup  int
+	trans   int
+	key     uint64
+	// req is the submitted request, kept whole for the drain journal.
+	req gpapriori.ServeMineRequest
+	mj  *gpapriori.MiningJob // nil for cache-answered records
+
+	mu sync.Mutex
+	// events is append-only; readers index into it.
+	events []gpapriori.ServeGenerationEvent
+	// lastLen is the largest itemset length already streamed.
+	lastLen  int
+	terminal bool
+	final    gpapriori.ServeJobInfo
+	// resultBody is the resultio-canonical rendering of a done job.
+	resultBody []byte
+	// wake is closed (and replaced) whenever events or terminal change.
+	wake chan struct{}
+}
+
+// New builds a Server, replaying any drain journal in StateDir so jobs
+// interrupted by a previous shutdown resume from their checkpoints.
+func New(cfg Config) (*Server, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("server: Config.Registry is required")
+	}
+	if cfg.StateDir != "" {
+		if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: state dir: %w", err)
+		}
+	}
+	jm, err := gpapriori.NewJobManager(cfg.Jobs)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		reg:      cfg.Registry,
+		jm:       jm,
+		cache:    NewResultCache(cfg.CacheBudgetBytes),
+		stateDir: cfg.StateDir,
+		jobs:     map[string]*jobRecord{},
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	if err := s.replayJournal(); err != nil {
+		jm.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ---- submission ----
+
+// levelWise reports whether algo has generation boundaries — the
+// precondition for checkpointing and per-generation streaming.
+func levelWise(algo gpapriori.Algorithm) bool {
+	switch algo {
+	case gpapriori.AlgoEclat, gpapriori.AlgoEclatDiffset,
+		gpapriori.AlgoFPGrowth, gpapriori.AlgoPipeline:
+		return false
+	}
+	return true
+}
+
+// ckptPath is the per-fingerprint checkpoint file. Keying by
+// fingerprint rather than job ID means a resubmitted identical request
+// reuses whatever progress any earlier run left behind.
+func (s *Server) ckptPath(key uint64) string {
+	return filepath.Join(s.stateDir, fmt.Sprintf("ckpt-%016x.ckpt", key))
+}
+
+// submit validates req against the registry, answers from the result
+// cache when it can, and otherwise queues a mining job. id is empty for
+// fresh submissions and fixed when replaying the drain journal.
+func (s *Server) submit(req gpapriori.ServeMineRequest, id string) (*jobRecord, *gpapriori.ServeError) {
+	entry, ok := s.reg.Get(req.Dataset)
+	if !ok {
+		return nil, &gpapriori.ServeError{Status: http.StatusNotFound, Code: "unknown_dataset",
+			Message: fmt.Sprintf("dataset %q is not registered", req.Dataset)}
+	}
+	algo := req.Algorithm
+	if algo == "" {
+		algo = string(gpapriori.AlgoGPApriori)
+	}
+	cfg := req.MiningConfig()
+	key, minSup, err := gpapriori.ResultFingerprint(entry.DB, cfg)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, &gpapriori.ServeError{Status: http.StatusServiceUnavailable,
+			Code: "draining", Message: "server is draining; not admitting new jobs"}
+	}
+	if id == "" {
+		s.nextID++
+		id = fmt.Sprintf("job-%d", s.nextID)
+	}
+	rec := &jobRecord{
+		id:      id,
+		dataset: req.Dataset,
+		algo:    algo,
+		minSup:  minSup,
+		trans:   entry.Info.Transactions,
+		key:     key,
+		req:     req,
+		wake:    make(chan struct{}),
+	}
+
+	if !req.NoCache {
+		if e, hit := s.cache.Get(key); hit {
+			info := gpapriori.ServeJobInfo{
+				ID: id, Dataset: req.Dataset, Algorithm: algo,
+				State: gpapriori.JobDone.String(), Cached: true,
+				MinSupport: e.minSupport, Transactions: e.transactions,
+				Itemsets: len(e.itemsets),
+			}
+			rec.events = []gpapriori.ServeGenerationEvent{
+				{Itemsets: e.itemsets, Final: true, Job: &info},
+			}
+			rec.terminal = true
+			rec.final = info
+			rec.resultBody = e.body
+			s.cachedSubmitted++
+			s.cachedDone++
+			s.jobs[id] = rec
+			return rec, nil
+		}
+	}
+
+	if s.stateDir != "" && levelWise(cfg.Algorithm) {
+		// Durability wiring: snapshot every generation, resume any
+		// progress an interrupted earlier run of this fingerprint left.
+		path := s.ckptPath(key)
+		cfg.Checkpoint = path
+		cfg.ResumeFrom = path
+		cfg.CheckpointEvery = 1
+	}
+	cfg.OnGeneration = rec.addGeneration
+
+	mj, err := s.jm.Submit(gpapriori.JobSpec{
+		Name:     id,
+		Priority: req.Priority,
+		Deadline: time.Duration(req.DeadlineSec * float64(time.Second)),
+		DB:       entry.DB,
+		Config:   cfg,
+	})
+	if err != nil {
+		return nil, mapSubmitError(err)
+	}
+	rec.mj = mj
+	s.jobs[id] = rec
+	s.wg.Add(1)
+	go s.finalize(rec)
+	return rec, nil
+}
+
+// mapSubmitError translates JobManager admission failures to wire
+// errors.
+func mapSubmitError(err error) *gpapriori.ServeError {
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		return &gpapriori.ServeError{Status: http.StatusTooManyRequests,
+			Code: "queue_full", Message: err.Error()}
+	case errors.Is(err, jobs.ErrOverBudget):
+		return &gpapriori.ServeError{Status: http.StatusRequestEntityTooLarge,
+			Code: "over_budget", Message: err.Error()}
+	case errors.Is(err, jobs.ErrClosed):
+		return &gpapriori.ServeError{Status: http.StatusServiceUnavailable,
+			Code: "draining", Message: err.Error()}
+	}
+	return &gpapriori.ServeError{Status: http.StatusInternalServerError,
+		Code: "internal", Message: err.Error()}
+}
+
+// addGeneration is the Config.OnGeneration hook: record the itemsets
+// newly completed since the last boundary as one stream event. It runs
+// on the mining goroutine, after the generation's checkpoint is
+// durable.
+func (r *jobRecord) addGeneration(gen int, frequent []gpapriori.Itemset) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.terminal {
+		return
+	}
+	var delta []gpapriori.Itemset
+	for _, s := range frequent {
+		if len(s.Items) > r.lastLen {
+			delta = append(delta, s)
+		}
+	}
+	r.lastLen = gen
+	if len(delta) == 0 {
+		return
+	}
+	r.events = append(r.events, gpapriori.ServeGenerationEvent{Gen: gen, Itemsets: delta})
+	r.signalLocked()
+}
+
+// signalLocked wakes every blocked reader. Callers hold r.mu.
+func (r *jobRecord) signalLocked() {
+	close(r.wake)
+	r.wake = make(chan struct{})
+}
+
+// finalize waits for the job's terminal state, renders the canonical
+// result body, feeds the cache and fault aggregate, and appends the
+// final stream event.
+func (s *Server) finalize(rec *jobRecord) {
+	defer s.wg.Done()
+	<-rec.mj.Done()
+	res, err := rec.mj.Result()
+	info := gpapriori.ServeJobInfo{
+		ID: rec.id, Dataset: rec.dataset, Algorithm: rec.algo,
+		State: rec.mj.State().String(), MinSupport: rec.minSup,
+		Transactions: rec.trans,
+	}
+	var body []byte
+	if err != nil {
+		info.Error = err.Error()
+	} else {
+		info.Itemsets = len(res.Itemsets)
+		info.HostSeconds = res.HostSeconds
+		info.DeviceSeconds = res.DeviceSeconds
+		info.Faults = res.Faults
+		body = renderResult(res.Itemsets)
+		s.cache.Put(&cacheEntry{
+			key: rec.key, body: body, itemsets: res.Itemsets,
+			minSupport: rec.minSup, transactions: rec.trans,
+		})
+		s.addFaults(res.Faults)
+	}
+	rec.complete(info, body, resultItemsets(res))
+}
+
+// resultItemsets guards the itemset slice of a failed run.
+func resultItemsets(res *gpapriori.Result) []gpapriori.Itemset {
+	if res == nil {
+		return nil
+	}
+	return res.Itemsets
+}
+
+// complete marks the record terminal: any itemsets not yet streamed
+// ride on the final event together with the terminal job info.
+func (r *jobRecord) complete(info gpapriori.ServeJobInfo, body []byte, itemsets []gpapriori.Itemset) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var remainder []gpapriori.Itemset
+	for _, s := range itemsets {
+		if len(s.Items) > r.lastLen {
+			remainder = append(remainder, s)
+		}
+	}
+	r.events = append(r.events, gpapriori.ServeGenerationEvent{
+		Itemsets: remainder, Final: true, Job: &info,
+	})
+	r.terminal = true
+	r.final = info
+	r.resultBody = body
+	r.signalLocked()
+}
+
+// renderResult produces the resultio-canonical text body — the same
+// bytes the offline CLI writes, which is what makes served and offline
+// results diffable.
+func renderResult(itemsets []gpapriori.Itemset) []byte {
+	rs := &dataset.ResultSet{}
+	for _, s := range itemsets {
+		rs.Add(s.Items, s.Support)
+	}
+	var buf bytes.Buffer
+	if err := resultio.Write(&buf, rs); err != nil {
+		// resultio.Write to a bytes.Buffer cannot fail; keep the
+		// invariant loud rather than silently serving an empty body.
+		panic(fmt.Sprintf("server: rendering result: %v", err))
+	}
+	return buf.Bytes()
+}
+
+// addFaults folds one run's fault stats into the server aggregate.
+func (s *Server) addFaults(f *gpapriori.FaultStats) {
+	if f == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults.Injected += f.Injected
+	s.faults.KernelFaults += f.KernelFaults
+	s.faults.TransferFaults += f.TransferFaults
+	s.faults.Hangs += f.Hangs
+	s.faults.Retries += f.Retries
+	s.faults.Failovers += f.Failovers
+	s.faults.DegradedCandidates += f.DegradedCandidates
+	s.faults.RecoverySeconds += f.RecoverySeconds
+}
+
+// snapshot returns the record's current job info, terminal flag, and
+// the channel that signals the next change.
+func (r *jobRecord) snapshot() (gpapriori.ServeJobInfo, bool, <-chan struct{}) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.terminal {
+		return r.final, true, r.wake
+	}
+	info := gpapriori.ServeJobInfo{
+		ID: r.id, Dataset: r.dataset, Algorithm: r.algo,
+		State: r.mj.State().String(), MinSupport: r.minSup,
+		Transactions: r.trans,
+	}
+	return info, false, r.wake
+}
+
+// isTerminal reads the terminal flag alone (drain's snapshot loop).
+func (r *jobRecord) isTerminal() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.terminal
+}
+
+// eventsFrom returns the stream events at index i and beyond, plus the
+// terminal flag and wake channel.
+func (r *jobRecord) eventsFrom(i int) ([]gpapriori.ServeGenerationEvent, bool, <-chan struct{}) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var evs []gpapriori.ServeGenerationEvent
+	if i < len(r.events) {
+		evs = append(evs, r.events[i:]...)
+	}
+	return evs, r.terminal, r.wake
+}
+
+// ---- handlers ----
+
+// writeJSON renders one JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeServeError renders a typed error body.
+func writeServeError(w http.ResponseWriter, se *gpapriori.ServeError) {
+	writeJSON(w, se.Status, se)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	status := "ok"
+	if s.draining {
+		status = "draining"
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	st := gpapriori.ServeStats{
+		QueueLen:      s.jm.QueueLen(),
+		InFlightBytes: s.jm.InFlightBytes(),
+		Jobs:          s.jm.Counters(),
+		Cache:         s.cache.Stats(),
+		Datasets:      s.reg.List(),
+	}
+	s.mu.Lock()
+	st.Draining = s.draining
+	st.Jobs.Submitted += s.cachedSubmitted
+	st.Jobs.Done += s.cachedDone
+	st.Faults = s.faults
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.List())
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	req, se := DecodeMineRequest(r.Body)
+	if se != nil {
+		writeServeError(w, se)
+		return
+	}
+	rec, se := s.submit(*req, "")
+	if se != nil {
+		writeServeError(w, se)
+		return
+	}
+	info, terminal, _ := rec.snapshot()
+	status := http.StatusAccepted
+	if terminal {
+		// A cache hit is already complete: answer 200, not 202.
+		status = http.StatusOK
+	}
+	writeJSON(w, status, info)
+}
+
+// lookup finds a job record or writes the typed 404.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*jobRecord, bool) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	rec, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeServeError(w, &gpapriori.ServeError{Status: http.StatusNotFound,
+			Code: "unknown_job", Message: fmt.Sprintf("no job %q", id)})
+		return nil, false
+	}
+	return rec, true
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	wait := 0
+	if v := r.URL.Query().Get("wait_sec"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeServeError(w, badRequest("wait_sec must be a non-negative integer"))
+			return
+		}
+		if n > 60 {
+			n = 60
+		}
+		wait = n
+	}
+	deadline := time.Now().Add(time.Duration(wait) * time.Second)
+	for {
+		info, terminal, wake := rec.snapshot()
+		remain := time.Until(deadline)
+		if terminal || wait == 0 || remain <= 0 {
+			writeJSON(w, http.StatusOK, info)
+			return
+		}
+		timer := time.NewTimer(remain)
+		select {
+		case <-wake:
+		case <-timer.C:
+		case <-r.Context().Done():
+			timer.Stop()
+			return
+		}
+		timer.Stop()
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	if rec.mj != nil {
+		s.jm.Cancel(rec.mj)
+	}
+	info, _, _ := rec.snapshot()
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	i := 0
+	for {
+		evs, terminal, wake := rec.eventsFrom(i)
+		for _, ev := range evs {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			i++
+		}
+		if len(evs) > 0 && fl != nil {
+			fl.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	rec.mu.Lock()
+	terminal, final, body := rec.terminal, rec.final, rec.resultBody
+	rec.mu.Unlock()
+	if !terminal {
+		writeServeError(w, &gpapriori.ServeError{Status: http.StatusConflict,
+			Code: "conflict", Message: fmt.Sprintf("job %q has not finished", rec.id)})
+		return
+	}
+	if final.State != gpapriori.JobDone.String() {
+		writeServeError(w, &gpapriori.ServeError{Status: http.StatusConflict,
+			Code: "conflict", Message: fmt.Sprintf("job %q ended %s: %s", rec.id, final.State, final.Error)})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// ---- drain and restart ----
+
+// journalEntry is one unfinished request in the drain journal.
+type journalEntry struct {
+	ID      string                     `json:"id"`
+	Request gpapriori.ServeMineRequest `json:"request"`
+}
+
+// journal is the drain journal file body.
+type journal struct {
+	Jobs []journalEntry `json:"jobs"`
+}
+
+// journalPath is the drain journal location.
+func (s *Server) journalPath() string { return filepath.Join(s.stateDir, "pending.json") }
+
+// Drain performs graceful shutdown: stop admitting, journal every
+// unfinished request (its last generation checkpoint is already
+// durable — a generation is only streamed after its snapshot lands),
+// cancel what is running, and wait for the manager and finalizers to
+// settle. A restarted server replays the journal and resumes each job
+// from its checkpoint to the identical result. ctx bounds the wait;
+// expiry abandons the remaining jobs to process exit.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	var pending []*jobRecord
+	var entries []journalEntry
+	for _, rec := range s.jobs {
+		if !rec.isTerminal() {
+			pending = append(pending, rec)
+			entries = append(entries, journalEntry{ID: rec.id, Request: rec.requestForJournal()})
+		}
+	}
+	s.mu.Unlock()
+
+	var journalErr error
+	if s.stateDir != "" && len(entries) > 0 {
+		journalErr = writeJournal(s.journalPath(), journal{Jobs: entries})
+	}
+	for _, rec := range pending {
+		if rec.mj != nil {
+			s.jm.Cancel(rec.mj)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		s.jm.Close()
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return journalErr
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// requestForJournal is the persisted form of the record's request: the
+// full config (so the fingerprint — and with it the checkpoint path —
+// re-derives identically on replay), with the support threshold pinned
+// to the resolved absolute value and the cache re-enabled: if an
+// identical request completed meanwhile, the cached answer is the
+// result.
+func (r *jobRecord) requestForJournal() gpapriori.ServeMineRequest {
+	req := r.req
+	req.MinSupport = r.minSup
+	req.RelativeSupport = 0
+	req.NoCache = false
+	return req
+}
+
+// writeJournal persists the journal atomically (temp + rename), the
+// same discipline as checkpoint saves.
+func writeJournal(path string, j journal) error {
+	data, err := json.Marshal(j)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// replayJournal resubmits the jobs a previous drain left unfinished.
+// Jobs whose dataset is no longer registered become terminal failed
+// records, so a client polling the old ID gets an answer instead of a
+// 404 that lies about history.
+func (s *Server) replayJournal() error {
+	if s.stateDir == "" {
+		return nil
+	}
+	data, err := os.ReadFile(s.journalPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var j journal
+	if err := json.Unmarshal(data, &j); err != nil {
+		return fmt.Errorf("server: corrupt drain journal %s: %w", s.journalPath(), err)
+	}
+	for _, e := range j.Jobs {
+		s.bumpNextID(e.ID)
+		if _, se := s.submit(e.Request, e.ID); se != nil {
+			s.failRecord(e, se)
+		}
+	}
+	return os.Remove(s.journalPath())
+}
+
+// bumpNextID keeps fresh IDs ahead of every replayed one.
+func (s *Server) bumpNextID(id string) {
+	var n int64
+	if _, err := fmt.Sscanf(id, "job-%d", &n); err != nil {
+		return
+	}
+	s.mu.Lock()
+	if n > s.nextID {
+		s.nextID = n
+	}
+	s.mu.Unlock()
+}
+
+// failRecord registers a terminal failed record for a journal entry
+// that could not be resubmitted.
+func (s *Server) failRecord(e journalEntry, se *gpapriori.ServeError) {
+	info := gpapriori.ServeJobInfo{
+		ID: e.ID, Dataset: e.Request.Dataset, Algorithm: e.Request.Algorithm,
+		State: gpapriori.JobFailed.String(),
+		Error: fmt.Sprintf("resume after restart: %s", se.Message),
+	}
+	rec := &jobRecord{
+		id: e.ID, dataset: e.Request.Dataset, algo: e.Request.Algorithm,
+		wake:     make(chan struct{}),
+		events:   []gpapriori.ServeGenerationEvent{{Final: true, Job: &info}},
+		terminal: true,
+		final:    info,
+	}
+	s.mu.Lock()
+	s.jobs[e.ID] = rec
+	s.mu.Unlock()
+}

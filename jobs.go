@@ -32,7 +32,16 @@ const (
 	JobDone         = jobs.Done
 	JobFailed       = jobs.Failed
 	JobShed         = jobs.Shed
+	JobCanceled     = jobs.Canceled
 )
+
+// ErrJobCanceled is the terminal error of a job ended by Cancel;
+// match with errors.Is.
+var ErrJobCanceled = jobs.ErrCanceled
+
+// JobCounters snapshots a JobManager's lifecycle accounting: once every
+// submitted job is terminal, Submitted == Done + Failed + Shed + Canceled.
+type JobCounters = jobs.Counters
 
 // BreakerPolicy tunes the device circuit breaker (see jobs.BreakerPolicy).
 type BreakerPolicy = jobs.BreakerPolicy
@@ -257,6 +266,15 @@ func (m *JobManager) recordDeviceOutcomes(cfg Config, excluded []int, res *Resul
 		}
 	}
 }
+
+// Cancel terminates j: a queued job finishes as JobCanceled without
+// running; a running job's MineContext context is cancelled and the job
+// finishes as JobCanceled once it unwinds. Reports whether the request
+// took effect (false once j is already terminal).
+func (m *JobManager) Cancel(j *MiningJob) bool { return m.mgr.Cancel(j.job) }
+
+// Counters snapshots the manager's lifecycle accounting.
+func (m *JobManager) Counters() JobCounters { return m.mgr.Counters() }
 
 // DeviceState reports device i's circuit-breaker state.
 func (m *JobManager) DeviceState(i int) BreakerState { return m.breaker.State(i) }

@@ -61,3 +61,38 @@ grep -v '_seconds"' "$SMOKE/oracle.json"  > "$SMOKE/oracle.cmp"
 grep -v '_seconds"' "$SMOKE/resumed.json" > "$SMOKE/resumed.cmp"
 diff -u "$SMOKE/oracle.cmp" "$SMOKE/resumed.cmp"
 echo "kill/resume smoke: OK"
+
+# Server request-decoder fuzz smoke: malformed or absurd requests must
+# become typed 400s — never a panic, never an admitted job.
+go test -fuzz='^FuzzDecodeMineRequest$' -fuzztime=10s ./internal/server/
+
+# Serving smoke: boot the real daemon on a random port, mine the same
+# dataset over HTTP and offline, and require the canonical results to
+# be byte-identical; require the second identical request to hit the
+# result cache; then SIGTERM and require a clean drain (exit 0).
+go build -o "$SMOKE/gpaserve" ./cmd/gpaserve
+"$SMOKE/gpaserve" -listen 127.0.0.1:0 -dataset chess=gen:chess:0.3 \
+    -mem-mb 256 -cache-mb 16 -state-dir "$SMOKE/state" \
+    -port-file "$SMOKE/port" > "$SMOKE/gpaserve.log" 2>&1 &
+SRV_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$SMOKE/port" ] && break
+    sleep 0.1
+done
+[ -s "$SMOKE/port" ]
+ADDR=$(cat "$SMOKE/port")
+
+"$SMOKE/gpapriori" -serve-url "http://$ADDR" -dataset chess \
+    -minsup 0.8 -result-only > "$SMOKE/served.txt"
+"$SMOKE/gpapriori" -dataset chess -scale 0.3 \
+    -minsup 0.8 -result-only > "$SMOKE/offline.txt"
+diff -u "$SMOKE/offline.txt" "$SMOKE/served.txt"
+
+"$SMOKE/gpapriori" -serve-url "http://$ADDR" -dataset chess \
+    -minsup 0.8 -quiet -serve-stats > "$SMOKE/stats.txt"
+grep -q 'hits=1' "$SMOKE/stats.txt"
+
+kill -TERM "$SRV_PID"
+wait "$SRV_PID"
+grep -q 'drained' "$SMOKE/gpaserve.log"
+echo "serving smoke: OK"

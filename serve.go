@@ -1,0 +1,461 @@
+// The serving surface shared by the gpaserve daemon and its clients.
+//
+// gpaserve (internal/server + cmd/gpaserve) keeps named databases
+// resident in their vertical layout and mines them many times, the way
+// an inference server keeps a loaded model hot. This file defines the
+// wire contract — request, job, stream-event, stats, and error shapes —
+// and a client, so the daemon and the CLI's -serve-url mode speak one
+// vocabulary. The server half lives in internal/server; it imports
+// these types rather than redeclaring them.
+package gpapriori
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"gpapriori/internal/dataset"
+	"gpapriori/internal/resultio"
+)
+
+// ServeMineRequest is the body of POST /v1/jobs: one mining query
+// against a registered dataset. Exactly one of MinSupport ≥ 1 or
+// RelativeSupport in (0,1] must be set.
+type ServeMineRequest struct {
+	// Dataset names a database in the daemon's registry.
+	Dataset string `json:"dataset"`
+	// Algorithm defaults to AlgoGPApriori.
+	Algorithm string `json:"algorithm,omitempty"`
+	// MinSupport is the absolute threshold (0 = use RelativeSupport).
+	MinSupport int `json:"min_support,omitempty"`
+	// RelativeSupport is the threshold as a ratio in (0,1].
+	RelativeSupport float64 `json:"relative_support,omitempty"`
+	// MaxLen bounds itemset length (0 = unbounded).
+	MaxLen int `json:"max_len,omitempty"`
+	// Priority orders admission (higher first) and shedding (lower
+	// first).
+	Priority int `json:"priority,omitempty"`
+	// DeadlineSec bounds the job's run time (0 = none).
+	DeadlineSec float64 `json:"deadline_sec,omitempty"`
+	// Workers, Devices, HybridCPUShare mirror Config.
+	Workers        int     `json:"workers,omitempty"`
+	Devices        int     `json:"devices,omitempty"`
+	HybridCPUShare float64 `json:"hybrid_cpu_share,omitempty"`
+	// PrefixCache / PrefixCacheBudgetMB / CacheBlocked mirror Config.
+	PrefixCache         bool `json:"prefix_cache,omitempty"`
+	PrefixCacheBudgetMB int  `json:"prefix_cache_budget_mb,omitempty"`
+	CacheBlocked        bool `json:"cache_blocked,omitempty"`
+	// Faults / FaultSeed inject a deterministic device-fault schedule
+	// (see Config.Faults).
+	Faults    string `json:"faults,omitempty"`
+	FaultSeed int64  `json:"fault_seed,omitempty"`
+	// NoCache bypasses the daemon's result cache for this request (the
+	// run still populates it).
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// MiningConfig maps the request onto a Config. The daemon applies its
+// own checkpoint/streaming wiring on top.
+func (r ServeMineRequest) MiningConfig() Config {
+	return Config{
+		Algorithm:           Algorithm(r.Algorithm),
+		MinSupport:          r.MinSupport,
+		RelativeSupport:     r.RelativeSupport,
+		MaxLen:              r.MaxLen,
+		Workers:             r.Workers,
+		Devices:             r.Devices,
+		HybridCPUShare:      r.HybridCPUShare,
+		PrefixCache:         r.PrefixCache,
+		PrefixCacheBudgetMB: r.PrefixCacheBudgetMB,
+		CacheBlocked:        r.CacheBlocked,
+		Faults:              r.Faults,
+		FaultSeed:           r.FaultSeed,
+	}
+}
+
+// ServeJobInfo is one job's externally visible state, returned by
+// submit, status, cancel, and the final stream event.
+type ServeJobInfo struct {
+	// ID addresses the job in the /v1/jobs endpoints.
+	ID string `json:"id"`
+	// Dataset and Algorithm echo the request (Algorithm resolved).
+	Dataset   string `json:"dataset"`
+	Algorithm string `json:"algorithm"`
+	// State is the lifecycle state string (see JobState): queued,
+	// admitted, running, checkpointed, done, failed, shed, canceled.
+	State string `json:"state"`
+	// Cached marks a job answered from the result cache without mining.
+	Cached bool `json:"cached,omitempty"`
+	// MinSupport is the resolved absolute threshold.
+	MinSupport int `json:"min_support,omitempty"`
+	// Transactions is the dataset's transaction count (for clients that
+	// never see the database).
+	Transactions int `json:"transactions,omitempty"`
+	// Itemsets counts the frequent itemsets of a done job.
+	Itemsets int `json:"itemsets,omitempty"`
+	// Error is the terminal error of a failed/shed/canceled job.
+	Error string `json:"error,omitempty"`
+	// HostSeconds / DeviceSeconds are the run's timings (zero when
+	// Cached).
+	HostSeconds   float64 `json:"host_seconds,omitempty"`
+	DeviceSeconds float64 `json:"device_seconds,omitempty"`
+	// Faults reports injected-fault activity of the run, if any.
+	Faults *FaultStats `json:"fault_stats,omitempty"`
+}
+
+// Terminal reports whether the job has reached a terminal state.
+func (i *ServeJobInfo) Terminal() bool {
+	switch i.State {
+	case JobDone.String(), JobFailed.String(), JobShed.String(), JobCanceled.String():
+		return true
+	}
+	return false
+}
+
+// ServeGenerationEvent is one line of the NDJSON stream of
+// GET /v1/jobs/{id}/stream. Non-final events carry the itemsets newly
+// completed since the previous event (for a level-wise run: one
+// generation, announced only after its checkpoint is durable). The
+// final event carries any remainder plus the terminal job info.
+type ServeGenerationEvent struct {
+	// Gen is the itemset length just counted (0 on events that are not
+	// tied to a generation boundary).
+	Gen int `json:"gen,omitempty"`
+	// Itemsets are the newly completed frequent itemsets.
+	Itemsets []Itemset `json:"itemsets,omitempty"`
+	// Final marks the last event of the stream.
+	Final bool `json:"final,omitempty"`
+	// Job is the terminal job info, set on the final event.
+	Job *ServeJobInfo `json:"job,omitempty"`
+}
+
+// ServeCacheStats is the result cache's hit/miss/eviction accounting.
+type ServeCacheStats struct {
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Puts        int64 `json:"puts"`
+	Evictions   int64 `json:"evictions"`
+	Entries     int   `json:"entries"`
+	Bytes       int64 `json:"bytes"`
+	BudgetBytes int64 `json:"budget_bytes"`
+}
+
+// ServeDatasetInfo describes one registered dataset.
+type ServeDatasetInfo struct {
+	Name         string  `json:"name"`
+	Transactions int     `json:"transactions"`
+	NumItems     int     `json:"num_items"`
+	AvgLength    float64 `json:"avg_length"`
+	// BitsetBytes is the modeled footprint of the resident vertical
+	// bitset layout.
+	BitsetBytes int64 `json:"bitset_bytes"`
+}
+
+// ServeStats is the body of GET /statsz.
+type ServeStats struct {
+	// Draining is true once shutdown has begun (no new admissions).
+	Draining bool `json:"draining"`
+	// QueueLen and InFlightBytes mirror the admission controller.
+	QueueLen      int   `json:"queue_len"`
+	InFlightBytes int64 `json:"in_flight_bytes"`
+	// Jobs is the lifecycle counter snapshot, including jobs answered
+	// from the cache (counted as Submitted and Done).
+	Jobs JobCounters `json:"jobs"`
+	// Cache is the result cache's accounting.
+	Cache ServeCacheStats `json:"cache"`
+	// Faults aggregates fault stats across every completed run.
+	Faults FaultStats `json:"faults"`
+	// Datasets lists the registry.
+	Datasets []ServeDatasetInfo `json:"datasets"`
+}
+
+// ServeError is the daemon's typed error body: {"code":…,"error":…}
+// with the HTTP status attached client-side.
+type ServeError struct {
+	// Status is the HTTP status code (not serialized; the transport
+	// carries it).
+	Status int `json:"-"`
+	// Code is a stable machine-readable discriminator: bad_request,
+	// unknown_dataset, unknown_job, queue_full, over_budget, draining,
+	// unsupported, conflict, internal.
+	Code string `json:"code"`
+	// Message is the human-readable detail.
+	Message string `json:"error"`
+}
+
+func (e *ServeError) Error() string {
+	return fmt.Sprintf("gpaserve: %s (%d %s)", e.Message, e.Status, e.Code)
+}
+
+// ServeConfig configures a client of a running gpaserve daemon.
+type ServeConfig struct {
+	// BaseURL locates the daemon, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient overrides http.DefaultClient. Streaming and long-poll
+	// calls hold connections open, so a client with a short Timeout
+	// will break them; bound calls with contexts instead.
+	HTTPClient *http.Client
+	// PollWait is the long-poll window per status request (0 = 30s).
+	PollWait time.Duration
+}
+
+// ServeClient talks to a gpaserve daemon. All methods thread their
+// context into the underlying requests.
+type ServeClient struct {
+	base string
+	http *http.Client
+	wait time.Duration
+}
+
+// NewServeClient validates cfg and builds a client.
+func NewServeClient(cfg ServeConfig) (*ServeClient, error) {
+	u, err := url.Parse(cfg.BaseURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("gpapriori: ServeConfig.BaseURL %q is not an absolute URL", cfg.BaseURL)
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	wait := cfg.PollWait
+	if wait <= 0 {
+		wait = 30 * time.Second
+	}
+	return &ServeClient{base: strings.TrimSuffix(cfg.BaseURL, "/"), http: hc, wait: wait}, nil
+}
+
+// do issues one request and decodes the JSON response into out (skipped
+// when out is nil). Non-2xx responses come back as *ServeError.
+func (c *ServeClient) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeServeError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decodeServeError turns a non-2xx response into a *ServeError.
+func decodeServeError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	se := &ServeError{Status: resp.StatusCode}
+	if err := json.Unmarshal(data, se); err != nil || se.Message == "" {
+		se.Code = "http_error"
+		se.Message = strings.TrimSpace(string(data))
+		if se.Message == "" {
+			se.Message = resp.Status
+		}
+	}
+	return se
+}
+
+// Health returns the daemon's health status string: "ok" or "draining".
+func (c *ServeClient) Health(ctx context.Context) (string, error) {
+	var out struct {
+		Status string `json:"status"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &out); err != nil {
+		return "", err
+	}
+	return out.Status, nil
+}
+
+// Stats fetches the /statsz metrics snapshot.
+func (c *ServeClient) Stats(ctx context.Context) (*ServeStats, error) {
+	out := &ServeStats{}
+	if err := c.do(ctx, http.MethodGet, "/statsz", nil, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Datasets lists the daemon's registered datasets.
+func (c *ServeClient) Datasets(ctx context.Context) ([]ServeDatasetInfo, error) {
+	var out []ServeDatasetInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/datasets", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Submit queues one mining request and returns the job handle. A
+// result-cache hit comes back already terminal with Cached set.
+func (c *ServeClient) Submit(ctx context.Context, req ServeMineRequest) (*ServeJobInfo, error) {
+	out := &ServeJobInfo{}
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", req, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Job fetches a job's current state without waiting.
+func (c *ServeClient) Job(ctx context.Context, id string) (*ServeJobInfo, error) {
+	out := &ServeJobInfo{}
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Wait long-polls the job until it reaches a terminal state or ctx is
+// done.
+func (c *ServeClient) Wait(ctx context.Context, id string) (*ServeJobInfo, error) {
+	path := fmt.Sprintf("/v1/jobs/%s?wait_sec=%d", url.PathEscape(id), int(c.wait.Seconds()))
+	for {
+		out := &ServeJobInfo{}
+		if err := c.do(ctx, http.MethodGet, path, nil, out); err != nil {
+			return nil, err
+		}
+		if out.Terminal() {
+			return out, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Cancel requests termination of a job and returns its state after the
+// request.
+func (c *ServeClient) Cancel(ctx context.Context, id string) (*ServeJobInfo, error) {
+	out := &ServeJobInfo{}
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Result fetches a done job's full frequent-itemset result (the
+// resultio-normalized canonical order).
+func (c *ServeClient) Result(ctx context.Context, id string) ([]Itemset, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/jobs/"+url.PathEscape(id)+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, decodeServeError(resp)
+	}
+	rs, err := resultio.Read(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("gpapriori: parsing served result: %w", err)
+	}
+	return toItemsets(rs), nil
+}
+
+// Stream consumes the job's NDJSON generation stream, invoking fn for
+// every event (including the final one), and returns the terminal job
+// info. A nil fn just drains to the terminal event.
+func (c *ServeClient) Stream(ctx context.Context, id string, fn func(ServeGenerationEvent) error) (*ServeJobInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/jobs/"+url.PathEscape(id)+"/stream", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, decodeServeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	var final *ServeJobInfo
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev ServeGenerationEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("gpapriori: bad stream event: %w", err)
+		}
+		if fn != nil {
+			if err := fn(ev); err != nil {
+				return nil, err
+			}
+		}
+		if ev.Final {
+			final = ev.Job
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if final == nil {
+		return nil, fmt.Errorf("gpapriori: stream for job %s ended without a final event", id)
+	}
+	return final, nil
+}
+
+// Mine is the end-to-end client call: submit the request, consume the
+// generation stream, and assemble the terminal job info plus the full
+// result into the same *Result shape a local Mine returns. The itemsets
+// are reassembled from the streamed events (canonically re-sorted), so
+// a served run is byte-identical — after resultio normalization — to an
+// offline one.
+func (c *ServeClient) Mine(ctx context.Context, req ServeMineRequest) (*Result, *ServeJobInfo, error) {
+	job, err := c.Submit(ctx, req)
+	if err != nil {
+		return nil, nil, err
+	}
+	rs := &dataset.ResultSet{}
+	collect := func(ev ServeGenerationEvent) error {
+		for _, s := range ev.Itemsets {
+			rs.Add(s.Items, s.Support)
+		}
+		return nil
+	}
+	info, err := c.Stream(ctx, job.ID, collect)
+	if err != nil {
+		return nil, nil, err
+	}
+	if info.State != JobDone.String() {
+		return nil, info, fmt.Errorf("gpapriori: served job %s ended %s: %s", info.ID, info.State, info.Error)
+	}
+	res := &Result{
+		Algorithm:     Algorithm(info.Algorithm),
+		MinSupport:    info.MinSupport,
+		Itemsets:      toItemsets(rs),
+		HostSeconds:   info.HostSeconds,
+		DeviceSeconds: info.DeviceSeconds,
+		Faults:        info.Faults,
+	}
+	return res, info, nil
+}
