@@ -75,6 +75,11 @@ func main() {
 		priority = flag.Int("priority", 0, "with -serve-url: admission priority (higher first)")
 		deadline = flag.Float64("deadline", 0, "with -serve-url: job deadline in seconds (0 = none)")
 		noCache  = flag.Bool("no-cache", false, "with -serve-url: bypass the daemon's result cache")
+		retryMax = flag.Int("retry-max", 0, "with -serve-url: attempts per request before giving up (0 = no retries)")
+		retryMS  = flag.Int("retry-base-ms", 0, "with -serve-url: first retry backoff in milliseconds (0 = default 100)")
+		retryJit = flag.Float64("retry-jitter", 0, "with -serve-url: backoff jitter fraction in [0,1]")
+		retrySd  = flag.Int64("retry-seed", 0, "with -serve-url: seed for the deterministic retry jitter")
+		retryTO  = flag.Float64("retry-timeout", 0, "with -serve-url: per-attempt timeout in seconds (0 = none)")
 	)
 	flag.Parse()
 	opts := runOpts{
@@ -89,6 +94,8 @@ func main() {
 		batch: *batch, batchQueue: *batchQ, batchMemMB: *batchMem, batchWorkers: *batchW,
 		resultOnly: *resOnly, serveURL: *serveURL, serveStats: *srvStats,
 		priority: *priority, deadlineSec: *deadline, noCache: *noCache,
+		retryMax: *retryMax, retryBaseMS: *retryMS, retryJitter: *retryJit,
+		retrySeed: *retrySd, retryTimeoutSec: *retryTO,
 	}
 	if err := run(os.Stdout, opts); err != nil {
 		code, msg := exitStatus(err)
@@ -138,6 +145,10 @@ type runOpts struct {
 	noCache     bool
 	priority    int
 	deadlineSec float64
+
+	retryMax, retryBaseMS        int
+	retryJitter, retryTimeoutSec float64
+	retrySeed                    int64
 }
 
 // jsonReport is the machine-readable output shape.
@@ -338,7 +349,16 @@ func runServe(w io.Writer, o runOpts) error {
 	} else {
 		req.MinSupport = int(o.minsup)
 	}
-	cl, err := gpapriori.NewServeClient(gpapriori.ServeConfig{BaseURL: o.serveURL})
+	cl, err := gpapriori.NewServeClient(gpapriori.ServeConfig{
+		BaseURL: o.serveURL,
+		Retry: gpapriori.RetryPolicy{
+			MaxAttempts:    o.retryMax,
+			BaseDelay:      time.Duration(o.retryBaseMS) * time.Millisecond,
+			Jitter:         o.retryJitter,
+			Seed:           o.retrySeed,
+			AttemptTimeout: time.Duration(o.retryTimeoutSec * float64(time.Second)),
+		},
+	})
 	if err != nil {
 		return err
 	}

@@ -15,7 +15,9 @@
 // with 503, running jobs are checkpointed and cancelled, queued jobs
 // are journaled to the state directory, and the process exits 0. A
 // restart with the same -state-dir resumes the journaled jobs from
-// their checkpoints.
+// their checkpoints. A drain whose journal cannot be written still
+// exits 0 — the loss is reported explicitly in the log rather than
+// traded for a hang or a panic.
 package main
 
 import (
@@ -94,6 +96,7 @@ func run(logw io.Writer, listen string, datasets []string, queue, memMB, workers
 		},
 		CacheBudgetBytes: int64(cacheMB) << 20,
 		StateDir:         stateDir,
+		Log:              logw,
 	})
 	if err != nil {
 		return err

@@ -205,6 +205,15 @@ type Config struct {
 	// deliver results only through the final Result.
 	OnGeneration func(gen int, frequent []Itemset)
 
+	// OnCheckpointError, when set, intercepts a failed checkpoint save
+	// at a generation boundary. Returning nil degrades the run
+	// gracefully: mining continues without that snapshot (and
+	// OnGeneration keeps streaming); returning an error aborts the run
+	// exactly as an unintercepted save failure would. The serving layer
+	// uses this to keep jobs alive on a sick disk — marked degraded
+	// rather than failed. Requires Config.Checkpoint.
+	OnCheckpointError func(gen int, err error) error
+
 	// onCheckpoint, when set, is notified after each successful
 	// checkpoint save. The job manager uses it to surface the
 	// checkpointed lifecycle state.
@@ -553,6 +562,9 @@ func wireCheckpoint(db *Database, algo Algorithm, minSup int, cfg Config, acfg *
 			return fmt.Errorf("gpapriori: Config.CheckpointEvery %d set without Config.Checkpoint",
 				cfg.CheckpointEvery)
 		}
+		if cfg.OnCheckpointError != nil {
+			return fmt.Errorf("gpapriori: Config.OnCheckpointError set without Config.Checkpoint")
+		}
 		return nil
 	}
 	switch algo {
@@ -580,6 +592,7 @@ func wireCheckpoint(db *Database, algo Algorithm, minSup int, cfg Config, acfg *
 		return nil
 	}
 	path, maxLen, algoName, notify := cfg.Checkpoint, cfg.MaxLen, string(algo), cfg.onCheckpoint
+	onErr := cfg.OnCheckpointError
 	acfg.CheckpointEvery = every
 	acfg.Checkpoint = func(gen int, frequent *dataset.ResultSet) error {
 		err := checkpoint.Save(path, checkpoint.Snapshot{
@@ -588,8 +601,17 @@ func wireCheckpoint(db *Database, algo Algorithm, minSup int, cfg Config, acfg *
 			Meta:        map[string]string{"algorithm": algoName},
 			Frequent:    frequent,
 		})
-		if err == nil && notify != nil {
-			notify(gen)
+		if err == nil {
+			if notify != nil {
+				notify(gen)
+			}
+			return nil
+		}
+		if onErr != nil {
+			// The interceptor decides: nil keeps the run alive (degraded —
+			// the checkpointed-state notification is deliberately skipped,
+			// since nothing durable exists for this generation).
+			return onErr(gen, err)
 		}
 		return err
 	}

@@ -35,6 +35,14 @@ func TestFaultPathExemptsSimulatorPackage(t *testing.T) {
 	analysistest.Run(t, analysis.FaultPath, "faultpath/gpusim")
 }
 
+func TestFaultPathFlagsBareDiskOpsInServer(t *testing.T) {
+	analysistest.Run(t, analysis.FaultPath, "faultpath/server")
+}
+
+func TestFaultPathFlagsBareDiskOpsInCheckpoint(t *testing.T) {
+	analysistest.Run(t, analysis.FaultPath, "faultpath/checkpoint")
+}
+
 func TestCtxThreadFlagsBrokenChains(t *testing.T) {
 	analysistest.Run(t, analysis.CtxThread, "ctxthread/lib")
 }

@@ -1,0 +1,24 @@
+// Hit cases: the import path ends in "checkpoint" — the other
+// durability package under the fsfault discipline.
+package checkpoint
+
+import "os"
+
+func save(path string, data []byte) error {
+	f, err := os.CreateTemp("", path+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil { // want `direct \(\*os.File\).Sync on a durability path`
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), path) // want `direct os.Rename on a durability path`
+}

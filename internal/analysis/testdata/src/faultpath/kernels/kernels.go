@@ -2,7 +2,11 @@
 // package gpusim.
 package kernels
 
-import "gpapriori/internal/gpusim"
+import (
+	"os"
+
+	"gpapriori/internal/gpusim"
+)
 
 func bareOps(dev *gpusim.Device, buf gpusim.Buffer, data []uint32) {
 	dev.CopyToDevice(buf, data)                                                   // want `bare gpusim.Device.CopyToDevice on a fault-aware path: use TryCopyToDevice`
@@ -20,6 +24,15 @@ func sanctionedOps(dev *gpusim.Device, buf gpusim.Buffer, data []uint32) error {
 	}
 	out := make([]uint32, 4)
 	return dev.TryCopyFromDevice(out, buf)
+}
+
+// diskOpsOutOfScope proves the durability fence applies only to the
+// durability packages — "kernels" may rename and fsync directly.
+func diskOpsOutOfScope(f *os.File, path string) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return os.Rename(path+".tmp", path)
 }
 
 // nonDeviceLaunch proves the check keys on the receiver type, not the

@@ -1,0 +1,49 @@
+// Hit cases: the import path ends in "server" — a durability package —
+// so renames and fsyncs must flow through the fsfault seam.
+package server
+
+import (
+	"os"
+
+	"gpapriori/internal/fsfault"
+)
+
+func bareDiskOps(f *os.File) error {
+	if err := f.Sync(); err != nil { // want `direct \(\*os.File\).Sync on a durability path`
+		return err
+	}
+	return os.Rename("pending.json.tmp", "pending.json") // want `direct os.Rename on a durability path`
+}
+
+func sanctionedDiskOps(dir string) error {
+	tmp, err := fsfault.Create(dir, "pending.json.tmp*")
+	if err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil { // fsfault.File, not os.File: in seam, fine
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return fsfault.Rename(tmp.Name(), dir+"/pending.json")
+}
+
+// otherOsCalls proves only rename and fsync are fenced — reads, stats,
+// and removes have no atomicity story to protect.
+func otherOsCalls(path string) {
+	os.Stat(path)
+	os.Remove(path)
+	os.ReadFile(path)
+}
+
+// nameCollision proves the check keys on the receiver type, not the
+// method name.
+type journal struct{}
+
+func (journal) Sync() error { return nil }
+
+func syncCollision(j journal) {
+	j.Sync()
+}

@@ -13,6 +13,12 @@
 // payload before trusting anything, and returns typed errors
 // (ErrCorrupt, ErrMismatch) so callers can distinguish damage from a
 // config change.
+//
+// Every write, sync, and rename goes through the fsfault seam
+// (internal/fsfault), so tests inject short writes, failed fsyncs, and
+// ENOSPC at each step; the crashpoints around the rename let the chaos
+// harness SIGKILL the process in exactly the windows the contract
+// claims are safe.
 package checkpoint
 
 import (
@@ -30,6 +36,7 @@ import (
 
 	"gpapriori/internal/apriori"
 	"gpapriori/internal/dataset"
+	"gpapriori/internal/fsfault"
 	"gpapriori/internal/resultio"
 )
 
@@ -113,7 +120,7 @@ func Save(path string, s Snapshot) error {
 		return err
 	}
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	tmp, err := fsfault.Create(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
@@ -139,9 +146,11 @@ func Save(path string, s Snapshot) error {
 			return err
 		}
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	fsfault.Crash(fsfault.CrashCheckpointAfterTemp)
+	if err := fsfault.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
+	fsfault.Crash(fsfault.CrashCheckpointAfterRename)
 	return nil
 }
 

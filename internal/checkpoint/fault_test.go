@@ -1,0 +1,78 @@
+package checkpoint
+
+import (
+	"errors"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"gpapriori/internal/dataset"
+	"gpapriori/internal/fsfault"
+)
+
+// TestSaveDiskFaultsLeaveOldCheckpoint proves the durability contract
+// under every injected filesystem failure mode: a Save that hits a
+// short write, ENOSPC, failed fsync, or failed rename reports the
+// error and leaves the previous checkpoint fully loadable.
+func TestSaveDiskFaultsLeaveOldCheckpoint(t *testing.T) {
+	cases := []struct {
+		kind fsfault.Kind
+		want error
+	}{
+		{fsfault.KindShortWrite, fsfault.ErrShortWrite},
+		{fsfault.KindNoSpace, syscall.ENOSPC},
+		{fsfault.KindSyncFail, fsfault.ErrSyncFail},
+		{fsfault.KindRenameFail, fsfault.ErrRenameFail},
+	}
+	for _, tc := range cases {
+		t.Run(tc.kind.String(), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "ck")
+			old := sampleSnapshot()
+			if err := Save(path, old); err != nil {
+				t.Fatalf("clean Save: %v", err)
+			}
+
+			in := fsfault.NewInjector(1)
+			defer fsfault.SetForTest(in)()
+			in.Arm(fsfault.Event{Kind: tc.kind})
+
+			next := sampleSnapshot()
+			next.Gen = 3
+			next.Frequent.Add([]dataset.Item{0, 1, 2}, 3)
+			err := Save(path, next)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Save under %v = %v, want %v", tc.kind, err, tc.want)
+			}
+
+			got, err := Load(path)
+			if err != nil {
+				t.Fatalf("previous checkpoint unreadable after failed Save: %v", err)
+			}
+			if got.Gen != old.Gen || !got.Frequent.Equal(old.Frequent) {
+				t.Fatalf("previous checkpoint damaged: got gen %d with %d sets",
+					got.Gen, got.Frequent.Len())
+			}
+		})
+	}
+}
+
+// TestSaveSurvivesFaultThenSucceeds proves a failed save is fully
+// retryable: the same snapshot saves cleanly once the fault clears.
+func TestSaveSurvivesFaultThenSucceeds(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck")
+	in := fsfault.NewInjector(1)
+	defer fsfault.SetForTest(in)()
+	in.Arm(fsfault.Event{Kind: fsfault.KindSyncFail})
+
+	s := sampleSnapshot()
+	if err := Save(path, s); !errors.Is(err, fsfault.ErrSyncFail) {
+		t.Fatalf("faulted Save = %v, want ErrSyncFail", err)
+	}
+	if err := Save(path, s); err != nil {
+		t.Fatalf("retry Save: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil || got.Gen != s.Gen {
+		t.Fatalf("Load after retry = (%+v, %v)", got, err)
+	}
+}

@@ -1,0 +1,86 @@
+// Crashpoints: named, env-armed kill -9 points at every durability
+// boundary. The chaos harness (cmd/gpaserve's torture test and the
+// verify.sh chaos smoke) starts the daemon with GPAPRIORI_CRASHPOINT
+// set to one of the registered names; when execution reaches that
+// point the process SIGKILLs itself — no deferred cleanup, no
+// unwinding, exactly the state a power cut would leave. The harness
+// then restarts the daemon and asserts nothing tore.
+//
+// The inventory is static so tests can enumerate it: a crashpoint that
+// exists in code but not here panics the first time it is reached,
+// which turns a forgotten registration into an immediate test failure
+// rather than an untested window.
+package fsfault
+
+import (
+	"os"
+	"sort"
+)
+
+// CrashEnv is the environment variable naming the armed crashpoint.
+// Unset or unmatched names cost one string compare per crossing.
+const CrashEnv = "GPAPRIORI_CRASHPOINT"
+
+// The registered crashpoints. Each name is <subsystem>.<boundary>.
+const (
+	// CrashCheckpointAfterTemp fires after a checkpoint's temp file is
+	// written, synced, and closed, but before the rename — the window
+	// where a naive save would lose the new snapshot while the old one
+	// survives.
+	CrashCheckpointAfterTemp = "checkpoint.after-temp"
+	// CrashCheckpointAfterRename fires immediately after the rename:
+	// the new snapshot is durable but the caller never learned it.
+	CrashCheckpointAfterRename = "checkpoint.after-rename"
+	// CrashJournalAfterTemp fires after the drain journal's temp file
+	// is written and synced, before the rename over pending.json.
+	CrashJournalAfterTemp = "journal.after-temp"
+	// CrashJournalAfterRename fires after pending.json is durably in
+	// place but before drain finishes shutting down.
+	CrashJournalAfterRename = "journal.after-rename"
+	// CrashJournalBeforeReplayRemove fires on startup after the journal
+	// has been replayed into the job table but before pending.json is
+	// removed — a second restart must replay idempotently.
+	CrashJournalBeforeReplayRemove = "journal.before-replay-remove"
+)
+
+// registry is the full crashpoint inventory. Adding a Crash call with
+// an unregistered name panics at first crossing (see Crash).
+var registry = map[string]bool{
+	CrashCheckpointAfterTemp:       true,
+	CrashCheckpointAfterRename:     true,
+	CrashJournalAfterTemp:          true,
+	CrashJournalAfterRename:        true,
+	CrashJournalBeforeReplayRemove: true,
+}
+
+// Crashpoints returns the registered crashpoint names, sorted, so the
+// chaos harness can iterate every window.
+func Crashpoints() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Crash is a crashpoint crossing. When CrashEnv names this point the
+// process kills itself with SIGKILL (no unwinding, no deferred
+// cleanup); otherwise it is a no-op. An unregistered name panics
+// unconditionally: the registry and the code must never drift.
+func Crash(name string) {
+	if !registry[name] {
+		panic("fsfault: unregistered crashpoint " + name)
+	}
+	if os.Getenv(CrashEnv) != name {
+		return
+	}
+	// os.Process.Kill delivers SIGKILL; the select backstops the
+	// (theoretical) window before delivery so no code runs past an
+	// armed crashpoint.
+	p, err := os.FindProcess(os.Getpid())
+	if err == nil {
+		p.Kill()
+	}
+	select {}
+}

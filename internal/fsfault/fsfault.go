@@ -1,0 +1,310 @@
+// Package fsfault is the durability seam for every file the serving
+// stack must not tear: checkpoints, the drain journal, and any future
+// on-disk cache. It mirrors gpusim's compute-fault injector
+// (internal/gpusim/faults.go) on the filesystem side — deterministic,
+// seedable injection of the failure modes real disks exhibit under
+// pressure: short writes, failed fsyncs, failed renames, and ENOSPC.
+//
+// Faults are opt-in and test-only: production code never installs an
+// injector, and without one the wrappers below are exactly the os calls
+// they replace. Fault-aware callers (internal/checkpoint,
+// internal/server) route their temp-write/sync/rename sequences through
+// Create/File/Rename so a test can make any single step fail and prove
+// the layer above degrades instead of tearing state.
+//
+// The package also owns the crashpoint registry (crashpoint.go): named,
+// env-armed kill -9 points at the same boundaries, used by the chaos
+// harness in cmd/gpaserve to prove crash-at-any-instant safety.
+package fsfault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"syscall"
+)
+
+// Sentinel errors returned by injected faults. Callers match with
+// errors.Is; ErrNoSpace additionally matches syscall.ENOSPC so code
+// written against real disk-full errors behaves identically under
+// injection.
+var (
+	// ErrShortWrite is a write that persisted only a prefix of its
+	// payload. The returned byte count is accurate.
+	ErrShortWrite = errors.New("fsfault: short write (injected fault)")
+	// ErrSyncFail is a failed fsync: the data may or may not be durable,
+	// exactly like a real EIO from fsync.
+	ErrSyncFail = errors.New("fsfault: fsync failed (injected fault)")
+	// ErrRenameFail is a failed rename; the destination is untouched.
+	ErrRenameFail = errors.New("fsfault: rename failed (injected fault)")
+	// ErrNoSpace is a write refused for lack of space; nothing was
+	// written. errors.Is(err, syscall.ENOSPC) also holds.
+	ErrNoSpace = fmt.Errorf("fsfault: write failed (injected fault): %w", syscall.ENOSPC)
+)
+
+// Kind selects a filesystem failure mode.
+type Kind int
+
+const (
+	// KindNone is the zero value; it never fires.
+	KindNone Kind = iota
+	// KindShortWrite makes the next write persist only half its bytes.
+	KindShortWrite
+	// KindSyncFail makes the next fsync fail.
+	KindSyncFail
+	// KindRenameFail makes the next rename fail, leaving the
+	// destination untouched.
+	KindRenameFail
+	// KindNoSpace makes the next write fail with ENOSPC, writing
+	// nothing.
+	KindNoSpace
+)
+
+// String names the kind in specs and test output.
+func (k Kind) String() string {
+	switch k {
+	case KindShortWrite:
+		return "short-write"
+	case KindSyncFail:
+		return "sync-fail"
+	case KindRenameFail:
+		return "rename-fail"
+	case KindNoSpace:
+		return "no-space"
+	default:
+		return "none"
+	}
+}
+
+// Event is one armed fault: it fires on the next eligible operation
+// (writes for KindShortWrite/KindNoSpace, fsyncs for KindSyncFail,
+// renames for KindRenameFail).
+type Event struct {
+	Kind Kind
+}
+
+// Record is the injector's accounting: what actually fired.
+type Record struct {
+	Injected    int // total faults fired
+	ShortWrites int
+	SyncFails   int
+	RenameFails int
+	NoSpaces    int
+}
+
+// opClass partitions operations for armed-event eligibility.
+type opClass int
+
+const (
+	opWrite opClass = iota
+	opSync
+	opRename
+)
+
+// Injector drives filesystem fault injection. It fires armed events in
+// FIFO order per operation class and, optionally, random faults at
+// seeded per-operation rates. All decisions are deterministic for a
+// given seed and operation sequence.
+type Injector struct {
+	mu         sync.Mutex
+	rng        *rand.Rand
+	writeProb  float64
+	syncProb   float64
+	renameProb float64
+	armed      []Event
+	rec        Record
+}
+
+// NewInjector builds an injector whose random-rate mode draws from the
+// given seed; armed events are deterministic regardless of seed.
+func NewInjector(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Arm queues an event to fire on the next eligible operation. Events of
+// the same class fire in FIFO order.
+func (in *Injector) Arm(ev Event) {
+	if ev.Kind == KindNone {
+		return
+	}
+	in.mu.Lock()
+	in.armed = append(in.armed, ev)
+	in.mu.Unlock()
+}
+
+// SetRates sets per-operation random fault probabilities: each write
+// short-writes with writeProb, each fsync fails with syncProb, each
+// rename fails with renameProb, drawn from the seeded RNG
+// (deterministic for a fixed operation sequence).
+func (in *Injector) SetRates(writeProb, syncProb, renameProb float64) {
+	in.mu.Lock()
+	in.writeProb = writeProb
+	in.syncProb = syncProb
+	in.renameProb = renameProb
+	in.mu.Unlock()
+}
+
+// Record returns a snapshot of the faults fired so far.
+func (in *Injector) Record() Record {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rec
+}
+
+// popLocked removes and returns the first armed event eligible for the
+// operation class. Callers hold in.mu.
+func (in *Injector) popLocked(class opClass) (Event, bool) {
+	for i, ev := range in.armed {
+		eligible := (class == opWrite && (ev.Kind == KindShortWrite || ev.Kind == KindNoSpace)) ||
+			(class == opSync && ev.Kind == KindSyncFail) ||
+			(class == opRename && ev.Kind == KindRenameFail)
+		if eligible {
+			in.armed = append(in.armed[:i], in.armed[i+1:]...)
+			return ev, true
+		}
+	}
+	return Event{}, false
+}
+
+// randomLocked decides a rate-driven fault for the class. Callers hold
+// in.mu.
+func (in *Injector) randomLocked(class opClass) (Event, bool) {
+	var prob float64
+	var kind Kind
+	switch class {
+	case opWrite:
+		prob, kind = in.writeProb, KindShortWrite
+	case opSync:
+		prob, kind = in.syncProb, KindSyncFail
+	case opRename:
+		prob, kind = in.renameProb, KindRenameFail
+	}
+	if prob > 0 && in.rng.Float64() < prob {
+		return Event{Kind: kind}, true
+	}
+	return Event{}, false
+}
+
+// before decides the fate of one operation, returning the fault kind to
+// apply (KindNone = proceed normally).
+func (in *Injector) before(class opClass) Kind {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	ev, ok := in.popLocked(class)
+	if !ok {
+		ev, ok = in.randomLocked(class)
+	}
+	if !ok {
+		return KindNone
+	}
+	in.rec.Injected++
+	switch ev.Kind {
+	case KindShortWrite:
+		in.rec.ShortWrites++
+	case KindSyncFail:
+		in.rec.SyncFails++
+	case KindRenameFail:
+		in.rec.RenameFails++
+	case KindNoSpace:
+		in.rec.NoSpaces++
+	}
+	return ev.Kind
+}
+
+// The active injector is a process-global seam, mirroring
+// internal/clock: production never sets it, tests install one with
+// SetForTest and defer the restore.
+var (
+	seamMu sync.RWMutex
+	active *Injector
+)
+
+// SetForTest installs in as the process-wide injector (nil disables
+// injection) and returns a restore function; tests defer the restore.
+func SetForTest(in *Injector) (restore func()) {
+	seamMu.Lock()
+	prev := active
+	active = in
+	seamMu.Unlock()
+	return func() {
+		seamMu.Lock()
+		active = prev
+		seamMu.Unlock()
+	}
+}
+
+// current returns the active injector, or nil when injection is off.
+func current() *Injector {
+	seamMu.RLock()
+	defer seamMu.RUnlock()
+	return active
+}
+
+// File wraps an *os.File with fault-aware Write/Sync. Obtain one with
+// Create; without an active injector every method is exactly the
+// underlying os call.
+type File struct {
+	f *os.File
+}
+
+// Create makes a temporary file in dir (os.CreateTemp semantics) whose
+// writes and syncs consult the active injector.
+func Create(dir, pattern string) (*File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &File{f: f}, nil
+}
+
+// Name returns the file's path.
+func (f *File) Name() string { return f.f.Name() }
+
+// Write writes p, subject to injected short-write and ENOSPC faults. A
+// short write persists len(p)/2 bytes and reports ErrShortWrite with an
+// accurate count; ENOSPC persists nothing.
+func (f *File) Write(p []byte) (int, error) {
+	if in := current(); in != nil {
+		switch in.before(opWrite) {
+		case KindShortWrite:
+			n, err := f.f.Write(p[:len(p)/2])
+			if err != nil {
+				return n, err
+			}
+			return n, ErrShortWrite
+		case KindNoSpace:
+			return 0, ErrNoSpace
+		}
+	}
+	return f.f.Write(p)
+}
+
+// Sync fsyncs the file, subject to injected sync failures. An injected
+// failure skips the real fsync: the bytes may be in the page cache but
+// are not durable, exactly the state a real EIO leaves behind.
+func (f *File) Sync() error {
+	if in := current(); in != nil {
+		if in.before(opSync) == KindSyncFail {
+			return ErrSyncFail
+		}
+	}
+	return f.f.Sync()
+}
+
+// Close closes the underlying file. Close is never fault-injected: the
+// durability boundary is Sync, and a close failure after a successful
+// sync carries no extra information.
+func (f *File) Close() error { return f.f.Close() }
+
+// Rename renames oldpath to newpath, subject to injected rename
+// failures. An injected failure leaves both paths untouched.
+func Rename(oldpath, newpath string) error {
+	if in := current(); in != nil {
+		if in.before(opRename) == KindRenameFail {
+			return ErrRenameFail
+		}
+	}
+	return os.Rename(oldpath, newpath)
+}

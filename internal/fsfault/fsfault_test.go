@@ -1,0 +1,176 @@
+package fsfault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"syscall"
+	"testing"
+)
+
+func TestPassthroughWithoutInjector(t *testing.T) {
+	dir := t.TempDir()
+	f, err := Create(dir, "plain*")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if n, err := f.Write([]byte("hello")); n != 5 || err != nil {
+		t.Fatalf("Write = (%d, %v), want (5, nil)", n, err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	dst := filepath.Join(dir, "renamed")
+	if err := Rename(f.Name(), dst); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	got, err := os.ReadFile(dst)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = (%q, %v), want (hello, nil)", got, err)
+	}
+}
+
+func TestArmedFaultsFIFOPerClass(t *testing.T) {
+	in := NewInjector(1)
+	defer SetForTest(in)()
+	in.Arm(Event{Kind: KindShortWrite})
+	in.Arm(Event{Kind: KindNoSpace})
+	in.Arm(Event{Kind: KindSyncFail})
+	in.Arm(Event{Kind: KindRenameFail})
+
+	dir := t.TempDir()
+	f, err := Create(dir, "faulty*")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	payload := []byte("0123456789")
+	if n, err := f.Write(payload); n != 5 || !errors.Is(err, ErrShortWrite) {
+		t.Fatalf("first Write = (%d, %v), want (5, ErrShortWrite)", n, err)
+	}
+	if n, err := f.Write(payload); n != 0 || !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("second Write = (%d, %v), want (0, ErrNoSpace)", n, err)
+	}
+	if n, err := f.Write(payload); n != len(payload) || err != nil {
+		t.Fatalf("third Write = (%d, %v), want (%d, nil)", n, err, len(payload))
+	}
+	if err := f.Sync(); !errors.Is(err, ErrSyncFail) {
+		t.Fatalf("first Sync = %v, want ErrSyncFail", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("second Sync = %v, want nil", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	dst := filepath.Join(dir, "dst")
+	if err := Rename(f.Name(), dst); !errors.Is(err, ErrRenameFail) {
+		t.Fatalf("first Rename = %v, want ErrRenameFail", err)
+	}
+	if _, err := os.Stat(dst); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("failed rename created destination: %v", err)
+	}
+	if err := Rename(f.Name(), dst); err != nil {
+		t.Fatalf("second Rename = %v, want nil", err)
+	}
+
+	rec := in.Record()
+	want := Record{Injected: 4, ShortWrites: 1, SyncFails: 1, RenameFails: 1, NoSpaces: 1}
+	if rec != want {
+		t.Fatalf("Record = %+v, want %+v", rec, want)
+	}
+}
+
+func TestShortWriteCountIsAccurate(t *testing.T) {
+	in := NewInjector(1)
+	defer SetForTest(in)()
+	in.Arm(Event{Kind: KindShortWrite})
+
+	dir := t.TempDir()
+	f, err := Create(dir, "short*")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	payload := []byte("0123456789")
+	n, werr := f.Write(payload)
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if !errors.Is(werr, ErrShortWrite) {
+		t.Fatalf("Write err = %v, want ErrShortWrite", werr)
+	}
+	got, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if len(got) != n {
+		t.Fatalf("file holds %d bytes, Write reported %d", len(got), n)
+	}
+	if string(got) != string(payload[:n]) {
+		t.Fatalf("file holds %q, want prefix %q", got, payload[:n])
+	}
+}
+
+func TestNoSpaceMatchesENOSPC(t *testing.T) {
+	if !errors.Is(ErrNoSpace, syscall.ENOSPC) {
+		t.Fatal("ErrNoSpace must match syscall.ENOSPC")
+	}
+}
+
+func TestSeededRatesAreDeterministic(t *testing.T) {
+	run := func(seed int64) Record {
+		in := NewInjector(seed)
+		in.SetRates(0.5, 0.5, 0.5)
+		for i := 0; i < 100; i++ {
+			in.before(opWrite)
+			in.before(opSync)
+			in.before(opRename)
+		}
+		return in.Record()
+	}
+	a, b := run(7), run(7)
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	if a.Injected == 0 {
+		t.Fatal("rates of 0.5 over 300 ops injected nothing")
+	}
+}
+
+func TestSetForTestRestores(t *testing.T) {
+	in := NewInjector(1)
+	restore := SetForTest(in)
+	if current() != in {
+		t.Fatal("SetForTest did not install the injector")
+	}
+	restore()
+	if current() != nil {
+		t.Fatal("restore did not clear the injector")
+	}
+}
+
+func TestCrashpointInventory(t *testing.T) {
+	pts := Crashpoints()
+	if len(pts) != len(registry) {
+		t.Fatalf("Crashpoints() returned %d names, registry has %d", len(pts), len(registry))
+	}
+	if !sort.StringsAreSorted(pts) {
+		t.Fatalf("Crashpoints() not sorted: %v", pts)
+	}
+	for _, name := range pts {
+		// Unarmed crossings must be no-ops.
+		Crash(name)
+	}
+}
+
+func TestUnregisteredCrashpointPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Crash with an unregistered name did not panic")
+		}
+	}()
+	Crash("no.such-point")
+}

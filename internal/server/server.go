@@ -28,15 +28,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
 
 	"gpapriori"
 	"gpapriori/internal/dataset"
+	"gpapriori/internal/fsfault"
 	"gpapriori/internal/jobs"
 	"gpapriori/internal/resultio"
 )
@@ -54,6 +57,9 @@ type Config struct {
 	// journal. Empty disables durability: jobs neither checkpoint nor
 	// survive a restart.
 	StateDir string
+	// Log receives operational reports — degraded jobs, quarantined
+	// journals, drain loss reports. Nil discards them.
+	Log io.Writer
 }
 
 // Server is the daemon core: everything but the listener.
@@ -62,20 +68,33 @@ type Server struct {
 	jm       *gpapriori.JobManager
 	cache    *ResultCache
 	stateDir string
+	log      io.Writer
 	mux      *http.ServeMux
 
 	mu       sync.Mutex
 	draining bool
 	jobs     map[string]*jobRecord
-	nextID   int64
+	// idem maps client idempotency keys to job ids: a retried submit
+	// with a known key returns the original job, never a second
+	// enqueue. Sound because the fingerprint cache already proves two
+	// identical requests compute identical results.
+	idem   map[string]string
+	nextID int64
 	// cachedSubmitted/cachedDone count cache-answered jobs, which never
 	// reach the JobManager but still belong in /statsz's lifecycle view.
 	cachedSubmitted int64
 	cachedDone      int64
 	// faults aggregates injected-fault activity across completed runs.
 	faults gpapriori.FaultStats
+	// durability is the disk-resilience accounting served by /statsz.
+	durability gpapriori.ServeDurabilityStats
 	// wg tracks finalizer goroutines so Drain can wait them out.
 	wg sync.WaitGroup
+}
+
+// logf writes one operational report line.
+func (s *Server) logf(format string, args ...any) {
+	fmt.Fprintf(s.log, "gpaserve: "+format+"\n", args...)
 }
 
 // jobRecord is the server-side state of one submitted job: the stream
@@ -90,9 +109,19 @@ type jobRecord struct {
 	key     uint64
 	// req is the submitted request, kept whole for the drain journal.
 	req gpapriori.ServeMineRequest
-	mj  *gpapriori.MiningJob // nil for cache-answered records
+	// idemKey is the client's idempotency key ("" = none), persisted in
+	// the drain journal so dedup survives a restart.
+	idemKey string
+	mj      *gpapriori.MiningJob // nil for cache-answered records
 
 	mu sync.Mutex
+	// degraded is sticky: a checkpoint save failed, the job mines on
+	// without a crash-safety net.
+	degraded bool
+	// requeued marks a drain-canceled job that made it into the
+	// journal: its terminal event tells clients to reconnect, not to
+	// report the cancellation.
+	requeued bool
 	// events is append-only; readers index into it.
 	events []gpapriori.ServeGenerationEvent
 	// lastLen is the largest itemset length already streamed.
@@ -120,12 +149,18 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	logw := cfg.Log
+	if logw == nil {
+		logw = io.Discard
+	}
 	s := &Server{
 		reg:      cfg.Registry,
 		jm:       jm,
 		cache:    NewResultCache(cfg.CacheBudgetBytes),
 		stateDir: cfg.StateDir,
+		log:      logw,
 		jobs:     map[string]*jobRecord{},
+		idem:     map[string]string{},
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -167,9 +202,11 @@ func (s *Server) ckptPath(key uint64) string {
 }
 
 // submit validates req against the registry, answers from the result
-// cache when it can, and otherwise queues a mining job. id is empty for
-// fresh submissions and fixed when replaying the drain journal.
-func (s *Server) submit(req gpapriori.ServeMineRequest, id string) (*jobRecord, *gpapriori.ServeError) {
+// cache or the idempotency table when it can, and otherwise queues a
+// mining job. id is empty for fresh submissions and fixed when
+// replaying the drain journal; idemKey ("" = none) dedupes retried
+// submissions.
+func (s *Server) submit(req gpapriori.ServeMineRequest, id, idemKey string) (*jobRecord, *gpapriori.ServeError) {
 	entry, ok := s.reg.Get(req.Dataset)
 	if !ok {
 		return nil, &gpapriori.ServeError{Status: http.StatusNotFound, Code: "unknown_dataset",
@@ -187,6 +224,16 @@ func (s *Server) submit(req gpapriori.ServeMineRequest, id string) (*jobRecord, 
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if idemKey != "" {
+		// Dedup before the drain check: a retried submit must find its
+		// original job even while the daemon stops admitting new work.
+		if prevID, ok := s.idem[idemKey]; ok {
+			if prev, ok := s.jobs[prevID]; ok {
+				s.durability.IdempotentHits++
+				return prev, nil
+			}
+		}
+	}
 	if s.draining {
 		return nil, &gpapriori.ServeError{Status: http.StatusServiceUnavailable,
 			Code: "draining", Message: "server is draining; not admitting new jobs"}
@@ -203,6 +250,7 @@ func (s *Server) submit(req gpapriori.ServeMineRequest, id string) (*jobRecord, 
 		trans:   entry.Info.Transactions,
 		key:     key,
 		req:     req,
+		idemKey: idemKey,
 		wake:    make(chan struct{}),
 	}
 
@@ -222,7 +270,7 @@ func (s *Server) submit(req gpapriori.ServeMineRequest, id string) (*jobRecord, 
 			rec.resultBody = e.body
 			s.cachedSubmitted++
 			s.cachedDone++
-			s.jobs[id] = rec
+			s.registerLocked(rec)
 			return rec, nil
 		}
 	}
@@ -230,10 +278,16 @@ func (s *Server) submit(req gpapriori.ServeMineRequest, id string) (*jobRecord, 
 	if s.stateDir != "" && levelWise(cfg.Algorithm) {
 		// Durability wiring: snapshot every generation, resume any
 		// progress an interrupted earlier run of this fingerprint left.
+		// A failing disk degrades the job (it mines on, checkpoint-less)
+		// instead of failing it.
 		path := s.ckptPath(key)
 		cfg.Checkpoint = path
 		cfg.ResumeFrom = path
 		cfg.CheckpointEvery = 1
+		cfg.OnCheckpointError = func(gen int, err error) error {
+			s.noteCheckpointError(rec, gen, err)
+			return nil
+		}
 	}
 	cfg.OnGeneration = rec.addGeneration
 
@@ -248,10 +302,39 @@ func (s *Server) submit(req gpapriori.ServeMineRequest, id string) (*jobRecord, 
 		return nil, mapSubmitError(err)
 	}
 	rec.mj = mj
-	s.jobs[id] = rec
+	s.registerLocked(rec)
 	s.wg.Add(1)
 	go s.finalize(rec)
 	return rec, nil
+}
+
+// registerLocked indexes a new record by id and idempotency key.
+// Callers hold s.mu.
+func (s *Server) registerLocked(rec *jobRecord) {
+	s.jobs[rec.id] = rec
+	if rec.idemKey != "" {
+		s.idem[rec.idemKey] = rec.id
+	}
+}
+
+// noteCheckpointError marks rec degraded after a swallowed checkpoint
+// save failure. It runs on the mining goroutine.
+func (s *Server) noteCheckpointError(rec *jobRecord, gen int, err error) {
+	s.mu.Lock()
+	s.durability.CheckpointErrors++
+	s.mu.Unlock()
+	rec.mu.Lock()
+	first := !rec.degraded
+	rec.degraded = true
+	rec.signalLocked()
+	rec.mu.Unlock()
+	if first {
+		s.mu.Lock()
+		s.durability.DegradedJobs++
+		s.mu.Unlock()
+		s.logf("job %s degraded: checkpoint save at generation %d failed: %v (mining continues without a safety net)",
+			rec.id, gen, err)
+	}
 }
 
 // mapSubmitError translates JobManager admission failures to wire
@@ -351,6 +434,8 @@ func (r *jobRecord) complete(info gpapriori.ServeJobInfo, body []byte, itemsets 
 			remainder = append(remainder, s)
 		}
 	}
+	info.Degraded = r.degraded
+	info.Requeued = r.requeued
 	r.events = append(r.events, gpapriori.ServeGenerationEvent{
 		Itemsets: remainder, Final: true, Job: &info,
 	})
@@ -405,9 +490,24 @@ func (r *jobRecord) snapshot() (gpapriori.ServeJobInfo, bool, <-chan struct{}) {
 	info := gpapriori.ServeJobInfo{
 		ID: r.id, Dataset: r.dataset, Algorithm: r.algo,
 		State: r.mj.State().String(), MinSupport: r.minSup,
-		Transactions: r.trans,
+		Transactions: r.trans, Degraded: r.degraded,
 	}
 	return info, false, r.wake
+}
+
+// isDegraded reads the sticky degraded flag.
+func (r *jobRecord) isDegraded() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.degraded
+}
+
+// markRequeued flags a journaled job so its terminal (drain-canceled)
+// event tells clients to follow it through the restart.
+func (r *jobRecord) markRequeued() {
+	r.mu.Lock()
+	r.requeued = true
+	r.mu.Unlock()
 }
 
 // isTerminal reads the terminal flag alone (drain's snapshot loop).
@@ -438,19 +538,38 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-// writeServeError renders a typed error body.
+// writeServeError renders a typed error body. Transient refusals
+// (queue full, draining) advertise Retry-After so resilient clients
+// pace their retries.
 func writeServeError(w http.ResponseWriter, se *gpapriori.ServeError) {
+	if se.Status == http.StatusTooManyRequests || se.Status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
 	writeJSON(w, se.Status, se)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	status := "ok"
+	if s.anyDegradedLocked() {
+		status = "degraded"
+	}
 	if s.draining {
 		status = "draining"
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+}
+
+// anyDegradedLocked reports whether any live job is mining without a
+// safety net. Callers hold s.mu.
+func (s *Server) anyDegradedLocked() bool {
+	for _, rec := range s.jobs {
+		if rec.isDegraded() && !rec.isTerminal() {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
@@ -466,6 +585,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	st.Jobs.Submitted += s.cachedSubmitted
 	st.Jobs.Done += s.cachedDone
 	st.Faults = s.faults
+	st.Durability = s.durability
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, st)
 }
@@ -474,13 +594,23 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.reg.List())
 }
 
+// maxIdemKeyLen bounds the Idempotency-Key header: long enough for any
+// sane key scheme, short enough that a hostile client cannot grow the
+// dedup table arbitrarily per entry.
+const maxIdemKeyLen = 128
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	idemKey := r.Header.Get("Idempotency-Key")
+	if len(idemKey) > maxIdemKeyLen {
+		writeServeError(w, badRequest("Idempotency-Key longer than %d bytes", maxIdemKeyLen))
+		return
+	}
 	req, se := DecodeMineRequest(r.Body)
 	if se != nil {
 		writeServeError(w, se)
 		return
 	}
-	rec, se := s.submit(*req, "")
+	rec, se := s.submit(*req, "", idemKey)
 	if se != nil {
 		writeServeError(w, se)
 		return
@@ -562,6 +692,15 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	afterGen := 0
+	if v := r.URL.Query().Get("after_gen"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeServeError(w, badRequest("after_gen must be a non-negative integer"))
+			return
+		}
+		afterGen = n
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	fl, _ := w.(http.Flusher)
@@ -569,13 +708,19 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	i := 0
 	for {
 		evs, terminal, wake := rec.eventsFrom(i)
+		sent := 0
 		for _, ev := range evs {
+			i++
+			ev, keep := filterEvent(ev, afterGen)
+			if !keep {
+				continue
+			}
 			if err := enc.Encode(ev); err != nil {
 				return
 			}
-			i++
+			sent++
 		}
-		if len(evs) > 0 && fl != nil {
+		if sent > 0 && fl != nil {
 			fl.Flush()
 		}
 		if terminal {
@@ -587,6 +732,31 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// filterEvent drops what a resuming client (?after_gen=N) already has:
+// whole generation events at or below N, and — because a replayed or
+// cache-answered job may pack many generations into one event — any
+// itemset no longer than N inside the events that survive. keep=false
+// drops the event entirely.
+func filterEvent(ev gpapriori.ServeGenerationEvent, afterGen int) (gpapriori.ServeGenerationEvent, bool) {
+	if afterGen <= 0 {
+		return ev, true
+	}
+	if !ev.Final && ev.Gen > 0 && ev.Gen <= afterGen {
+		return ev, false
+	}
+	var kept []gpapriori.Itemset
+	for _, s := range ev.Itemsets {
+		if len(s.Items) > afterGen {
+			kept = append(kept, s)
+		}
+	}
+	ev.Itemsets = kept
+	if !ev.Final && len(kept) == 0 {
+		return ev, false
+	}
+	return ev, true
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -614,9 +784,12 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 
 // ---- drain and restart ----
 
-// journalEntry is one unfinished request in the drain journal.
+// journalEntry is one unfinished request in the drain journal. The
+// idempotency key rides along so a replayed job keeps deduping the
+// retried submissions of its original client.
 type journalEntry struct {
 	ID      string                     `json:"id"`
+	IdemKey string                     `json:"idem_key,omitempty"`
 	Request gpapriori.ServeMineRequest `json:"request"`
 }
 
@@ -635,6 +808,11 @@ func (s *Server) journalPath() string { return filepath.Join(s.stateDir, "pendin
 // settle. A restarted server replays the journal and resumes each job
 // from its checkpoint to the identical result. ctx bounds the wait;
 // expiry abandons the remaining jobs to process exit.
+//
+// A journal that cannot be written is a loss, not a failure: Drain
+// logs an explicit loss report naming the jobs whose resumable state
+// is gone, records it in the durability stats, and still returns nil —
+// the daemon exits 0 having shut down as cleanly as the disk allowed.
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if s.draining {
@@ -647,14 +825,33 @@ func (s *Server) Drain(ctx context.Context) error {
 	for _, rec := range s.jobs {
 		if !rec.isTerminal() {
 			pending = append(pending, rec)
-			entries = append(entries, journalEntry{ID: rec.id, Request: rec.requestForJournal()})
+			entries = append(entries, journalEntry{
+				ID: rec.id, IdemKey: rec.idemKey, Request: rec.requestForJournal(),
+			})
 		}
 	}
 	s.mu.Unlock()
+	// The records were collected in map order; the journal on disk and
+	// every log line derived from it must not depend on that.
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ID < entries[j].ID })
 
-	var journalErr error
 	if s.stateDir != "" && len(entries) > 0 {
-		journalErr = writeJournal(s.journalPath(), journal{Jobs: entries})
+		if err := writeJournal(s.journalPath(), journal{Jobs: entries}); err != nil {
+			ids := make([]string, len(entries))
+			for i, e := range entries {
+				ids[i] = e.ID
+			}
+			s.mu.Lock()
+			s.durability.JournalErrors++
+			s.durability.LostJobs += int64(len(entries))
+			s.mu.Unlock()
+			s.logf("drain journal failed: %v", err)
+			s.logf("loss report: %d unfinished jobs will not resume after restart: %v", len(ids), ids)
+		} else {
+			for _, rec := range pending {
+				rec.markRequeued()
+			}
+		}
 	}
 	for _, rec := range pending {
 		if rec.mj != nil {
@@ -669,7 +866,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return journalErr
+		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
@@ -689,24 +886,45 @@ func (r *jobRecord) requestForJournal() gpapriori.ServeMineRequest {
 	return req
 }
 
-// writeJournal persists the journal atomically (temp + rename), the
-// same discipline as checkpoint saves.
+// writeJournal persists the journal atomically (temp + fsync + rename),
+// the same discipline as checkpoint saves, through the same fsfault
+// seam and with crashpoints at the same boundaries.
 func writeJournal(path string, j journal) error {
 	data, err := json.Marshal(j)
 	if err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	dir := filepath.Dir(path)
+	tmp, err := fsfault.Create(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	fsfault.Crash(fsfault.CrashJournalAfterTemp)
+	if err := fsfault.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	fsfault.Crash(fsfault.CrashJournalAfterRename)
+	return nil
 }
 
 // replayJournal resubmits the jobs a previous drain left unfinished.
 // Jobs whose dataset is no longer registered become terminal failed
 // records, so a client polling the old ID gets an answer instead of a
-// 404 that lies about history.
+// 404 that lies about history. A truncated or corrupt journal is
+// quarantined (pending.json.corrupt-<n>), logged, and the daemon boots
+// clean — history is lost, availability is not.
 func (s *Server) replayJournal() error {
 	if s.stateDir == "" {
 		return nil
@@ -720,15 +938,40 @@ func (s *Server) replayJournal() error {
 	}
 	var j journal
 	if err := json.Unmarshal(data, &j); err != nil {
-		return fmt.Errorf("server: corrupt drain journal %s: %w", s.journalPath(), err)
+		return s.quarantineJournal(err)
 	}
 	for _, e := range j.Jobs {
 		s.bumpNextID(e.ID)
-		if _, se := s.submit(e.Request, e.ID); se != nil {
+		if _, se := s.submit(e.Request, e.ID, e.IdemKey); se != nil {
 			s.failRecord(e, se)
 		}
 	}
+	fsfault.Crash(fsfault.CrashJournalBeforeReplayRemove)
 	return os.Remove(s.journalPath())
+}
+
+// quarantineJournal moves a corrupt pending.json aside to the first
+// free pending.json.corrupt-<n> so the damage stays inspectable, logs
+// the loss, and lets the daemon boot clean.
+func (s *Server) quarantineJournal(cause error) error {
+	src := s.journalPath()
+	for n := 1; ; n++ {
+		dst := fmt.Sprintf("%s.corrupt-%d", src, n)
+		if _, err := os.Stat(dst); err == nil {
+			continue
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("server: quarantining drain journal: %w", err)
+		}
+		if err := fsfault.Rename(src, dst); err != nil {
+			return fmt.Errorf("server: quarantining drain journal: %w", err)
+		}
+		s.mu.Lock()
+		s.durability.JournalsQuarantined++
+		s.mu.Unlock()
+		s.logf("drain journal %s is corrupt (%v); quarantined to %s, booting clean (its jobs will not resume)",
+			src, cause, dst)
+		return nil
+	}
 }
 
 // bumpNextID keeps fresh IDs ahead of every replayed one.

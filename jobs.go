@@ -104,6 +104,11 @@ type MiningJob struct {
 // State reports the job's lifecycle state.
 func (j *MiningJob) State() JobState { return j.job.State() }
 
+// Degraded reports whether a durability write failed mid-run (sticky;
+// see Config.OnCheckpointError). A degraded job keeps mining and may
+// still finish JobDone — it just has no crash-safety net.
+func (j *MiningJob) Degraded() bool { return j.job.Degraded() }
+
 // Done is closed when the job reaches a terminal state.
 func (j *MiningJob) Done() <-chan struct{} { return j.job.Done() }
 
@@ -194,6 +199,18 @@ func (m *JobManager) Submit(spec JobSpec) (*MiningJob, error) {
 	j.Run = func(ctx context.Context) error {
 		cfg := spec.Config
 		cfg.onCheckpoint = func(int) { j.MarkCheckpointed() }
+		if userHook := cfg.OnCheckpointError; userHook != nil {
+			// A swallowed save failure (hook returned nil) means the job
+			// runs on without a safety net: surface that as the sticky
+			// degraded flag before mining continues.
+			cfg.OnCheckpointError = func(gen int, err error) error {
+				if err := userHook(gen, err); err != nil {
+					return err
+				}
+				j.MarkDegraded()
+				return nil
+			}
+		}
 		excluded := m.excludedDevices(cfg)
 		cfg.excludeDevices = excluded
 		res, err := MineContext(ctx, spec.DB, cfg)

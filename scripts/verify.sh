@@ -96,3 +96,47 @@ kill -TERM "$SRV_PID"
 wait "$SRV_PID"
 grep -q 'drained' "$SMOKE/gpaserve.log"
 echo "serving smoke: OK"
+
+# Crashpoint chaos smoke: arm a daemon to SIGKILL itself at its first
+# checkpoint save, drive it with the retrying client, restart it on the
+# same address, and require the client-recovered result to be
+# byte-identical to the offline run. The full per-crashpoint matrix
+# lives in the cmd/gpaserve torture test; this proves the wiring end to
+# end from the shipped binaries.
+GPAPRIORI_CRASHPOINT=checkpoint.after-rename "$SMOKE/gpaserve" \
+    -listen 127.0.0.1:0 -dataset d=gen:chess:1.0 -state-dir "$SMOKE/chaos" \
+    -port-file "$SMOKE/chaosport" > "$SMOKE/chaos1.log" 2>&1 &
+CRASH_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$SMOKE/chaosport" ] && break
+    sleep 0.1
+done
+[ -s "$SMOKE/chaosport" ]
+CHAOS_ADDR=$(cat "$SMOKE/chaosport")
+
+"$SMOKE/gpapriori" -serve-url "http://$CHAOS_ADDR" -dataset d \
+    -algo goethals -minsup 0.45 -maxlen 5 -result-only \
+    -retry-max 10 -retry-base-ms 100 -retry-jitter 0.2 -retry-seed 1 \
+    > "$SMOKE/chaos-served.txt" &
+CLIENT_PID=$!
+
+# The daemon must die by its own SIGKILL (wait reports 137).
+set +e
+wait "$CRASH_PID"
+CRASH_STATUS=$?
+set -e
+[ "$CRASH_STATUS" -eq 137 ]
+
+"$SMOKE/gpaserve" -listen "$CHAOS_ADDR" -dataset d=gen:chess:1.0 \
+    -state-dir "$SMOKE/chaos" > "$SMOKE/chaos2.log" 2>&1 &
+SRV2_PID=$!
+
+wait "$CLIENT_PID"
+
+"$SMOKE/gpapriori" -dataset chess -scale 1.0 \
+    -algo goethals -minsup 0.45 -maxlen 5 -result-only > "$SMOKE/chaos-offline.txt"
+diff -u "$SMOKE/chaos-offline.txt" "$SMOKE/chaos-served.txt"
+
+kill -TERM "$SRV2_PID"
+wait "$SRV2_PID"
+echo "crashpoint chaos smoke: OK"

@@ -13,12 +13,18 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"gpapriori/internal/dataset"
@@ -102,6 +108,14 @@ type ServeJobInfo struct {
 	Itemsets int `json:"itemsets,omitempty"`
 	// Error is the terminal error of a failed/shed/canceled job.
 	Error string `json:"error,omitempty"`
+	// Degraded marks a job whose durability writes failed mid-run: it
+	// kept (or keeps) mining, but has no crash-safety net.
+	Degraded bool `json:"degraded,omitempty"`
+	// Requeued marks the terminal event of a job the daemon canceled
+	// during drain after journaling it for restart: the job is not
+	// really over, and a resilient client reconnects instead of
+	// reporting the cancellation.
+	Requeued bool `json:"requeued,omitempty"`
 	// HostSeconds / DeviceSeconds are the run's timings (zero when
 	// Cached).
 	HostSeconds   float64 `json:"host_seconds,omitempty"`
@@ -172,8 +186,33 @@ type ServeStats struct {
 	Cache ServeCacheStats `json:"cache"`
 	// Faults aggregates fault stats across every completed run.
 	Faults FaultStats `json:"faults"`
+	// Durability is the disk-resilience accounting.
+	Durability ServeDurabilityStats `json:"durability"`
 	// Datasets lists the registry.
 	Datasets []ServeDatasetInfo `json:"datasets"`
+}
+
+// ServeDurabilityStats counts the daemon's encounters with a failing
+// disk and with retried submissions — the observable half of the
+// degraded-durability state machine (DESIGN.md §13).
+type ServeDurabilityStats struct {
+	// CheckpointErrors counts failed checkpoint saves that were
+	// swallowed to keep the affected job mining (degraded).
+	CheckpointErrors int64 `json:"checkpoint_errors"`
+	// DegradedJobs counts jobs that ever entered the degraded state.
+	DegradedJobs int64 `json:"degraded_jobs"`
+	// JournalErrors counts drain-journal writes that failed; each one
+	// comes with a loss report in the log.
+	JournalErrors int64 `json:"journal_errors"`
+	// LostJobs counts jobs whose resumable state was lost to a failed
+	// drain journal.
+	LostJobs int64 `json:"lost_jobs"`
+	// JournalsQuarantined counts corrupt pending.json files moved aside
+	// at startup.
+	JournalsQuarantined int64 `json:"journals_quarantined"`
+	// IdempotentHits counts submissions answered by an existing job via
+	// Idempotency-Key dedup — retried submits that did not enqueue.
+	IdempotentHits int64 `json:"idempotent_hits"`
 }
 
 // ServeError is the daemon's typed error body: {"code":…,"error":…}
@@ -188,10 +227,62 @@ type ServeError struct {
 	Code string `json:"code"`
 	// Message is the human-readable detail.
 	Message string `json:"error"`
+
+	// retryAfter is the parsed Retry-After header of a 429/503 answer
+	// (0 = none). The retry loop honors it over its own backoff.
+	retryAfter time.Duration
 }
 
 func (e *ServeError) Error() string {
 	return fmt.Sprintf("gpaserve: %s (%d %s)", e.Message, e.Status, e.Code)
+}
+
+// ErrStreamLost reports a generation stream that could not be
+// (re-)established within the retry budget; match with errors.Is. The
+// wrapped cause is the last underlying failure.
+var ErrStreamLost = errors.New("gpapriori: generation stream lost")
+
+// RetryPolicy makes a ServeClient survive transient failures:
+// transport errors and retryable statuses (429, 502, 503, 504) are
+// retried with exponential backoff and seeded jitter, so a daemon
+// restart mid-request looks like latency, not an error. The zero value
+// disables retries (single attempt), preserving fail-fast behavior.
+//
+// The schedule is fully deterministic for a fixed Seed and failure
+// sequence: delays come from a seeded RNG, and sleeping goes through a
+// seam tests can replace (like internal/clock for time reads), so
+// retry tests run instantly and reproducibly.
+type RetryPolicy struct {
+	// MaxAttempts bounds tries per operation (≤1 = no retries). For
+	// streams the counter resets whenever an event arrives, so a
+	// long-lived stream is not starved of retries by earlier hiccups.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (0 = 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff (0 = 5s).
+	MaxDelay time.Duration
+	// Multiplier grows the delay per attempt (0 = 2).
+	Multiplier float64
+	// Jitter in [0,1] spreads each delay uniformly over
+	// [d·(1−Jitter/2), d·(1+Jitter/2)].
+	Jitter float64
+	// Seed drives the jitter RNG; equal seeds give equal schedules.
+	Seed int64
+	// AttemptTimeout bounds each individual attempt (0 = none). It does
+	// not apply to streaming or long-poll calls, which legitimately
+	// hold connections open.
+	AttemptTimeout time.Duration
+}
+
+// enabled reports whether the policy actually retries.
+func (p RetryPolicy) enabled() bool { return p.MaxAttempts > 1 }
+
+// attempts is the per-operation try budget.
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
 }
 
 // ServeConfig configures a client of a running gpaserve daemon.
@@ -204,14 +295,40 @@ type ServeConfig struct {
 	HTTPClient *http.Client
 	// PollWait is the long-poll window per status request (0 = 30s).
 	PollWait time.Duration
+	// Retry makes the client survive transient failures (zero value =
+	// single attempt, fail fast).
+	Retry RetryPolicy
 }
 
 // ServeClient talks to a gpaserve daemon. All methods thread their
-// context into the underlying requests.
+// context into the underlying requests. With a RetryPolicy configured
+// the client is resilient end to end: requests retry with backoff,
+// submissions carry idempotency keys the daemon dedupes, streams
+// reconnect and resume from the last generation seen, and a job id
+// lost to a daemon restart is transparently resubmitted.
 type ServeClient struct {
 	base string
 	http *http.Client
 	wait time.Duration
+
+	retry RetryPolicy
+	// sleep is the backoff seam: tests replace it to run retry
+	// schedules instantly while recording the requested delays.
+	sleep func(ctx context.Context, d time.Duration) error
+
+	mu  sync.Mutex
+	rng *rand.Rand // jitter source; seeded, so schedules reproduce
+	// subs remembers how to resubmit each in-flight job (idempotency
+	// key + request), keyed by job id. Entries are pruned when a job is
+	// observed terminal.
+	subs map[string]submission
+}
+
+// submission is what Wait/Stream need to transparently resubmit a job
+// whose id a restarted daemon no longer knows.
+type submission struct {
+	req ServeMineRequest
+	key string
 }
 
 // NewServeClient validates cfg and builds a client.
@@ -228,12 +345,152 @@ func NewServeClient(cfg ServeConfig) (*ServeClient, error) {
 	if wait <= 0 {
 		wait = 30 * time.Second
 	}
-	return &ServeClient{base: strings.TrimSuffix(cfg.BaseURL, "/"), http: hc, wait: wait}, nil
+	return &ServeClient{
+		base:  strings.TrimSuffix(cfg.BaseURL, "/"),
+		http:  hc,
+		wait:  wait,
+		retry: cfg.Retry,
+		sleep: sleepContext,
+		rng:   rand.New(rand.NewSource(cfg.Retry.Seed)),
+		subs:  map[string]submission{},
+	}, nil
 }
 
-// do issues one request and decodes the JSON response into out (skipped
-// when out is nil). Non-2xx responses come back as *ServeError.
-func (c *ServeClient) do(ctx context.Context, method, path string, body, out any) error {
+// sleepContext is the production backoff sleep: a timer bounded by ctx.
+func sleepContext(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// retryableError reports whether err is worth another attempt:
+// transport failures (daemon restarting, connection reset) and the
+// explicitly transient statuses. Typed 4xx application errors are
+// final — retrying a bad request cannot fix it.
+func retryableError(err error) bool {
+	var se *ServeError
+	if errors.As(err, &se) {
+		switch se.Status {
+		case http.StatusTooManyRequests, http.StatusBadGateway,
+			http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return true
+		}
+		return false
+	}
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	return true
+}
+
+// backoff computes the jittered delay before retry number attempt
+// (1-based), honoring a server-provided Retry-After when it is longer.
+func (c *ServeClient) backoff(attempt int, cause error) time.Duration {
+	p := c.retry
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = 5 * time.Second
+	}
+	mult := p.Multiplier
+	if mult <= 0 {
+		mult = 2
+	}
+	d := float64(base)
+	for i := 1; i < attempt; i++ {
+		d *= mult
+		if d >= float64(maxd) {
+			break
+		}
+	}
+	if d > float64(maxd) {
+		d = float64(maxd)
+	}
+	if p.Jitter > 0 {
+		c.mu.Lock()
+		u := c.rng.Float64()
+		c.mu.Unlock()
+		d *= 1 + p.Jitter*(u-0.5)
+	}
+	delay := time.Duration(d)
+	var se *ServeError
+	if errors.As(cause, &se) && se.retryAfter > delay {
+		delay = se.retryAfter
+	}
+	return delay
+}
+
+// remember records how to resubmit job id; forget prunes it once the
+// job is observed terminal.
+func (c *ServeClient) remember(id string, req ServeMineRequest, key string) {
+	c.mu.Lock()
+	c.subs[id] = submission{req: req, key: key}
+	c.mu.Unlock()
+}
+
+func (c *ServeClient) forget(id string) {
+	c.mu.Lock()
+	delete(c.subs, id)
+	c.mu.Unlock()
+}
+
+func (c *ServeClient) lookupSubmission(id string) (submission, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sub, ok := c.subs[id]
+	return sub, ok
+}
+
+// newIdempotencyKey draws a fresh random key for one Submit call; the
+// key is stable across that call's retries, which is what lets the
+// daemon collapse them into one job.
+func newIdempotencyKey() string {
+	var b [16]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		// crypto/rand is documented never to fail on supported
+		// platforms; keep the invariant loud.
+		panic(fmt.Sprintf("gpapriori: idempotency key: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// do issues one logical request under the retry policy and decodes the
+// JSON response into out (skipped when out is nil). Non-2xx responses
+// come back as *ServeError. hdr, when non-nil, is merged into the
+// request headers of every attempt — how idempotency keys stay stable
+// across retries.
+func (c *ServeClient) do(ctx context.Context, method, path string, body, out any, hdr http.Header) error {
+	attempts := c.retry.attempts()
+	for attempt := 1; ; attempt++ {
+		err := c.doOnce(ctx, method, path, body, out, hdr, true)
+		if err == nil {
+			return nil
+		}
+		if attempt >= attempts || !retryableError(err) || ctx.Err() != nil {
+			return err
+		}
+		if serr := c.sleep(ctx, c.backoff(attempt, err)); serr != nil {
+			return err
+		}
+	}
+}
+
+// doOnce issues exactly one attempt. timed applies the per-attempt
+// timeout; streaming/long-poll callers pass false.
+func (c *ServeClient) doOnce(ctx context.Context, method, path string, body, out any, hdr http.Header, timed bool) error {
+	if timed && c.retry.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.retry.AttemptTimeout)
+		defer cancel()
+	}
 	var rd io.Reader
 	if body != nil {
 		data, err := json.Marshal(body)
@@ -248,6 +505,11 @@ func (c *ServeClient) do(ctx context.Context, method, path string, body, out any
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Set(k, v)
+		}
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -264,7 +526,8 @@ func (c *ServeClient) do(ctx context.Context, method, path string, body, out any
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// decodeServeError turns a non-2xx response into a *ServeError.
+// decodeServeError turns a non-2xx response into a *ServeError,
+// capturing any Retry-After header for the retry loop.
 func decodeServeError(resp *http.Response) error {
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	se := &ServeError{Status: resp.StatusCode}
@@ -275,6 +538,11 @@ func decodeServeError(resp *http.Response) error {
 			se.Message = resp.Status
 		}
 	}
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if sec, err := strconv.Atoi(v); err == nil && sec >= 0 {
+			se.retryAfter = time.Duration(sec) * time.Second
+		}
+	}
 	return se
 }
 
@@ -283,7 +551,7 @@ func (c *ServeClient) Health(ctx context.Context) (string, error) {
 	var out struct {
 		Status string `json:"status"`
 	}
-	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &out, nil); err != nil {
 		return "", err
 	}
 	return out.Status, nil
@@ -292,7 +560,7 @@ func (c *ServeClient) Health(ctx context.Context) (string, error) {
 // Stats fetches the /statsz metrics snapshot.
 func (c *ServeClient) Stats(ctx context.Context) (*ServeStats, error) {
 	out := &ServeStats{}
-	if err := c.do(ctx, http.MethodGet, "/statsz", nil, out); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/statsz", nil, out, nil); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -301,41 +569,93 @@ func (c *ServeClient) Stats(ctx context.Context) (*ServeStats, error) {
 // Datasets lists the daemon's registered datasets.
 func (c *ServeClient) Datasets(ctx context.Context) ([]ServeDatasetInfo, error) {
 	var out []ServeDatasetInfo
-	if err := c.do(ctx, http.MethodGet, "/v1/datasets", nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/datasets", nil, &out, nil); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
+// idempotencyHeader carries the client-generated submission key the
+// daemon dedupes on.
+const idempotencyHeader = "Idempotency-Key"
+
 // Submit queues one mining request and returns the job handle. A
-// result-cache hit comes back already terminal with Cached set.
+// result-cache hit comes back already terminal with Cached set. Every
+// submission carries a fresh idempotency key, stable across the call's
+// retries: a retried POST that double-delivers lands on the same job,
+// never a second enqueue.
 func (c *ServeClient) Submit(ctx context.Context, req ServeMineRequest) (*ServeJobInfo, error) {
+	return c.submitKeyed(ctx, req, newIdempotencyKey())
+}
+
+// submitKeyed is Submit with a caller-provided idempotency key — the
+// resubmission path after a daemon restart reuses the original key.
+func (c *ServeClient) submitKeyed(ctx context.Context, req ServeMineRequest, key string) (*ServeJobInfo, error) {
 	out := &ServeJobInfo{}
-	if err := c.do(ctx, http.MethodPost, "/v1/jobs", req, out); err != nil {
+	hdr := http.Header{}
+	hdr.Set(idempotencyHeader, key)
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", req, out, hdr); err != nil {
 		return nil, err
 	}
+	if out.Terminal() {
+		return out, nil
+	}
+	c.remember(out.ID, req, key)
 	return out, nil
+}
+
+// recoverUnknownJob handles a 404 for a job this client submitted: a
+// restarted daemon (new state dir, or a lost drain journal) no longer
+// knows the id, but the idempotency key and request are in hand, so
+// the job is resubmitted transparently. Returns the replacement id.
+func (c *ServeClient) recoverUnknownJob(ctx context.Context, id string, cause error) (string, bool) {
+	var se *ServeError
+	if !errors.As(cause, &se) || se.Status != http.StatusNotFound || se.Code != "unknown_job" {
+		return "", false
+	}
+	sub, ok := c.lookupSubmission(id)
+	if !ok {
+		return "", false
+	}
+	c.forget(id)
+	job, err := c.submitKeyed(ctx, sub.req, sub.key)
+	if err != nil {
+		return "", false
+	}
+	if job.Terminal() {
+		// Already answered (result cache): no record to poll, but the
+		// id resolves, so let the caller's next request find it.
+		return job.ID, true
+	}
+	return job.ID, true
 }
 
 // Job fetches a job's current state without waiting.
 func (c *ServeClient) Job(ctx context.Context, id string) (*ServeJobInfo, error) {
 	out := &ServeJobInfo{}
-	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, out); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, out, nil); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
 // Wait long-polls the job until it reaches a terminal state or ctx is
-// done.
+// done. A post-restart 404 for a job this client submitted is not
+// fatal: Wait resubmits under the original idempotency key and keeps
+// waiting on the replacement job.
 func (c *ServeClient) Wait(ctx context.Context, id string) (*ServeJobInfo, error) {
-	path := fmt.Sprintf("/v1/jobs/%s?wait_sec=%d", url.PathEscape(id), int(c.wait.Seconds()))
 	for {
+		path := fmt.Sprintf("/v1/jobs/%s?wait_sec=%d", url.PathEscape(id), int(c.wait.Seconds()))
 		out := &ServeJobInfo{}
-		if err := c.do(ctx, http.MethodGet, path, nil, out); err != nil {
+		if err := c.doPoll(ctx, path, out); err != nil {
+			if newID, ok := c.recoverUnknownJob(ctx, id, err); ok {
+				id = newID
+				continue
+			}
 			return nil, err
 		}
 		if out.Terminal() {
+			c.forget(id)
 			return out, nil
 		}
 		if err := ctx.Err(); err != nil {
@@ -344,11 +664,29 @@ func (c *ServeClient) Wait(ctx context.Context, id string) (*ServeJobInfo, error
 	}
 }
 
+// doPoll is the long-poll variant of do: retries apply, the per-attempt
+// timeout does not (the request is designed to hold the connection).
+func (c *ServeClient) doPoll(ctx context.Context, path string, out any) error {
+	attempts := c.retry.attempts()
+	for attempt := 1; ; attempt++ {
+		err := c.doOnce(ctx, http.MethodGet, path, nil, out, nil, false)
+		if err == nil {
+			return nil
+		}
+		if attempt >= attempts || !retryableError(err) || ctx.Err() != nil {
+			return err
+		}
+		if serr := c.sleep(ctx, c.backoff(attempt, err)); serr != nil {
+			return err
+		}
+	}
+}
+
 // Cancel requests termination of a job and returns its state after the
 // request.
 func (c *ServeClient) Cancel(ctx context.Context, id string) (*ServeJobInfo, error) {
 	out := &ServeJobInfo{}
-	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, out); err != nil {
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, out, nil); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -377,26 +715,96 @@ func (c *ServeClient) Result(ctx context.Context, id string) ([]Itemset, error) 
 	return toItemsets(rs), nil
 }
 
+// callbackError marks an error raised by the caller's event callback:
+// it aborts the stream and is never retried.
+type callbackError struct{ err error }
+
+func (e *callbackError) Error() string { return e.err.Error() }
+func (e *callbackError) Unwrap() error { return e.err }
+
+// errStreamRequeued marks a final event whose job the daemon canceled
+// during drain after journaling it: the job resumes after restart, so
+// the stream should reconnect, not report the cancellation.
+var errStreamRequeued = errors.New("gpapriori: job requeued for daemon restart")
+
 // Stream consumes the job's NDJSON generation stream, invoking fn for
 // every event (including the final one), and returns the terminal job
 // info. A nil fn just drains to the terminal event.
+//
+// With a RetryPolicy configured the stream survives daemon trouble: a
+// dropped connection reconnects and resumes after the last generation
+// seen (the server replays nothing already delivered), a drain-time
+// requeue reconnects through the restart, and a post-restart 404
+// resubmits under the original idempotency key. The attempt budget
+// resets whenever an event arrives, so only consecutive failures
+// exhaust it; exhaustion reports ErrStreamLost.
 func (c *ServeClient) Stream(ctx context.Context, id string, fn func(ServeGenerationEvent) error) (*ServeJobInfo, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.base+"/v1/jobs/"+url.PathEscape(id)+"/stream", nil)
+	attempts := c.retry.attempts()
+	lastGen := 0
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		final, progressed, err := c.streamOnce(ctx, id, &lastGen, fn)
+		if err == nil {
+			c.forget(id)
+			return final, nil
+		}
+		var cb *callbackError
+		if errors.As(err, &cb) {
+			return nil, cb.err
+		}
+		if errors.Is(err, errStreamRequeued) {
+			// Not a failure of this connection: reset the budget and
+			// follow the job through the daemon's restart.
+			attempt = 0
+			err = fmt.Errorf("daemon draining: %w", err)
+		} else if !retryableError(err) {
+			if newID, ok := c.recoverUnknownJob(ctx, id, err); ok {
+				// Same fingerprint, so generations already seen stay
+				// valid: keep lastGen and stream the remainder.
+				id = newID
+				attempt = 0
+			} else {
+				return nil, err
+			}
+		} else if progressed {
+			attempt = 0
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("%w: job %s: %v", ErrStreamLost, id, lastErr)
+		}
+		if attempt < attempts {
+			if serr := c.sleep(ctx, c.backoff(attempt+1, err)); serr != nil {
+				return nil, fmt.Errorf("%w: job %s: %v", ErrStreamLost, id, lastErr)
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w: job %s: %v", ErrStreamLost, id, lastErr)
+}
+
+// streamOnce runs one stream connection, updating *lastGen as
+// generation events arrive so a reconnect can resume after them.
+// progressed reports whether any event was delivered on this
+// connection.
+func (c *ServeClient) streamOnce(ctx context.Context, id string, lastGen *int, fn func(ServeGenerationEvent) error) (final *ServeJobInfo, progressed bool, err error) {
+	path := c.base + "/v1/jobs/" + url.PathEscape(id) + "/stream"
+	if *lastGen > 0 {
+		path += "?after_gen=" + strconv.Itoa(*lastGen)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, path, nil)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		return nil, decodeServeError(resp)
+		return nil, false, decodeServeError(resp)
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 1<<20), 1<<26)
-	var final *ServeJobInfo
 	for sc.Scan() {
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
@@ -404,24 +812,33 @@ func (c *ServeClient) Stream(ctx context.Context, id string, fn func(ServeGenera
 		}
 		var ev ServeGenerationEvent
 		if err := json.Unmarshal(line, &ev); err != nil {
-			return nil, fmt.Errorf("gpapriori: bad stream event: %w", err)
+			return nil, progressed, fmt.Errorf("gpapriori: bad stream event: %w", err)
+		}
+		if ev.Final && ev.Job != nil && ev.Job.Requeued {
+			// The daemon drained this job into its journal; the "real"
+			// final event comes from the restarted daemon.
+			return nil, progressed, errStreamRequeued
 		}
 		if fn != nil {
 			if err := fn(ev); err != nil {
-				return nil, err
+				return nil, progressed, &callbackError{err: err}
 			}
+		}
+		progressed = true
+		if ev.Gen > *lastGen {
+			*lastGen = ev.Gen
 		}
 		if ev.Final {
 			final = ev.Job
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, progressed, err
 	}
 	if final == nil {
-		return nil, fmt.Errorf("gpapriori: stream for job %s ended without a final event", id)
+		return nil, progressed, fmt.Errorf("gpapriori: stream for job %s ended without a final event", id)
 	}
-	return final, nil
+	return final, progressed, nil
 }
 
 // Mine is the end-to-end client call: submit the request, consume the
@@ -444,6 +861,7 @@ func (c *ServeClient) Mine(ctx context.Context, req ServeMineRequest) (*Result, 
 	}
 	info, err := c.Stream(ctx, job.ID, collect)
 	if err != nil {
+		c.forget(job.ID)
 		return nil, nil, err
 	}
 	if info.State != JobDone.String() {
