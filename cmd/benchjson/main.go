@@ -4,6 +4,18 @@
 // intersection baseline (sub-benchmarks named .../shape=S/variant=complete
 // anchor the comparison for every other .../shape=S/... entry).
 //
+// BenchmarkMinePipeline/shape=S/workers=N rows are additionally folded
+// into a per-shape "scaling" section: speedup over the workers=1 point,
+// speedup over the shape's complete baseline, and a monotone flag that
+// tolerates ~10% jitter between successive worker counts (single-CPU
+// benchmark hosts produce flat curves where strict monotonicity is just
+// noise).
+//
+// With -prev FILE the report also carries a "delta" section comparing
+// every benchmark against the prior snapshot: ns/op and allocs/op
+// ratios (current / previous), so a regression shows up as a ratio
+// above 1 in the committed diff.
+//
 // scripts/bench.sh pipes the repo's benchmark suite through it to emit
 // the committed BENCH_<date>.json performance snapshots.
 package main
@@ -11,9 +23,12 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -40,6 +55,38 @@ type speedup struct {
 	SpeedupVsComplete float64 `json:"speedup_vs_complete"`
 }
 
+// scalingPoint is one workers=N measurement of the pipeline sweep.
+type scalingPoint struct {
+	Workers           int     `json:"workers"`
+	NsPerOp           float64 `json:"ns_per_op"`
+	AllocsPerOp       int64   `json:"allocs_per_op"`
+	SpeedupVsW1       float64 `json:"speedup_vs_w1"`
+	SpeedupVsComplete float64 `json:"speedup_vs_complete,omitempty"`
+}
+
+// scaling is the worker-sweep curve for one dataset shape.
+type scaling struct {
+	Shape  string         `json:"shape"`
+	Points []scalingPoint `json:"points"`
+	// Monotone is true when ns/op never regresses by more than
+	// monotoneTolerance stepping to a higher worker count. On a 1-CPU
+	// host the curve is flat, so the tolerance is what separates
+	// "scaling plumbing broke" from scheduler noise.
+	Monotone bool `json:"monotone"`
+}
+
+// delta compares one benchmark against the previous committed snapshot.
+// Ratios are current/previous: >1 means slower / more allocations.
+type delta struct {
+	Benchmark   string  `json:"benchmark"`
+	PrevNsPerOp float64 `json:"prev_ns_per_op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	NsRatio     float64 `json:"ns_ratio"`
+	PrevAllocs  int64   `json:"prev_allocs_per_op"`
+	Allocs      int64   `json:"allocs_per_op"`
+	AllocsRatio float64 `json:"allocs_ratio,omitempty"`
+}
+
 type report struct {
 	Date       string      `json:"date"`
 	GoOS       string      `json:"goos,omitempty"`
@@ -49,7 +96,14 @@ type report struct {
 	Benchmarks []benchmark `json:"benchmarks"`
 	Speedups   []speedup   `json:"speedups,omitempty"`
 	MaxSpeedup float64     `json:"max_speedup_vs_complete,omitempty"`
+	Scaling    []scaling   `json:"scaling,omitempty"`
+	Prev       string      `json:"prev,omitempty"`
+	Deltas     []delta     `json:"delta,omitempty"`
 }
+
+// monotoneTolerance is the allowed per-step ns/op regression before a
+// worker curve is flagged non-monotone.
+const monotoneTolerance = 1.10
 
 // benchLine matches e.g.
 //
@@ -57,15 +111,19 @@ type report struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
 
 var (
-	mbRe     = regexp.MustCompile(`([\d.]+) MB/s`)
-	bytesRe  = regexp.MustCompile(`(\d+) B/op`)
-	allocsRe = regexp.MustCompile(`(\d+) allocs/op`)
-	shapeRe  = regexp.MustCompile(`shape=([^/]+)`)
+	mbRe      = regexp.MustCompile(`([\d.]+) MB/s`)
+	bytesRe   = regexp.MustCompile(`(\d+) B/op`)
+	allocsRe  = regexp.MustCompile(`(\d+) allocs/op`)
+	shapeRe   = regexp.MustCompile(`shape=([^/]+)`)
+	workersRe = regexp.MustCompile(`/workers=(\d+)$`)
 )
 
-func main() {
-	rep := report{Date: time.Now().UTC().Format("2006-01-02T15:04:05Z")}
-	sc := bufio.NewScanner(os.Stdin)
+// parse reads benchmark text from in, keeping the fastest run per name
+// (-count>1 repeats each benchmark; external load only ever slows a run
+// down, so min is the standard noise-robust statistic).
+func parse(in io.Reader) (report, error) {
+	rep := report{}
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -101,13 +159,10 @@ func main() {
 		rep.Benchmarks = append(rep.Benchmarks, b)
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return rep, err
 	}
 
-	// -count>1 repeats each benchmark; keep the fastest run per name (the
-	// standard noise-robust statistic — external load only ever slows a
-	// run down).
+	// -count>1 repeats each benchmark; keep the fastest run per name.
 	byName := map[string]int{}
 	dedup := rep.Benchmarks[:0]
 	for _, b := range rep.Benchmarks {
@@ -121,14 +176,22 @@ func main() {
 		dedup = append(dedup, b)
 	}
 	rep.Benchmarks = dedup
+	return rep, nil
+}
 
-	// Baselines: the complete-intersection entry of each shape.
-	baseline := map[string]float64{}
+// baselines extracts each shape's complete-intersection ns/op.
+func baselines(rep *report) map[string]float64 {
+	base := map[string]float64{}
 	for _, b := range rep.Benchmarks {
 		if sm := shapeRe.FindStringSubmatch(b.Name); sm != nil && strings.Contains(b.Name, "variant=complete") {
-			baseline[sm[1]] = b.NsPerOp
+			base[sm[1]] = b.NsPerOp
 		}
 	}
+	return base
+}
+
+// computeSpeedups fills rep.Speedups and rep.MaxSpeedup.
+func computeSpeedups(rep *report, baseline map[string]float64) {
 	for _, b := range rep.Benchmarks {
 		sm := shapeRe.FindStringSubmatch(b.Name)
 		if sm == nil || strings.Contains(b.Name, "variant=complete") {
@@ -150,10 +213,115 @@ func main() {
 			rep.MaxSpeedup = s.SpeedupVsComplete
 		}
 	}
+}
 
-	enc := json.NewEncoder(os.Stdout)
+// computeScaling folds BenchmarkMinePipeline/shape=S/workers=N rows into
+// per-shape worker curves.
+func computeScaling(rep *report, baseline map[string]float64) {
+	byShape := map[string][]scalingPoint{}
+	for _, b := range rep.Benchmarks {
+		if !strings.HasPrefix(b.Name, "BenchmarkMinePipeline/") {
+			continue
+		}
+		sm := shapeRe.FindStringSubmatch(b.Name)
+		wm := workersRe.FindStringSubmatch(b.Name)
+		if sm == nil || wm == nil || b.NsPerOp == 0 {
+			continue
+		}
+		w, _ := strconv.Atoi(wm[1])
+		p := scalingPoint{Workers: w, NsPerOp: b.NsPerOp, AllocsPerOp: b.AllocsPerOp}
+		if base, ok := baseline[sm[1]]; ok {
+			p.SpeedupVsComplete = base / b.NsPerOp
+		}
+		byShape[sm[1]] = append(byShape[sm[1]], p)
+	}
+	shapes := make([]string, 0, len(byShape))
+	for s := range byShape {
+		shapes = append(shapes, s)
+	}
+	sort.Strings(shapes)
+	for _, shape := range shapes {
+		pts := byShape[shape]
+		sort.Slice(pts, func(i, j int) bool { return pts[i].Workers < pts[j].Workers })
+		var w1 float64
+		for _, p := range pts {
+			if p.Workers == 1 {
+				w1 = p.NsPerOp
+				break
+			}
+		}
+		sc := scaling{Shape: shape, Monotone: true}
+		for i, p := range pts {
+			if w1 > 0 {
+				p.SpeedupVsW1 = w1 / p.NsPerOp
+			}
+			if i > 0 && p.NsPerOp > pts[i-1].NsPerOp*monotoneTolerance {
+				sc.Monotone = false
+			}
+			sc.Points = append(sc.Points, p)
+		}
+		rep.Scaling = append(rep.Scaling, sc)
+	}
+}
+
+// computeDeltas compares rep against a prior snapshot, by benchmark name.
+func computeDeltas(rep *report, prev *report) {
+	prevBy := map[string]benchmark{}
+	for _, b := range prev.Benchmarks {
+		prevBy[b.Name] = b
+	}
+	for _, b := range rep.Benchmarks {
+		pb, ok := prevBy[b.Name]
+		if !ok || pb.NsPerOp == 0 {
+			continue
+		}
+		d := delta{
+			Benchmark:   b.Name,
+			PrevNsPerOp: pb.NsPerOp,
+			NsPerOp:     b.NsPerOp,
+			NsRatio:     b.NsPerOp / pb.NsPerOp,
+			PrevAllocs:  pb.AllocsPerOp,
+			Allocs:      b.AllocsPerOp,
+		}
+		if pb.AllocsPerOp > 0 {
+			d.AllocsRatio = float64(b.AllocsPerOp) / float64(pb.AllocsPerOp)
+		}
+		rep.Deltas = append(rep.Deltas, d)
+	}
+}
+
+// run converts benchmark text on in into a JSON report on out. When
+// prevPath names a prior BENCH_*.json, a delta section is included.
+func run(in io.Reader, out io.Writer, prevPath string) error {
+	rep, err := parse(in)
+	if err != nil {
+		return err
+	}
+	rep.Date = time.Now().UTC().Format("2006-01-02T15:04:05Z")
+	base := baselines(&rep)
+	computeSpeedups(&rep, base)
+	computeScaling(&rep, base)
+	if prevPath != "" {
+		data, err := os.ReadFile(prevPath)
+		if err != nil {
+			return fmt.Errorf("read prev snapshot: %w", err)
+		}
+		prev := &report{}
+		if err := json.Unmarshal(data, prev); err != nil {
+			return fmt.Errorf("parse prev snapshot %s: %w", prevPath, err)
+		}
+		rep.Prev = prevPath
+		computeDeltas(&rep, prev)
+	}
+	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
+	return enc.Encode(rep)
+}
+
+func main() {
+	prev := flag.String("prev", "", "prior BENCH_*.json to diff against (adds a delta section)")
+	flag.Parse()
+	if err := run(os.Stdin, os.Stdout, *prev); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

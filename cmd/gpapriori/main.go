@@ -52,7 +52,8 @@ func main() {
 		cpuShare = flag.Float64("cpushare", 0, "hybrid CPU share in [0,1) for gpapriori")
 		prefix   = flag.Bool("prefix-cache", false, "cache each (k-1)-prefix class's shared intersection (gpapriori kernel variant / cpu-bitset / pipeline)")
 		budget   = flag.Int("cache-budget", 0, "prefix-cache memory budget in MiB (0 = unbounded on CPU, free device memory on GPU)")
-		blocked  = flag.Bool("blocked", false, "cache-blocked CPU counting with early abort (cpu-bitset / pipeline)")
+		grain    = flag.Int("grain", 0, "pipeline: max candidates per counting subtask (0 = width-aware default)")
+		stealB   = flag.Int("steal-batch", 0, "pipeline: max tasks stolen from a victim queue at once (0 = half)")
 		faults   = flag.String("faults", "", `inject device faults, e.g. "dev1:kernel-fail@gen3,dev2:dead@gen2" (kinds: kernel-fail, xfer-fail, hang[=sec], dead)`)
 		seed     = flag.Int64("seed", 0, "fault-injector seed for reproducible fault runs")
 		minConf  = flag.Float64("rules", 0, "also derive association rules at this confidence (0 = off)")
@@ -89,7 +90,7 @@ func main() {
 		condense: *condense, approx: *approx, jsonOut: *jsonOut,
 		top: *top, quiet: *quiet, topk: *topk,
 		faults: *faults, seed: *seed,
-		prefix: *prefix, budget: *budget, blocked: *blocked,
+		prefix: *prefix, budget: *budget, grain: *grain, stealBatch: *stealB,
 		checkpoint: *ckpt, ckptEvery: *ckptN, resume: *resume,
 		batch: *batch, batchQueue: *batchQ, batchMemMB: *batchMem, batchWorkers: *batchW,
 		resultOnly: *resOnly, serveURL: *serveURL, serveStats: *srvStats,
@@ -129,8 +130,9 @@ type runOpts struct {
 	top, topk                 int
 	faults                    string
 	seed                      int64
-	prefix, blocked           bool
+	prefix                    bool
 	budget                    int
+	grain, stealBatch         int
 
 	checkpoint string
 	ckptEvery  int
@@ -218,7 +220,8 @@ func run(w io.Writer, o runOpts) error {
 
 		PrefixCache:         o.prefix,
 		PrefixCacheBudgetMB: o.budget,
-		CacheBlocked:        o.blocked,
+		PipelineGrain:       o.grain,
+		PipelineStealBatch:  o.stealBatch,
 	}
 	if o.minsup < 1 {
 		cfg.RelativeSupport = o.minsup
@@ -339,7 +342,8 @@ func runServe(w io.Writer, o runOpts) error {
 		HybridCPUShare:      o.cpuShare,
 		PrefixCache:         o.prefix,
 		PrefixCacheBudgetMB: o.budget,
-		CacheBlocked:        o.blocked,
+		PipelineGrain:       o.grain,
+		PipelineStealBatch:  o.stealBatch,
 		Faults:              o.faults,
 		FaultSeed:           o.seed,
 		NoCache:             o.noCache,

@@ -84,11 +84,13 @@ const (
 	// database is striped across workers and per-stripe counts are summed
 	// (transaction-parallel).
 	AlgoCountDist Algorithm = "count-distribution"
-	// AlgoPipeline is the pooled parallel CPU pipeline: prefix-class
-	// family tasks sharded across a worker pool with per-worker scratch
-	// arenas, overlapping generation k+1 candidate generation with
-	// generation k counting. Produces the same frequent sets as the
-	// level-wise miners.
+	// AlgoPipeline is the work-stealing parallel CPU pipeline:
+	// prefix-class families split into grain-sized counting subtasks on
+	// per-worker deques, with slab-arena candidate generation and a
+	// cost-modeled horizontal fast path for the pair generation —
+	// overlapping generation k+1 candidate generation with generation k
+	// counting. Produces the same frequent sets as the level-wise
+	// miners.
 	AlgoPipeline Algorithm = "pipeline"
 )
 
@@ -136,10 +138,15 @@ type Config struct {
 	// memory on the GPU). Classes over budget fall back to complete
 	// intersection.
 	PrefixCacheBudgetMB int
-	// CacheBlocked makes the CPU bitset paths (AlgoCPUBitset,
-	// AlgoPipeline) count in word tiles with early abort once a
-	// candidate can no longer reach the support threshold.
-	CacheBlocked bool
+	// PipelineGrain sets the maximum candidates one counting subtask of
+	// the work-stealing pipeline covers (AlgoPipeline only); 0 picks a
+	// vector-width-aware default. Smaller grains spread a skewed class
+	// across more workers at more scheduling overhead.
+	PipelineGrain int
+	// PipelineStealBatch caps how many queued tasks an idle pipeline
+	// worker takes from a victim in one steal (AlgoPipeline only);
+	// 0 = half of the victim's queue.
+	PipelineStealBatch int
 
 	// EraPopcount makes CPU bitset counting use the 2011-era 8-bit-table
 	// software popcount instead of the hardware instruction
@@ -279,14 +286,14 @@ func (r *Result) TotalSeconds() float64 { return r.HostSeconds + r.DeviceSeconds
 func (r *Result) Len() int { return len(r.Itemsets) }
 
 // countOptions maps the public knobs onto the CPU counting variants.
-// CacheBlocked implies early abort: the tiled loop's whole point is
-// abandoning candidates that cannot reach the threshold.
+// PrefixCache implies early abort: only the prefix-cached batch loop
+// consults the bound, it never changes reported supports of frequent
+// itemsets, and abandoning hopeless candidates is free speedup there.
 func (c Config) countOptions() apriori.CountOptions {
 	return apriori.CountOptions{
 		PrefixCache: c.PrefixCache,
 		BudgetBytes: c.PrefixCacheBudgetMB << 20,
-		Blocked:     c.CacheBlocked,
-		EarlyAbort:  c.CacheBlocked,
+		EarlyAbort:  c.PrefixCache,
 	}
 }
 
@@ -433,9 +440,11 @@ func MineContext(ctx context.Context, db *Database, cfg Config) (*Result, error)
 			kind = bitset.PopcountTable8
 		}
 		p := apriori.NewPipeline(db.db, apriori.PipelineOptions{
-			Workers:  cfg.Workers,
-			Popcount: kind,
-			Count:    cfg.countOptions(),
+			Workers:    cfg.Workers,
+			Popcount:   kind,
+			Count:      cfg.countOptions(),
+			Grain:      cfg.PipelineGrain,
+			StealBatch: cfg.PipelineStealBatch,
 		})
 		rs, res.HostSeconds, err = timed(func() (*dataset.ResultSet, error) {
 			return p.MineContext(ctx, minSup, acfg)

@@ -11,6 +11,14 @@ import (
 // comments) and a package that must stay silent — either the same
 // constructs out of scope, or the sanctioned idioms in scope.
 
+func TestArenaRetainFlagsUnmarkedRetention(t *testing.T) {
+	analysistest.Run(t, analysis.ArenaRetain, "arenaretain/pipe")
+}
+
+func TestArenaRetainAllowsScopedAndLocalUse(t *testing.T) {
+	analysistest.Run(t, analysis.ArenaRetain, "arenaretain/clean")
+}
+
 func TestDeterminismFlagsMiningPackages(t *testing.T) {
 	analysistest.Run(t, analysis.Determinism, "determinism/core")
 }

@@ -1,0 +1,247 @@
+// The arenaretain analyzer: the pipeline's per-worker arenas hand out
+// trie nodes, child-pointer slices and itemset buffers carved from
+// pooled slabs, and every slab is recycled wholesale when the arena is
+// Reset between runs. Memory returned by an Arena method is therefore
+// only valid while the structures of the current mining run are alive —
+// retaining it in a long-lived location is a use-after-recycle waiting
+// for the next run to scribble over it.
+//
+// The analyzer enforces the containment contract mechanically: a value
+// produced by a method on a type named Arena (directly, or through an
+// append chain) may be stored into a local variable or into a field of
+// a struct type whose declaration carries the
+//
+//	//gpalint:arena-scoped
+//
+// marker in its doc comment — the marked types (trie.Node, the
+// pipeline's family/task records) are exactly the ones whose lifetime
+// ends with the run that owns the arena. Storing an arena result into
+// a package-level variable, or into a field of an unmarked struct
+// (including through a keyed composite literal), is flagged.
+//
+// The analysis is shallow by design: it tracks direct call results,
+// not values copied out of arena-backed structures. The marker is an
+// audited declaration of lifetime, not an inference — adding it to a
+// type is a review decision.
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// arenaScopedMarker is the doc-comment directive declaring that a
+// struct's lifetime is bounded by the arena that fills it.
+const arenaScopedMarker = "//gpalint:arena-scoped"
+
+// ArenaRetain flags arena-returned memory stored in locations that
+// outlive the arena's Reset.
+var ArenaRetain = &Analyzer{
+	Name: "arenaretain",
+	Doc: "forbid storing Arena-returned memory in package-level variables or in " +
+		"fields of struct types not marked //gpalint:arena-scoped",
+	Run: runArenaRetain,
+}
+
+func runArenaRetain(pass *Pass) error {
+	c := &arenaRetainCheck{pass: pass, scoped: map[*types.TypeName]bool{}}
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, rhs := range n.Rhs {
+					c.checkStore(n.Lhs[i], rhs)
+				}
+			}
+		case *ast.CompositeLit:
+			c.checkLiteral(n)
+		}
+		return true
+	})
+	return nil
+}
+
+type arenaRetainCheck struct {
+	pass *Pass
+	// scoped caches the marker lookup per type; foreign types cost a
+	// one-time re-parse of their defining file.
+	scoped map[*types.TypeName]bool
+}
+
+// checkStore flags rhs landing in a forbidden lhs.
+func (c *arenaRetainCheck) checkStore(lhs, rhs ast.Expr) {
+	method, ok := c.arenaDerived(rhs)
+	if !ok {
+		return
+	}
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		c.checkVar(l, l, method)
+	case *ast.SelectorExpr:
+		if sel, ok := c.pass.TypesInfo.Selections[l]; ok && sel.Kind() == types.FieldVal {
+			c.checkField(l, sel.Recv(), l.Sel.Name, method)
+			return
+		}
+		// Qualified identifier: pkg.V = ... stores into another
+		// package's variable.
+		c.checkVar(l, l.Sel, method)
+	}
+}
+
+// checkLiteral flags arena results placed in keyed fields of unmarked
+// struct literals.
+func (c *arenaRetainCheck) checkLiteral(lit *ast.CompositeLit) {
+	t := c.pass.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Struct); !ok {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if method, ok := c.arenaDerived(kv.Value); ok {
+			c.checkField(kv, t, key.Name, method)
+		}
+	}
+}
+
+// checkVar flags id when it resolves to a package-level variable.
+func (c *arenaRetainCheck) checkVar(at ast.Node, id *ast.Ident, method string) {
+	v, ok := c.pass.ObjectOf(id).(*types.Var)
+	if !ok || v.IsField() || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return
+	}
+	c.pass.Reportf(at.Pos(),
+		"Arena.%s result stored in package-level var %s: arena memory is recycled at Reset and must not outlive the run that carved it",
+		method, v.Name())
+}
+
+// checkField flags a store into field name of recv's type unless that
+// type carries the arena-scoped marker.
+func (c *arenaRetainCheck) checkField(at ast.Node, recv types.Type, name, method string) {
+	named := derefNamed(recv)
+	if named == nil {
+		c.pass.Reportf(at.Pos(),
+			"Arena.%s result stored in field %s of an unnamed struct type, which cannot carry the %s marker",
+			method, name, arenaScopedMarker)
+		return
+	}
+	if c.isArenaScoped(named.Obj()) {
+		return
+	}
+	c.pass.Reportf(at.Pos(),
+		"Arena.%s result stored in field %s.%s: %s is not marked %s (arena memory is recycled at Reset; only declared arena-scoped types may hold it)",
+		method, named.Obj().Name(), name, named.Obj().Name(), arenaScopedMarker)
+}
+
+// arenaDerived reports whether e is the result of an Arena method call,
+// directly or through an append chain, returning the method name.
+func (c *arenaRetainCheck) arenaDerived(e ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	if named := ReceiverNamed(c.pass.TypesInfo, call); named != nil && named.Obj().Name() == "Arena" {
+		if fn := CalleeFunc(c.pass.TypesInfo, call); fn != nil {
+			return fn.Name(), true
+		}
+	}
+	// append(arena.Xs(...), more...) stores the carved backing array
+	// just the same.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+		if b, ok := c.pass.ObjectOf(id).(*types.Builtin); ok && b.Name() == "append" {
+			for _, arg := range call.Args {
+				if m, ok := c.arenaDerived(arg); ok {
+					return m, true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// derefNamed unwraps pointers to the named type, or nil.
+func derefNamed(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// isArenaScoped reports whether tn's declaration carries the
+// arena-scoped marker. Current-package types are found in the pass's
+// own ASTs; foreign types (the loader type-checks module-local imports
+// from source into the shared FileSet) are resolved by re-parsing the
+// single file their object position names. An unreadable or unlocatable
+// declaration counts as unmarked: the analyzer fails closed.
+func (c *arenaRetainCheck) isArenaScoped(tn *types.TypeName) bool {
+	if v, ok := c.scoped[tn]; ok {
+		return v
+	}
+	v := c.lookupMarker(tn)
+	c.scoped[tn] = v
+	return v
+}
+
+func (c *arenaRetainCheck) lookupMarker(tn *types.TypeName) bool {
+	if tn.Pkg() == c.pass.Pkg {
+		for _, f := range c.pass.Files {
+			if marked, found := typeSpecMarked(f, tn.Name()); found {
+				return marked
+			}
+		}
+		return false
+	}
+	pos := c.pass.Fset.Position(tn.Pos())
+	if pos.Filename == "" {
+		return false
+	}
+	f, err := parser.ParseFile(token.NewFileSet(), pos.Filename, nil, parser.ParseComments)
+	if err != nil {
+		return false
+	}
+	marked, _ := typeSpecMarked(f, tn.Name())
+	return marked
+}
+
+// typeSpecMarked locates the declaration of type name in f and reports
+// whether its doc comment (on the spec or its enclosing GenDecl)
+// contains the arena-scoped marker.
+func typeSpecMarked(f *ast.File, name string) (marked, found bool) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.TYPE {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok || ts.Name.Name != name {
+				continue
+			}
+			for _, doc := range []*ast.CommentGroup{ts.Doc, gd.Doc} {
+				if doc == nil {
+					continue
+				}
+				for _, cm := range doc.List {
+					if strings.HasPrefix(strings.TrimSpace(cm.Text), arenaScopedMarker) {
+						return true, true
+					}
+				}
+			}
+			return false, true
+		}
+	}
+	return false, false
+}

@@ -3,6 +3,7 @@ package analysis
 // All returns the full gpalint analyzer suite in reporting order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		ArenaRetain,
 		CtxThread,
 		Determinism,
 		FaultPath,

@@ -1,0 +1,36 @@
+// Non-hit cases: the sanctioned idioms. Arena results live in locals,
+// flow into marked arena-scoped types, or are returned to a caller who
+// owns the scoping decision; and a pool that merely shares method
+// names with Arena is out of scope entirely.
+package clean
+
+type Item int32
+
+//gpalint:arena-scoped
+type Node struct {
+	Item     Item
+	Children []*Node
+}
+
+type Arena struct{ items []Item }
+
+func (a *Arena) NewNode(it Item) *Node { return &Node{Item: it} }
+func (a *Arena) Items(n int) []Item    { return make([]Item, 0, n) }
+
+// Pool is not an Arena: same shapes, different lifetime contract.
+type Pool struct{}
+
+func (p *Pool) Items(n int) []Item { return make([]Item, n) }
+
+type cache struct{ items []Item }
+
+var global cache
+
+func grow(a *Arena, parent *Node, p *Pool) []Item {
+	n := a.NewNode(3)                                       // local: fine
+	parent.Children = append(parent.Children, n)            // value already laundered through a local
+	parent.Children = append(parent.Children, a.NewNode(4)) // marked type: fine
+	buf := append(a.Items(2), 9)                            // local append chain: fine
+	global.items = p.Items(8)                               // Pool, not Arena: out of scope
+	return buf
+}

@@ -1,0 +1,58 @@
+// Hit cases: arena-returned memory escaping into locations that
+// outlive the arena's Reset. The Arena here mirrors the trie package's:
+// methods carve nodes and slices out of pooled slabs.
+package pipe
+
+type Item int32
+
+type Node struct {
+	Item     Item
+	Children []*Node
+}
+
+// Arena hands out slab-carved memory; any type named Arena is in scope.
+type Arena struct {
+	nodes []Node
+	items []Item
+}
+
+func (a *Arena) NewNode(it Item) *Node { return &Node{Item: it} }
+func (a *Arena) Items(n int) []Item    { return make([]Item, 0, n) }
+
+// family is arena-scoped: its lifetime ends with the run.
+//
+//gpalint:arena-scoped
+type family struct {
+	prefix []Item
+	head   *Node
+}
+
+// registry is NOT arena-scoped — it survives across runs.
+type registry struct {
+	roots  []*Node
+	latest *Node
+	prefix []Item
+}
+
+var cachedRoot *Node
+
+var hot struct {
+	prefix []Item
+}
+
+func build(a *Arena, reg *registry) *family {
+	f := &family{}
+	f.prefix = a.Items(4)                        // ok: marked type
+	f.head = a.NewNode(1)                        // ok: marked type
+	f.prefix = append(a.Items(2), 7)             // ok: append chain into marked type
+	reg.latest = a.NewNode(2)                    // want `registry is not marked //gpalint:arena-scoped`
+	reg.prefix = append(a.Items(3), f.prefix...) // want `registry is not marked //gpalint:arena-scoped`
+	cachedRoot = a.NewNode(3)                    // want `package-level var cachedRoot`
+	hot.prefix = a.Items(1)                      // want `unnamed struct type`
+	local := a.NewNode(4)                        // ok: local variable
+	_ = local
+	bad := &registry{latest: a.NewNode(5)} // want `Arena.NewNode result stored in field registry.latest`
+	good := &family{prefix: a.Items(2)}    // ok: marked type literal
+	_ = good
+	return &family{head: bad.latest}
+}

@@ -51,9 +51,8 @@ var benchVariants = []struct {
 	opt  CountOptions
 }{
 	{"complete", CountOptions{}},
-	{"blocked", CountOptions{Blocked: true, EarlyAbort: true}},
 	{"prefix", CountOptions{PrefixCache: true}},
-	{"prefix+blocked", CountOptions{PrefixCache: true, Blocked: true, EarlyAbort: true}},
+	{"prefix+abort", CountOptions{PrefixCache: true, EarlyAbort: true}},
 }
 
 // BenchmarkMineCPUTest mines each Table 2 shape end-to-end with the
@@ -78,16 +77,17 @@ func BenchmarkMineCPUTest(b *testing.B) {
 	}
 }
 
-// BenchmarkMinePipeline mines the same shapes with the pooled parallel
-// pipeline at several worker counts.
+// BenchmarkMinePipeline mines the same shapes with the work-stealing
+// pipeline across the scaling sweep; cmd/benchjson turns the
+// workers=1,2,4,8 rows into the per-shape scaling curve.
 func BenchmarkMinePipeline(b *testing.B) {
 	for _, s := range benchShapes(b) {
 		v := vertical.BuildBitsets(s.db)
-		for _, workers := range []int{1, 4} {
+		for _, workers := range []int{1, 2, 4, 8} {
 			b.Run(fmt.Sprintf("shape=%s/workers=%d", s.name, workers), func(b *testing.B) {
 				p := NewPipelineOver(s.db, v, PipelineOptions{
 					Workers: workers,
-					Count:   CountOptions{PrefixCache: true, Blocked: true, EarlyAbort: true},
+					Count:   CountOptions{PrefixCache: true, EarlyAbort: true},
 				})
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {

@@ -10,9 +10,9 @@ import (
 
 // CPUBitset is the paper's CPU_TEST: single-threaded complete intersection
 // over the static-bitset vertical layout — exactly the work the GPU kernel
-// performs, executed on the host. CountOptions select the prefix-cached /
-// cache-blocked variants (DESIGN.md §9); the zero options reproduce the
-// paper's counting loop exactly.
+// performs, executed on the host. CountOptions select the prefix-cached
+// variants (DESIGN.md §9); the zero options reproduce the paper's
+// counting loop exactly.
 type CPUBitset struct {
 	v    *vertical.BitsetDB
 	popc func(uint64) int
@@ -21,14 +21,12 @@ type CPUBitset struct {
 
 	// Reusable scratch of the variant paths; all buffers are grown once,
 	// so steady-state counting performs zero allocations.
-	minsup   int
-	bc       *bitset.BatchCounter
-	scratch  *bitset.Bitset
-	vs       []*bitset.Bitset
-	lasts    []*bitset.Bitset
-	lists    [][]*bitset.Bitset
-	listBack []*bitset.Bitset
-	out      []int
+	minsup  int
+	bc      *bitset.BatchCounter
+	scratch *bitset.Bitset
+	vs      []*bitset.Bitset
+	lasts   []*bitset.Bitset
+	out     []int
 }
 
 // NewCPUBitset builds the counter over db. kind selects the popcount
@@ -50,7 +48,7 @@ func NewCPUBitsetOpt(db *dataset.DB, kind bitset.PopcountKind, opt CountOptions)
 func NewCPUBitsetOver(v *vertical.BitsetDB, kind bitset.PopcountKind, opt CountOptions) *CPUBitset {
 	c := &CPUBitset{v: v, popc: kind.Func(), kind: kind, opt: opt}
 	if opt.enabled() {
-		c.bc = bitset.NewBatchCounter(kind, opt.TileWords)
+		c.bc = bitset.NewBatchCounter(kind, 0)
 	}
 	return c
 }
@@ -61,11 +59,11 @@ func (c *CPUBitset) Name() string {
 }
 
 // SetMinSupport implements MinSupportAware: the threshold powers the
-// early-abort bound of the blocked paths.
+// early-abort bound of the prefix-cached batch loop.
 func (c *CPUBitset) SetMinSupport(minSupport int) { c.minsup = minSupport }
 
 // Count implements Counter by complete intersection per candidate, or by
-// the prefix-cached / blocked variants when enabled.
+// the prefix-cached variant when enabled.
 func (c *CPUBitset) Count(_ *trie.Trie, cands []trie.Candidate, k int) error {
 	if !c.opt.enabled() {
 		vs := make([]*bitset.Bitset, k)
@@ -151,26 +149,9 @@ func (c *CPUBitset) countClass(class []trie.Candidate, k int, abort int) {
 			lasts[i] = c.v.Vectors[cand.Items[k-1]]
 		}
 		c.bc.CountPairs(base, lasts, abort, out)
-	case c.opt.Blocked:
-		if cap(c.listBack) < m*k {
-			c.listBack = make([]*bitset.Bitset, m*k)
-		}
-		if cap(c.lists) < m {
-			c.lists = make([][]*bitset.Bitset, m)
-		}
-		lists := c.lists[:m]
-		back := c.listBack[:m*k]
-		for i, cand := range class {
-			row := back[i*k : (i+1)*k]
-			for j, item := range cand.Items {
-				row[j] = c.v.Vectors[item]
-			}
-			lists[i] = row
-		}
-		c.bc.CountMany(lists, abort, out)
 	default:
 		// PrefixCache requested but not applicable (singleton class or
-		// over budget) and blocking off: plain complete intersection.
+		// over budget): plain complete intersection.
 		if cap(c.vs) < k {
 			c.vs = make([]*bitset.Bitset, k)
 		}

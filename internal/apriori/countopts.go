@@ -17,32 +17,24 @@ type CountOptions struct {
 	// memory/traffic tradeoff the paper's Section III argues for keeping
 	// only first-generation vectors resident.
 	BudgetBytes int
-	// Blocked iterates word-tiles across a batch of candidates instead of
-	// streaming each candidate's full vectors, keeping the shared
-	// first-generation (or prefix-class) tiles cache-resident.
-	Blocked bool
-	// TileWords is the blocked tile width in 64-bit words (0 =
-	// bitset.DefaultTileWords).
-	TileWords int
 	// EarlyAbort abandons a candidate once the bits remaining in the
 	// untiled suffix cannot lift it to minimum support. Aborted candidates
 	// report a partial count strictly below minsup, so the frequent set
-	// and all reported supports are unchanged.
+	// and all reported supports are unchanged. Only the prefix-cached
+	// batch loop consults the bound; vectors that fit a single tile are
+	// counted exactly either way.
 	EarlyAbort bool
 }
 
 // enabled reports whether any variant beyond plain complete intersection
 // is selected.
-func (o CountOptions) enabled() bool { return o.PrefixCache || o.Blocked }
+func (o CountOptions) enabled() bool { return o.PrefixCache }
 
 // tag renders the active variants for strategy names in reports.
 func (o CountOptions) tag() string {
 	s := ""
 	if o.PrefixCache {
 		s += ",prefix"
-	}
-	if o.Blocked {
-		s += ",blocked"
 	}
 	if o.EarlyAbort {
 		s += ",abort"

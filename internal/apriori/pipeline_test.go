@@ -16,19 +16,16 @@ import (
 func variantOptions() []CountOptions {
 	return []CountOptions{
 		{},
-		{Blocked: true},
-		{Blocked: true, EarlyAbort: true, TileWords: 16},
 		{PrefixCache: true},
 		{PrefixCache: true, EarlyAbort: true},
-		{PrefixCache: true, Blocked: true, EarlyAbort: true},
-		{PrefixCache: true, Blocked: true, EarlyAbort: true, BudgetBytes: 1}, // forces fallback
+		{PrefixCache: true, EarlyAbort: true, BudgetBytes: 1}, // forces fallback
 	}
 }
 
 // TestCPUBitsetVariantsMatchOracle is the all-paths property test of the
-// acceptance criteria: every prefix-cached / blocked / early-abort
-// combination produces bit-identical frequent itemsets to the oracle (and
-// hence to the seed's complete-intersection path).
+// acceptance criteria: every prefix-cached / early-abort combination
+// produces bit-identical frequent itemsets to the oracle (and hence to
+// the seed's complete-intersection path).
 func TestCPUBitsetVariantsMatchOracle(t *testing.T) {
 	dbs := map[string]*dataset.DB{
 		"small":  gen.Small(),
@@ -57,8 +54,8 @@ func TestCPUBitsetVariantsMatchOracle(t *testing.T) {
 
 func TestCPUBitsetVariantNames(t *testing.T) {
 	db := gen.Small()
-	c := NewCPUBitsetOpt(db, bitset.PopcountHardware, CountOptions{PrefixCache: true, Blocked: true, EarlyAbort: true})
-	for _, want := range []string{"prefix", "blocked", "abort"} {
+	c := NewCPUBitsetOpt(db, bitset.PopcountHardware, CountOptions{PrefixCache: true, EarlyAbort: true})
+	for _, want := range []string{"prefix", "abort"} {
 		if !strings.Contains(c.Name(), want) {
 			t.Fatalf("Name %q missing %q", c.Name(), want)
 		}
@@ -111,7 +108,7 @@ func TestPipelineDenseChessShape(t *testing.T) {
 	}
 	p := NewPipeline(db, PipelineOptions{
 		Workers: 4,
-		Count:   CountOptions{PrefixCache: true, Blocked: true, EarlyAbort: true, BudgetBytes: 1 << 20},
+		Count:   CountOptions{PrefixCache: true, EarlyAbort: true, BudgetBytes: 1 << 20},
 	})
 	got, err := p.Mine(minSup, Config{})
 	if err != nil {
@@ -177,7 +174,7 @@ func TestPipelineMinSupportValidation(t *testing.T) {
 // runs at different thresholds each match the level-wise driver.
 func TestPipelineRepeatedRuns(t *testing.T) {
 	db := gen.Random(150, 12, 0.5, 8)
-	p := NewPipeline(db, PipelineOptions{Workers: 4, Count: CountOptions{PrefixCache: true, Blocked: true, EarlyAbort: true}})
+	p := NewPipeline(db, PipelineOptions{Workers: 4, Count: CountOptions{PrefixCache: true, EarlyAbort: true}})
 	for _, minSup := range []int{3, 12, 40} {
 		want, err := Mine(db, minSup, NewCPUBitset(db, bitset.PopcountHardware), Config{})
 		if err != nil {

@@ -77,33 +77,6 @@ func BenchmarkCountPairs(b *testing.B) {
 	}
 }
 
-// BenchmarkCountMany is the cache-blocked k-way batch without a shared
-// prefix — the Blocked variant's fallback when classes are singletons.
-func BenchmarkCountMany(b *testing.B) {
-	const batch, k = 32, 4
-	for _, nbits := range benchWidths {
-		b.Run(fmt.Sprintf("bits=%d", nbits), func(b *testing.B) {
-			pool := benchBitsets(nbits, 8, 0.6)
-			rng := rand.New(rand.NewSource(7))
-			vecs := make([][]*Bitset, batch)
-			for i := range vecs {
-				vecs[i] = make([]*Bitset, k)
-				for j := range vecs[i] {
-					vecs[i][j] = pool[rng.Intn(len(pool))]
-				}
-			}
-			bc := NewBatchCounter(PopcountHardware, DefaultTileWords)
-			out := make([]int, batch)
-			b.SetBytes(int64(batch * k * nbits / 8))
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				bc.CountMany(vecs, 0, out)
-			}
-		})
-	}
-}
-
 func BenchmarkIndices(b *testing.B) {
 	for _, density := range []float64{0.01, 0.5} {
 		b.Run(fmt.Sprintf("density=%v", density), func(b *testing.B) {

@@ -46,8 +46,8 @@ func IntersectInto(dst *Bitset, vs []*Bitset) {
 	}
 }
 
-// BatchCounter is the reusable scratch of the cache-blocked counting
-// paths. All per-batch state (done flags, suffix popcounts) lives on the
+// BatchCounter is the reusable scratch of the prefix-class counting
+// path. All per-batch state (done flags, suffix popcounts) lives on the
 // counter and is grown once, so steady-state counting performs zero
 // allocations. A BatchCounter is not safe for concurrent use; parallel
 // counters keep one per worker.
@@ -114,9 +114,25 @@ func (c *BatchCounter) CountPairs(base *Bitset, others []*Bitset, minsup int, ou
 			panic(fmt.Sprintf("bitset: CountPairs width mismatch %d/%d", base.nbits, o.nbits))
 		}
 	}
-	c.grow(len(others), words)
 	popc := c.popc
 	bw := base.words
+
+	// Single-tile fast path: when the whole vector fits one tile, the
+	// early-abort bound can never fire before the count is already exact,
+	// so the done/suffix bookkeeping is pure overhead — and at the Table 2
+	// benchmark scales every shape's vectors fit one tile.
+	if words <= c.tileWords {
+		for i, o := range others {
+			ow := o.words
+			n := 0
+			for j, w := range bw {
+				n += popc(w & ow[j])
+			}
+			out[i] = n
+		}
+		return
+	}
+	c.grow(len(others), words)
 
 	// Suffix popcounts of base per tile: suffix[t] is the number of base
 	// bits at or after tile t — the tightest cheap bound on what a
@@ -166,71 +182,3 @@ func (c *BatchCounter) CountPairs(base *Bitset, others []*Bitset, minsup int, ou
 	}
 }
 
-// CountMany computes out[i] = popcount(AND of vecs[i]) for every
-// candidate, iterating word-tiles across the batch: the first-generation
-// vectors shared by many candidates in a batch stay cache-resident
-// instead of being streamed from memory once per candidate — the
-// cache-blocked form of complete intersection.
-//
-// minsup > 0 enables the same safe early abort as CountPairs, bounded by
-// the bits remaining in the untiled suffix (64 per word). Every vecs[i]
-// must be non-empty and all widths must match. out must have len(vecs).
-func (c *BatchCounter) CountMany(vecs [][]*Bitset, minsup int, out []int) {
-	if len(out) != len(vecs) {
-		panic(fmt.Sprintf("bitset: CountMany out length %d, want %d", len(out), len(vecs)))
-	}
-	if len(vecs) == 0 {
-		return
-	}
-	if len(vecs[0]) == 0 {
-		panic("bitset: CountMany empty candidate")
-	}
-	width := vecs[0][0].nbits
-	words := len(vecs[0][0].words)
-	for _, vs := range vecs {
-		if len(vs) == 0 {
-			panic("bitset: CountMany empty candidate")
-		}
-		for _, v := range vs {
-			if v.nbits != width {
-				panic(fmt.Sprintf("bitset: CountMany width mismatch %d/%d", width, v.nbits))
-			}
-		}
-	}
-	c.grow(len(vecs), words)
-	popc := c.popc
-
-	for i := range out {
-		out[i] = 0
-	}
-	live := len(vecs)
-	for lo := 0; lo < words && live > 0; lo += c.tileWords {
-		hi := lo + c.tileWords
-		if hi > words {
-			hi = words
-		}
-		rest := (words - hi) * WordBits
-		for i, vs := range vecs {
-			if c.done[i] {
-				continue
-			}
-			first := vs[0].words
-			n := out[i]
-			for w := lo; w < hi; w++ {
-				acc := first[w]
-				for _, v := range vs[1:] {
-					acc &= v.words[w]
-					if acc == 0 {
-						break
-					}
-				}
-				n += popc(acc)
-			}
-			out[i] = n
-			if minsup > 0 && n+rest < minsup {
-				c.done[i] = true
-				live--
-			}
-		}
-	}
-}

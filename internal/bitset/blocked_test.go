@@ -110,62 +110,6 @@ func TestCountPairsEarlyAbortClassification(t *testing.T) {
 	}
 }
 
-func TestCountManyMatchesIntersectCountMany(t *testing.T) {
-	rng := rand.New(rand.NewSource(6))
-	for _, nbits := range []int{64, 1000, 20000} {
-		for _, tile := range []int{0, 3, 128} {
-			bc := NewBatchCounter(PopcountHardware, tile)
-			pool := make([]*Bitset, 8)
-			for i := range pool {
-				pool[i] = randBitset(nbits, 0.6, rng)
-			}
-			vecs := make([][]*Bitset, 12)
-			for i := range vecs {
-				k := 2 + rng.Intn(4)
-				vecs[i] = make([]*Bitset, k)
-				for j := range vecs[i] {
-					vecs[i][j] = pool[rng.Intn(len(pool))]
-				}
-			}
-			out := make([]int, len(vecs))
-			bc.CountMany(vecs, 0, out)
-			for i, vs := range vecs {
-				if want := IntersectCountMany(vs); out[i] != want {
-					t.Fatalf("nbits=%d tile=%d cand %d: got %d want %d", nbits, tile, i, out[i], want)
-				}
-			}
-		}
-	}
-}
-
-func TestCountManyEarlyAbortClassification(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
-	nbits := 6000
-	bc := NewBatchCounter(PopcountHardware, 16)
-	pool := make([]*Bitset, 6)
-	for i := range pool {
-		pool[i] = randBitset(nbits, 0.5, rng)
-	}
-	vecs := make([][]*Bitset, 15)
-	exact := make([]int, len(vecs))
-	for i := range vecs {
-		vecs[i] = []*Bitset{pool[rng.Intn(6)], pool[rng.Intn(6)], pool[rng.Intn(6)]}
-		exact[i] = IntersectCountMany(vecs[i])
-	}
-	for _, minsup := range []int{1, 200, 800, 2000} {
-		out := make([]int, len(vecs))
-		bc.CountMany(vecs, minsup, out)
-		for i := range vecs {
-			if exact[i] >= minsup && out[i] != exact[i] {
-				t.Fatalf("minsup=%d cand %d: frequent support %d, want %d", minsup, i, out[i], exact[i])
-			}
-			if exact[i] < minsup && out[i] >= minsup {
-				t.Fatalf("minsup=%d cand %d: infrequent (exact %d) reported %d", minsup, i, exact[i], out[i])
-			}
-		}
-	}
-}
-
 func TestBatchCounterPopcountKinds(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	base := randBitset(2048, 0.5, rng)

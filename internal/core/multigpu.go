@@ -51,7 +51,7 @@ type MultiOptions struct {
 	// CPUPopcount selects the host popcount for the hybrid share.
 	CPUPopcount bitset.PopcountKind
 	// CPUCount tunes the hybrid share's host counting (prefix-class
-	// caching, cache-blocked tiles, early abort). Zero value = the plain
+	// caching, early abort). Zero value = the plain
 	// complete-intersection loop.
 	CPUCount apriori.CountOptions
 	// Faults schedules injected faults on the device pool. Empty =

@@ -29,6 +29,8 @@ const (
 	maxWorkers       = 1 << 12
 	maxDevices       = 1 << 12
 	maxPrefixCacheMB = 1 << 20
+	maxPipelineGrain = 1 << 20
+	maxStealBatch    = 1 << 20
 )
 
 // badRequest builds the decoder's uniform typed error.
@@ -116,6 +118,12 @@ func ValidateMineRequest(req *gpapriori.ServeMineRequest) *gpapriori.ServeError 
 	}
 	if req.PrefixCacheBudgetMB < 0 || req.PrefixCacheBudgetMB > maxPrefixCacheMB {
 		return badRequest("prefix_cache_budget_mb must be in [0,%d] (got %d)", maxPrefixCacheMB, req.PrefixCacheBudgetMB)
+	}
+	if req.PipelineGrain < 0 || req.PipelineGrain > maxPipelineGrain {
+		return badRequest("pipeline_grain must be in [0,%d] (got %d)", maxPipelineGrain, req.PipelineGrain)
+	}
+	if req.PipelineStealBatch < 0 || req.PipelineStealBatch > maxStealBatch {
+		return badRequest("pipeline_steal_batch must be in [0,%d] (got %d)", maxStealBatch, req.PipelineStealBatch)
 	}
 	if req.Faults != "" {
 		// Parse eagerly so a bad schedule is a 400 here, not a failed job

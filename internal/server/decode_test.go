@@ -12,7 +12,7 @@ func TestDecodeMineRequestAccepts(t *testing.T) {
 		`{"dataset":"q","relative_support":0.5,"algorithm":"eclat"}`,
 		`{"dataset":"q","min_support":1,"max_len":4,"priority":10,"deadline_sec":30,
 		  "workers":4,"devices":2,"hybrid_cpu_share":0.25,"prefix_cache":true,
-		  "prefix_cache_budget_mb":16,"cache_blocked":true,
+		  "prefix_cache_budget_mb":16,"pipeline_grain":256,"pipeline_steal_batch":8,
 		  "faults":"dev0:kernel-fail@gen2","fault_seed":7,"no_cache":true}`,
 	} {
 		if _, se := DecodeMineRequest(strings.NewReader(body)); se != nil {
@@ -48,6 +48,9 @@ func TestDecodeMineRequestRejects(t *testing.T) {
 		{"absurd devices", `{"dataset":"q","min_support":5,"devices":99999}`},
 		{"bad hybrid share", `{"dataset":"q","min_support":5,"hybrid_cpu_share":2}`},
 		{"bad fault spec", `{"dataset":"q","min_support":5,"faults":"dev0:meltdown@gen1"}`},
+		{"removed cache_blocked knob", `{"dataset":"q","min_support":5,"cache_blocked":true}`},
+		{"negative pipeline grain", `{"dataset":"q","min_support":5,"pipeline_grain":-1}`},
+		{"absurd steal batch", `{"dataset":"q","min_support":5,"pipeline_steal_batch":99999999}`},
 	}
 	for _, c := range cases {
 		req, se := DecodeMineRequest(strings.NewReader(c.body))

@@ -20,7 +20,12 @@ import (
 )
 
 // Node is one trie node. The zero value is not usable; create tries with
-// New.
+// New. Nodes and their Children/prefix slices may be carved from a
+// worker-owned Arena by the pipelined miner, so a Node must never
+// outlive the mining run that built it (results are copied out by
+// Frequent/FrequentPacked).
+//
+//gpalint:arena-scoped
 type Node struct {
 	Item     dataset.Item // item labeling the edge from the parent
 	Support  int          // support count once counted; -1 before counting

@@ -7,13 +7,17 @@
 #
 # Each benchmark runs COUNT times and benchjson keeps the fastest run per
 # name, so background load on the benchmark host skews the snapshot as
-# little as possible.
+# little as possible. When a prior BENCH_*.json exists in the repo root,
+# the newest one is passed to benchjson -prev so the snapshot carries a
+# delta section against it.
 #
 # Environment:
 #   BENCHTIME  go test -benchtime value (default 1s; use e.g. 5x for a
 #              quick smoke run)
 #   COUNT      go test -count repetitions per benchmark (default 3)
 #   OUT        output file (default BENCH_YYYY-MM-DD.json in the repo root)
+#   PREV       prior snapshot to diff against (default: newest existing
+#              BENCH_*.json other than OUT; empty string disables)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -21,11 +25,20 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-1s}"
 COUNT="${COUNT:-3}"
 OUT="${OUT:-BENCH_$(date -u +%Y-%m-%d).json}"
+if [ -z "${PREV+x}" ]; then
+    # Newest committed snapshot that isn't the file we're about to write.
+    PREV="$(ls -1 BENCH_*.json 2>/dev/null | grep -vx "$OUT" | sort | tail -n 1 || true)"
+fi
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run='^$' -bench=. -benchmem -benchtime="$BENCHTIME" -count="$COUNT" \
     ./internal/bitset/ ./internal/apriori/ | tee "$tmp"
 
-go run ./cmd/benchjson <"$tmp" >"$OUT"
+if [ -n "$PREV" ]; then
+    echo "diffing against $PREV"
+    go run ./cmd/benchjson -prev "$PREV" <"$tmp" >"$OUT"
+else
+    go run ./cmd/benchjson <"$tmp" >"$OUT"
+fi
 echo "wrote $OUT"

@@ -27,9 +27,26 @@ fi
 
 go test -race ./...
 
-# Benchmark smoke: every benchmark (including the pooled-pipeline and
-# prefix-cache macro benchmarks) must run one iteration cleanly.
+# Benchmark smoke: every benchmark (including the work-stealing
+# pipeline and prefix-cache macro benchmarks) must run one iteration
+# cleanly.
 go test -run='^$' -bench=. -benchtime=1x ./...
+
+# Alloc-regression gate: the pipeline's arena discipline holds
+# steady-state mining to a few dozen allocations per T40I10D100K run
+# (~40 measured; 55,278 before the arenas). The ceiling of 2000
+# absorbs one-shot warmup noise (pool misses on a cold run) while
+# still catching any real return of per-candidate allocation.
+ALLOC_CEILING=2000
+ALLOCS=$(go test -run='^$' -bench='^BenchmarkMinePipeline$/shape=T40I10D100K/workers=4$' \
+    -benchmem -benchtime=1x ./internal/apriori/ \
+    | awk '/workers=4/ { print $(NF-1); exit }')
+[ -n "$ALLOCS" ]
+[ "$ALLOCS" -le "$ALLOC_CEILING" ] || {
+    echo "alloc gate: BenchmarkMinePipeline workers=4 reports $ALLOCS allocs/op (ceiling $ALLOC_CEILING)" >&2
+    exit 1
+}
+echo "alloc gate: $ALLOCS allocs/op <= $ALLOC_CEILING: OK"
 
 # Fuzz smoke: each hardened parser fuzzes for 10s (one target per
 # invocation, as go test requires).

@@ -54,10 +54,12 @@ type ServeMineRequest struct {
 	Workers        int     `json:"workers,omitempty"`
 	Devices        int     `json:"devices,omitempty"`
 	HybridCPUShare float64 `json:"hybrid_cpu_share,omitempty"`
-	// PrefixCache / PrefixCacheBudgetMB / CacheBlocked mirror Config.
+	// PrefixCache / PrefixCacheBudgetMB mirror Config.
 	PrefixCache         bool `json:"prefix_cache,omitempty"`
 	PrefixCacheBudgetMB int  `json:"prefix_cache_budget_mb,omitempty"`
-	CacheBlocked        bool `json:"cache_blocked,omitempty"`
+	// PipelineGrain / PipelineStealBatch mirror Config (pipeline only).
+	PipelineGrain      int `json:"pipeline_grain,omitempty"`
+	PipelineStealBatch int `json:"pipeline_steal_batch,omitempty"`
 	// Faults / FaultSeed inject a deterministic device-fault schedule
 	// (see Config.Faults).
 	Faults    string `json:"faults,omitempty"`
@@ -80,7 +82,8 @@ func (r ServeMineRequest) MiningConfig() Config {
 		HybridCPUShare:      r.HybridCPUShare,
 		PrefixCache:         r.PrefixCache,
 		PrefixCacheBudgetMB: r.PrefixCacheBudgetMB,
-		CacheBlocked:        r.CacheBlocked,
+		PipelineGrain:       r.PipelineGrain,
+		PipelineStealBatch:  r.PipelineStealBatch,
 		Faults:              r.Faults,
 		FaultSeed:           r.FaultSeed,
 	}
