@@ -1,0 +1,528 @@
+// Command gpaload is the gpaserve SLO harness: an open-loop load
+// generator that drives concurrent client sessions against a running
+// daemon and reports whether the daemon kept its overload contract.
+//
+// Open-loop means arrivals follow the configured rate regardless of
+// how the daemon is coping — the generator never self-throttles to
+// hide overload, which is exactly the regime the admission controller
+// exists for. Dataset popularity is zipf-distributed (a few hot
+// datasets, a long cold tail, like real serving traffic), and chaos
+// knobs mix in hostile clients: sessions that drop their connection
+// mid-flight and stream subscribers that read slowly enough to earn
+// eviction.
+//
+// Sessions honor the daemon's Retry-After pacing on 429/503 and count
+// any such refusal that arrives without the header — a daemon bug the
+// SLO report surfaces as retry_after_missing. Completed sessions fetch
+// the result body and cross-check its hash against every other session
+// of the same query: under load, retries, and shedding, identical
+// requests must still produce byte-identical results
+// (result_hash_mismatches must be 0).
+//
+// The run ends in one JSON report on stdout (or -out), the shape
+// committed as SLO_<date>.json snapshots next to BENCH_*.json:
+//
+//	gpaload -target http://127.0.0.1:8080 -duration 10s -rate 20 \
+//	    -retries 4 -drop-frac 0.1 -slow-frac 0.1 -out SLO_2026-08-08.json
+package main
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"gpapriori"
+)
+
+// options is the flag surface, one struct so tests state only what
+// they care about.
+type options struct {
+	target   string
+	duration time.Duration
+	rate     float64
+	// burst fires this many extra arrivals every burstEvery, modeling
+	// synchronized clients (0 disables).
+	burst      int
+	burstEvery time.Duration
+	// zipfS is the zipf skew over the daemon's dataset list (s>1;
+	// larger = hotter head).
+	zipfS float64
+	// retries bounds per-session resubmits after a paced 429/503
+	// refusal (0 = fail fast, every refusal is final).
+	retries int
+	// dropFrac of sessions sever their connection mid-flight;
+	// slowFrac subscribe to the stream and read one event per
+	// slowDelay.
+	dropFrac  float64
+	slowFrac  float64
+	slowDelay time.Duration
+	// relSupport is the mining threshold; priorities spreads submission
+	// priority uniformly over [0,priorities).
+	relSupport float64
+	priorities int
+	seed       int64
+	out        string
+}
+
+func defaultOptions() options {
+	return options{
+		duration:   10 * time.Second,
+		rate:       20,
+		burstEvery: time.Second,
+		zipfS:      1.5,
+		retries:    4,
+		slowDelay:  200 * time.Millisecond,
+		relSupport: 0.4,
+		priorities: 3,
+		seed:       1,
+	}
+}
+
+func main() {
+	opts := defaultOptions()
+	flag.StringVar(&opts.target, "target", "", "base URL of the gpaserve daemon (required)")
+	flag.DurationVar(&opts.duration, "duration", opts.duration, "arrival window; the run then waits for in-flight sessions")
+	flag.Float64Var(&opts.rate, "rate", opts.rate, "open-loop arrival rate, sessions/sec")
+	flag.IntVar(&opts.burst, "burst", opts.burst, "extra synchronized arrivals per burst interval (0 disables)")
+	flag.DurationVar(&opts.burstEvery, "burst-every", opts.burstEvery, "burst interval")
+	flag.Float64Var(&opts.zipfS, "zipf-s", opts.zipfS, "zipf skew of dataset popularity (>1)")
+	flag.IntVar(&opts.retries, "retries", opts.retries, "resubmits per session after a paced 429/503 (0 = fail fast)")
+	flag.Float64Var(&opts.dropFrac, "drop-frac", opts.dropFrac, "fraction of sessions that drop their connection mid-flight")
+	flag.Float64Var(&opts.slowFrac, "slow-frac", opts.slowFrac, "fraction of sessions that stream with a deliberately slow reader")
+	flag.DurationVar(&opts.slowDelay, "slow-delay", opts.slowDelay, "per-event stall of a slow stream reader")
+	flag.Float64Var(&opts.relSupport, "relative-support", opts.relSupport, "mining threshold for generated queries")
+	flag.IntVar(&opts.priorities, "priorities", opts.priorities, "submission priorities are uniform over [0,n)")
+	flag.Int64Var(&opts.seed, "seed", opts.seed, "RNG seed for arrivals, popularity, and chaos")
+	flag.StringVar(&opts.out, "out", opts.out, "write the JSON report here (empty = stdout)")
+	flag.Parse()
+
+	rep, err := run(context.Background(), os.Stderr, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpaload: "+err.Error())
+		os.Exit(1)
+	}
+	if err := emit(rep, opts.out); err != nil {
+		fmt.Fprintln(os.Stderr, "gpaload: "+err.Error())
+		os.Exit(1)
+	}
+	// The report is the verdict: a daemon that 500ed or shed without
+	// pacing fails the harness, not just the reader's eye.
+	if rep.ServerErrors > 0 || rep.RetryAfterMissing > 0 || rep.ResultHashMismatches > 0 {
+		os.Exit(2)
+	}
+}
+
+// Percentiles summarizes a latency population in milliseconds.
+type Percentiles struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// Report is the SLO snapshot: what was offered, what the daemon did
+// with it, and how fast the admitted work finished.
+type Report struct {
+	Date        string  `json:"date"`
+	Target      string  `json:"target"`
+	DurationSec float64 `json:"duration_sec"`
+	Rate        float64 `json:"rate"`
+	Seed        int64   `json:"seed"`
+
+	// Arrivals = Completed + Rejected + Failed + Dropped once the run
+	// settles.
+	Arrivals  int64 `json:"arrivals"`
+	Completed int64 `json:"completed"`
+	// Rejected counts sessions whose final answer was a paced 429/503
+	// (after exhausting retries); every paced refusal along the way
+	// adds to Refusals.
+	Rejected int64 `json:"rejected"`
+	Refusals int64 `json:"refusals"`
+	Failed   int64 `json:"failed"`
+	Dropped  int64 `json:"dropped"`
+
+	// ServerErrors counts 5xx other than the 503 shed/drain contract —
+	// the SLO demands zero.
+	ServerErrors int64 `json:"server_errors"`
+	// RetryAfterMissing counts 429/503 refusals without a Retry-After
+	// pacing hint — the SLO demands zero.
+	RetryAfterSeen    int64 `json:"retry_after_seen"`
+	RetryAfterMissing int64 `json:"retry_after_missing"`
+	// ResultHashMismatches counts completed sessions whose result body
+	// differed from another session of the identical query — the SLO
+	// demands zero (clean-run equivalence).
+	ResultHashMismatches int64 `json:"result_hash_mismatches"`
+
+	// GoodputPerSec is completed sessions per second of arrival window.
+	GoodputPerSec float64 `json:"goodput_per_sec"`
+	// LatencyMs distributes admitted-job latency: accepted submit to
+	// terminal state, pacing excluded.
+	LatencyMs Percentiles `json:"latency_ms"`
+
+	Chaos struct {
+		DropSessions int64 `json:"drop_sessions"`
+		SlowSessions int64 `json:"slow_sessions"`
+		StreamLost   int64 `json:"stream_lost"`
+	} `json:"chaos"`
+
+	// Server is the daemon's /statsz overload section after the run.
+	Server gpapriori.ServeOverloadStats `json:"server"`
+}
+
+// emit renders the report as indented JSON to path or stdout.
+func emit(rep *Report, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// loader is one run's shared state.
+type loader struct {
+	opts   options
+	client *gpapriori.ServeClient
+	logw   io.Writer
+
+	mu        sync.Mutex
+	rep       Report
+	latencies []time.Duration
+	// hashes maps a query's identity to the first result hash seen;
+	// later sessions must match.
+	hashes map[string]string
+}
+
+func run(ctx context.Context, logw io.Writer, opts options) (*Report, error) {
+	if opts.target == "" {
+		return nil, fmt.Errorf("-target is required")
+	}
+	if opts.rate <= 0 {
+		return nil, fmt.Errorf("-rate %v must be > 0", opts.rate)
+	}
+	if opts.duration <= 0 {
+		return nil, fmt.Errorf("-duration %v must be > 0", opts.duration)
+	}
+	if opts.zipfS <= 1 {
+		return nil, fmt.Errorf("-zipf-s %v must be > 1", opts.zipfS)
+	}
+	if opts.dropFrac < 0 || opts.dropFrac > 1 || opts.slowFrac < 0 || opts.slowFrac > 1 {
+		return nil, fmt.Errorf("-drop-frac/-slow-frac must be in [0,1]")
+	}
+	if opts.priorities < 1 {
+		return nil, fmt.Errorf("-priorities %d must be >= 1", opts.priorities)
+	}
+	client, err := gpapriori.NewServeClient(gpapriori.ServeConfig{
+		BaseURL:  opts.target,
+		PollWait: 5 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	datasets, err := client.Datasets(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("listing datasets: %w", err)
+	}
+	if len(datasets) == 0 {
+		return nil, fmt.Errorf("daemon serves no datasets")
+	}
+	// Popularity rank must not depend on registry map order.
+	names := make([]string, len(datasets))
+	for i, d := range datasets {
+		names[i] = d.Name
+	}
+	sort.Strings(names)
+
+	l := &loader{opts: opts, client: client, logw: logw, hashes: map[string]string{}}
+	l.rep.Target = opts.target
+	l.rep.DurationSec = opts.duration.Seconds()
+	l.rep.Rate = opts.rate
+	l.rep.Seed = opts.seed
+
+	rng := rand.New(rand.NewSource(opts.seed))
+	zipf := rand.NewZipf(rng, opts.zipfS, 1, uint64(len(names)-1))
+
+	var wg sync.WaitGroup
+	launch := func() {
+		req := gpapriori.ServeMineRequest{
+			Dataset:         names[zipf.Uint64()],
+			RelativeSupport: opts.relSupport,
+			Priority:        rng.Intn(opts.priorities),
+		}
+		kind := kindNormal
+		switch f := rng.Float64(); {
+		case f < opts.dropFrac:
+			kind = kindDrop
+		case f < opts.dropFrac+opts.slowFrac:
+			kind = kindSlow
+		}
+		seed := rng.Int63()
+		wg.Add(1)
+		l.rep.Arrivals++
+		go func() {
+			defer wg.Done()
+			l.session(ctx, req, kind, seed)
+		}()
+	}
+
+	interval := time.Duration(float64(time.Second) / opts.rate)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	var burster <-chan time.Time
+	if opts.burst > 0 {
+		bt := time.NewTicker(opts.burstEvery)
+		defer bt.Stop()
+		burster = bt.C
+	}
+	deadline := time.NewTimer(opts.duration)
+	defer deadline.Stop()
+arrivals:
+	for {
+		select {
+		case <-ticker.C:
+			launch()
+		case <-burster:
+			for i := 0; i < opts.burst; i++ {
+				launch()
+			}
+		case <-deadline.C:
+			break arrivals
+		case <-ctx.Done():
+			break arrivals
+		}
+	}
+	wg.Wait()
+
+	l.mu.Lock()
+	rep := l.rep
+	rep.GoodputPerSec = float64(rep.Completed) / opts.duration.Seconds()
+	rep.LatencyMs = percentiles(l.latencies)
+	l.mu.Unlock()
+	rep.Date = time.Now().UTC().Format("2006-01-02")
+	if stats, err := client.Stats(ctx); err == nil {
+		rep.Server = stats.Overload
+	} else {
+		fmt.Fprintf(logw, "gpaload: final /statsz failed: %v\n", err)
+	}
+	return &rep, nil
+}
+
+// sessionKind is a session's chaos behavior.
+type sessionKind int
+
+const (
+	kindNormal sessionKind = iota
+	kindDrop               // sever the connection mid-flight
+	kindSlow               // subscribe to the stream, read slowly
+)
+
+// pacedRefusal classifies err as a 429/503 the daemon asked us to pace,
+// and audits the pacing hint's presence while it is at it.
+func (l *loader) pacedRefusal(err error) (time.Duration, bool) {
+	var se *gpapriori.ServeError
+	if !errors.As(err, &se) {
+		return 0, false
+	}
+	if se.Status != http.StatusTooManyRequests && se.Status != http.StatusServiceUnavailable {
+		return 0, false
+	}
+	l.mu.Lock()
+	l.rep.Refusals++
+	if se.RetryAfter > 0 {
+		l.rep.RetryAfterSeen++
+	} else {
+		l.rep.RetryAfterMissing++
+	}
+	l.mu.Unlock()
+	return se.RetryAfter, true
+}
+
+// noteFailure records a terminal session failure, separating the 5xx
+// the SLO forbids from client-side noise.
+func (l *loader) noteFailure(err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.rep.Failed++
+	var se *gpapriori.ServeError
+	if errors.As(err, &se) && se.Status >= 500 && se.Status != http.StatusServiceUnavailable {
+		l.rep.ServerErrors++
+	}
+}
+
+// session runs one client from submit to terminal state and records
+// the outcome. Refused submissions honor the daemon's Retry-After up
+// to the retry budget; admitted jobs are watched to completion and
+// their result hashed for the cross-session identity check.
+func (l *loader) session(ctx context.Context, req gpapriori.ServeMineRequest, kind sessionKind, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	sctx := ctx
+	if kind == kindDrop {
+		// A dropped connection is a cancelled context: the transport
+		// closes mid-flight wherever the session happens to be.
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithCancel(ctx)
+		t := time.AfterFunc(time.Duration(rng.Int63n(int64(l.opts.duration))), cancel)
+		defer t.Stop()
+		defer cancel()
+		l.mu.Lock()
+		l.rep.Chaos.DropSessions++
+		l.mu.Unlock()
+	}
+
+	var info *gpapriori.ServeJobInfo
+	var err error
+	for attempt := 0; ; attempt++ {
+		info, err = l.client.Submit(sctx, req)
+		if err == nil {
+			break
+		}
+		if wait, paced := l.pacedRefusal(err); paced {
+			if attempt >= l.opts.retries {
+				l.mu.Lock()
+				l.rep.Rejected++
+				l.mu.Unlock()
+				return
+			}
+			if wait <= 0 {
+				wait = 100 * time.Millisecond
+			}
+			select {
+			case <-time.After(wait):
+				continue
+			case <-sctx.Done():
+			}
+		}
+		if sctx.Err() != nil && ctx.Err() == nil {
+			l.noteDrop()
+			return
+		}
+		l.noteFailure(err)
+		return
+	}
+
+	admitted := time.Now()
+	if kind == kindSlow && !info.Terminal() {
+		l.mu.Lock()
+		l.rep.Chaos.SlowSessions++
+		l.mu.Unlock()
+		_, serr := l.client.Stream(sctx, info.ID, func(gpapriori.ServeGenerationEvent) error {
+			select {
+			case <-time.After(l.opts.slowDelay):
+			case <-sctx.Done():
+			}
+			return nil
+		})
+		if errors.Is(serr, gpapriori.ErrStreamLost) {
+			l.mu.Lock()
+			l.rep.Chaos.StreamLost++
+			l.mu.Unlock()
+		}
+		// Whatever the stream's fate — evicted, dropped, finished — the
+		// session still resolves the job below.
+	}
+	for !info.Terminal() {
+		info, err = l.client.Wait(sctx, info.ID)
+		if err != nil {
+			if sctx.Err() != nil && ctx.Err() == nil {
+				l.noteDrop()
+				return
+			}
+			if _, paced := l.pacedRefusal(err); paced {
+				// A drain 503 on a status poll: the job outlives us; the
+				// session ends as rejected-by-drain.
+				l.mu.Lock()
+				l.rep.Rejected++
+				l.mu.Unlock()
+				return
+			}
+			l.noteFailure(err)
+			return
+		}
+	}
+	switch info.State {
+	case gpapriori.JobDone.String():
+	case gpapriori.JobShed.String():
+		l.mu.Lock()
+		l.rep.Rejected++
+		l.mu.Unlock()
+		return
+	default:
+		l.noteFailure(fmt.Errorf("job %s ended %s: %s", info.ID, info.State, info.Error))
+		return
+	}
+	latency := time.Since(admitted)
+
+	// Identical queries must yield byte-identical results, no matter
+	// how much shedding and retrying happened around them.
+	sum := sha256.New()
+	items, err := l.client.Result(sctx, info.ID)
+	if err != nil {
+		if sctx.Err() != nil && ctx.Err() == nil {
+			l.noteDrop()
+			return
+		}
+		l.noteFailure(err)
+		return
+	}
+	for _, it := range items {
+		fmt.Fprintf(sum, "%v:%d\n", it.Items, it.Support)
+	}
+	digest := hex.EncodeToString(sum.Sum(nil))
+	qid := fmt.Sprintf("%s/%d/%d", req.Dataset, info.MinSupport, req.MaxLen)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.rep.Completed++
+	l.latencies = append(l.latencies, latency)
+	if prev, ok := l.hashes[qid]; !ok {
+		l.hashes[qid] = digest
+	} else if prev != digest {
+		l.rep.ResultHashMismatches++
+		fmt.Fprintf(l.logw, "gpaload: result divergence on %s: %s vs %s\n", qid, prev, digest)
+	}
+}
+
+// noteDrop records a session ended by its own chaos cancellation.
+func (l *loader) noteDrop() {
+	l.mu.Lock()
+	l.rep.Dropped++
+	l.mu.Unlock()
+}
+
+// percentiles summarizes ds in milliseconds (zero value when empty).
+func percentiles(ds []time.Duration) Percentiles {
+	if len(ds) == 0 {
+		return Percentiles{}
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(q float64) float64 {
+		i := int(q*float64(len(sorted))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return float64(sorted[i]) / float64(time.Millisecond)
+	}
+	return Percentiles{
+		P50: at(0.50), P95: at(0.95), P99: at(0.99),
+		Max: float64(sorted[len(sorted)-1]) / float64(time.Millisecond),
+	}
+}

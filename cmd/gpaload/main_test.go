@@ -1,0 +1,142 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gpapriori"
+	"gpapriori/internal/server"
+)
+
+// bootDaemon serves two small datasets through the real server stack.
+func bootDaemon(t *testing.T, jobs gpapriori.JobManagerConfig) *httptest.Server {
+	t.Helper()
+	reg := server.NewRegistry()
+	for _, d := range []struct{ name, spec string }{
+		{"hot", "quest:30:60:5:1"},
+		{"cold", "quest:30:60:5:2"},
+	} {
+		if _, err := reg.AddSpec(d.name, d.spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, err := server.New(server.Config{Registry: reg, Jobs: jobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Drain(ctx)
+	})
+	return ts
+}
+
+// TestRunValidatesOptions holds the flag bounds.
+func TestRunValidatesOptions(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*options)
+		want string
+	}{
+		{"no target", func(o *options) {}, "-target"},
+		{"bad rate", func(o *options) { o.target = "http://x"; o.rate = 0 }, "-rate"},
+		{"bad zipf", func(o *options) { o.target = "http://x"; o.zipfS = 1 }, "-zipf-s"},
+		{"bad frac", func(o *options) { o.target = "http://x"; o.dropFrac = 2 }, "-drop-frac"},
+		{"bad duration", func(o *options) { o.target = "http://x"; o.duration = 0 }, "-duration"},
+	}
+	for _, c := range cases {
+		opts := defaultOptions()
+		c.mut(&opts)
+		_, err := run(context.Background(), io.Discard, opts)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestLoadAgainstDaemon drives a short open-loop run with chaos mixed
+// in against a live in-process daemon and checks the SLO contract: no
+// 5xx beyond the shed protocol, no unpaced refusal, no result
+// divergence, and real goodput.
+func TestLoadAgainstDaemon(t *testing.T) {
+	ts := bootDaemon(t, gpapriori.JobManagerConfig{
+		MemoryBudgetMB: 64,
+		Workers:        2,
+		SojournTarget:  200 * time.Millisecond,
+	})
+	opts := defaultOptions()
+	opts.target = ts.URL
+	opts.duration = 1500 * time.Millisecond
+	opts.rate = 40
+	opts.burst = 10
+	opts.burstEvery = 500 * time.Millisecond
+	opts.dropFrac = 0.1
+	opts.slowFrac = 0.1
+	opts.slowDelay = 5 * time.Millisecond
+	opts.retries = 3
+
+	rep, err := run(context.Background(), io.Discard, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Arrivals == 0 {
+		t.Fatal("no arrivals")
+	}
+	if rep.Completed == 0 {
+		t.Fatal("no session completed")
+	}
+	if got := rep.Completed + rep.Rejected + rep.Failed + rep.Dropped; got != rep.Arrivals {
+		t.Errorf("outcomes %d do not account for %d arrivals", got, rep.Arrivals)
+	}
+	if rep.ServerErrors != 0 {
+		t.Errorf("daemon produced %d 5xx outside the shed protocol", rep.ServerErrors)
+	}
+	if rep.RetryAfterMissing != 0 {
+		t.Errorf("%d refusals arrived without Retry-After", rep.RetryAfterMissing)
+	}
+	if rep.ResultHashMismatches != 0 {
+		t.Errorf("%d result divergences across identical queries", rep.ResultHashMismatches)
+	}
+	if rep.Completed > 0 && rep.LatencyMs.P50 <= 0 {
+		t.Errorf("completed sessions but empty latency distribution: %+v", rep.LatencyMs)
+	}
+	if rep.GoodputPerSec <= 0 {
+		t.Errorf("goodput %v, want > 0", rep.GoodputPerSec)
+	}
+}
+
+// TestFailFastRejectionsArePaced saturates a one-slot daemon with
+// fail-fast sessions (no retry budget) and checks that every refusal
+// carried a pacing hint and was classified as a rejection, not a
+// failure.
+func TestFailFastRejectionsArePaced(t *testing.T) {
+	ts := bootDaemon(t, gpapriori.JobManagerConfig{
+		MemoryBudgetMB: 64,
+		Workers:        1,
+		QueueLimit:     1,
+	})
+	opts := defaultOptions()
+	opts.target = ts.URL
+	opts.duration = time.Second
+	opts.rate = 60
+	opts.retries = 0
+	opts.relSupport = 0.2
+
+	rep, err := run(context.Background(), io.Discard, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 || rep.ServerErrors != 0 {
+		t.Errorf("failures under saturation: failed=%d server_errors=%d", rep.Failed, rep.ServerErrors)
+	}
+	if rep.Refusals > 0 && rep.RetryAfterMissing != 0 {
+		t.Errorf("%d of %d refusals unpaced", rep.RetryAfterMissing, rep.Refusals)
+	}
+}

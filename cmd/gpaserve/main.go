@@ -47,33 +47,98 @@ func (d *datasetFlags) Set(v string) error {
 	return nil
 }
 
+// options is run's full configuration, mirroring the flag surface —
+// one struct so tests state only what they care about and new knobs
+// never ripple through call sites.
+type options struct {
+	listen   string
+	datasets []string
+	queue    int
+	memMB    int
+	workers  int
+	cacheMB  int
+	stateDir string
+	portFile string
+	drainSec float64
+
+	// Transport hardening (see server.OverloadConfig and the listener
+	// timeouts below).
+	readHeaderTimeout  time.Duration
+	idleTimeout        time.Duration
+	handlerTimeout     time.Duration
+	streamWriteTimeout time.Duration
+	maxBodyKB          int
+
+	// Latency-aware admission (see gpapriori.JobManagerConfig).
+	sojournTarget   time.Duration
+	sojournInterval time.Duration
+	latencyTarget   time.Duration
+}
+
+// defaultOptions is the production default for every knob — what the
+// flags advertise and what tests start from.
+func defaultOptions() options {
+	return options{
+		listen:             "127.0.0.1:0",
+		memMB:              256,
+		cacheMB:            32,
+		drainSec:           30,
+		readHeaderTimeout:  5 * time.Second,
+		idleTimeout:        2 * time.Minute,
+		handlerTimeout:     server.DefaultHandlerTimeout,
+		streamWriteTimeout: server.DefaultStreamWriteTimeout,
+		sojournTarget:      2 * time.Second,
+	}
+}
+
+// maxListenerTimeout bounds the configurable listener timeouts; past
+// this a "timeout" defends nothing.
+const maxListenerTimeout = 10 * time.Minute
+
 func main() {
 	var datasets datasetFlags
-	listen := flag.String("listen", "127.0.0.1:0", "host:port to listen on (port 0 picks a free port)")
-	queue := flag.Int("queue", 0, "admission queue limit (0 = default)")
-	memMB := flag.Int("mem-mb", 256, "modeled memory budget for admitted jobs, in MiB")
-	workers := flag.Int("workers", 0, "concurrently running jobs (0 = default)")
-	cacheMB := flag.Int("cache-mb", 32, "result cache budget, in MiB (0 disables)")
-	stateDir := flag.String("state-dir", "", "directory for checkpoints and the drain journal (empty = stateless)")
-	portFile := flag.String("port-file", "", "write the bound listen address to this file once serving")
-	drainSec := flag.Float64("drain-timeout", 30, "seconds to wait for drain on shutdown")
+	opts := defaultOptions()
+	flag.StringVar(&opts.listen, "listen", opts.listen, "host:port to listen on (port 0 picks a free port)")
+	flag.IntVar(&opts.queue, "queue", opts.queue, "admission queue limit (0 = default)")
+	flag.IntVar(&opts.memMB, "mem-mb", opts.memMB, "modeled memory budget for admitted jobs, in MiB")
+	flag.IntVar(&opts.workers, "workers", opts.workers, "concurrently running jobs (0 = default)")
+	flag.IntVar(&opts.cacheMB, "cache-mb", opts.cacheMB, "result cache budget, in MiB (0 disables)")
+	flag.StringVar(&opts.stateDir, "state-dir", opts.stateDir, "directory for checkpoints and the drain journal (empty = stateless)")
+	flag.StringVar(&opts.portFile, "port-file", opts.portFile, "write the bound listen address to this file once serving")
+	flag.Float64Var(&opts.drainSec, "drain-timeout", opts.drainSec, "seconds to wait for drain on shutdown")
+	flag.DurationVar(&opts.readHeaderTimeout, "read-header-timeout", opts.readHeaderTimeout, "time a client may take to send request headers")
+	flag.DurationVar(&opts.idleTimeout, "idle-timeout", opts.idleTimeout, "keep-alive idle connection timeout")
+	flag.DurationVar(&opts.handlerTimeout, "handler-timeout", opts.handlerTimeout, "deadline for non-streaming handlers, including reading the body")
+	flag.DurationVar(&opts.streamWriteTimeout, "stream-write-timeout", opts.streamWriteTimeout, "per-write deadline on /stream; a slower subscriber is evicted")
+	flag.IntVar(&opts.maxBodyKB, "max-body-kb", opts.maxBodyKB, "JSON request body limit in KiB (0 = server default 1024)")
+	flag.DurationVar(&opts.sojournTarget, "sojourn-target", opts.sojournTarget, "queue sojourn target for latency-aware admission (0 disables shedding)")
+	flag.DurationVar(&opts.sojournInterval, "sojourn-interval", opts.sojournInterval, "sustain window before the sojourn controller sheds (0 = 4x target)")
+	flag.DurationVar(&opts.latencyTarget, "latency-target", opts.latencyTarget, "job completion latency target for the AIMD concurrency limiter (0 disables)")
 	flag.Var(&datasets, "dataset", "name=spec dataset to register (repeatable); spec is file:<path>, gen:<name>:<scale>, or quest:<items>:<trans>:<avglen>:<seed>")
 	flag.Parse()
+	opts.datasets = datasets
 
-	if err := run(os.Stderr, *listen, datasets, *queue, *memMB, *workers,
-		*cacheMB, *stateDir, *portFile, *drainSec); err != nil {
+	if err := run(os.Stderr, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "gpaserve: "+err.Error())
 		os.Exit(1)
 	}
 }
 
-func run(logw io.Writer, listen string, datasets []string, queue, memMB, workers,
-	cacheMB int, stateDir, portFile string, drainSec float64) error {
-	if len(datasets) == 0 {
+func run(logw io.Writer, opts options) error {
+	if len(opts.datasets) == 0 {
 		return fmt.Errorf("at least one -dataset name=spec is required")
 	}
+	if opts.readHeaderTimeout <= 0 || opts.readHeaderTimeout > maxListenerTimeout {
+		return fmt.Errorf("-read-header-timeout %v must be in (0,%v]", opts.readHeaderTimeout, maxListenerTimeout)
+	}
+	if opts.idleTimeout <= 0 || opts.idleTimeout > maxListenerTimeout {
+		return fmt.Errorf("-idle-timeout %v must be in (0,%v]", opts.idleTimeout, maxListenerTimeout)
+	}
+	if opts.maxBodyKB < 0 {
+		return fmt.Errorf("-max-body-kb %d must be >= 0", opts.maxBodyKB)
+	}
 	reg := server.NewRegistry()
-	for _, d := range datasets {
+	for _, d := range opts.datasets {
 		name, spec, ok := strings.Cut(d, "=")
 		if !ok {
 			return fmt.Errorf("-dataset %q: want name=spec", d)
@@ -90,32 +155,48 @@ func run(logw io.Writer, listen string, datasets []string, queue, memMB, workers
 	srv, err := server.New(server.Config{
 		Registry: reg,
 		Jobs: gpapriori.JobManagerConfig{
-			QueueLimit:     queue,
-			MemoryBudgetMB: memMB,
-			Workers:        workers,
+			QueueLimit:      opts.queue,
+			MemoryBudgetMB:  opts.memMB,
+			Workers:         opts.workers,
+			SojournTarget:   opts.sojournTarget,
+			SojournInterval: opts.sojournInterval,
+			LatencyTarget:   opts.latencyTarget,
 		},
-		CacheBudgetBytes: int64(cacheMB) << 20,
-		StateDir:         stateDir,
-		Log:              logw,
+		CacheBudgetBytes: int64(opts.cacheMB) << 20,
+		StateDir:         opts.stateDir,
+		Overload: server.OverloadConfig{
+			HandlerTimeout:     opts.handlerTimeout,
+			StreamWriteTimeout: opts.streamWriteTimeout,
+			MaxBodyBytes:       int64(opts.maxBodyKB) << 10,
+		},
+		Log: logw,
 	})
 	if err != nil {
 		return err
 	}
 
-	ln, err := net.Listen("tcp", listen)
+	ln, err := net.Listen("tcp", opts.listen)
 	if err != nil {
 		return err
 	}
 	addr := ln.Addr().String()
-	if portFile != "" {
-		if err := os.WriteFile(portFile, []byte(addr+"\n"), 0o644); err != nil {
+	if opts.portFile != "" {
+		if err := os.WriteFile(opts.portFile, []byte(addr+"\n"), 0o644); err != nil {
 			ln.Close()
 			return err
 		}
 	}
 	fmt.Fprintf(logw, "gpaserve: listening on %s\n", addr)
 
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	// ReadHeaderTimeout defeats slowloris headers; IdleTimeout reclaims
+	// abandoned keep-alives. Read/Write timeouts stay off on purpose:
+	// they would kill long-polls and streams, whose lifetimes the
+	// handlers bound themselves (wait_sec clamp, per-write deadlines).
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: opts.readHeaderTimeout,
+		IdleTimeout:       opts.idleTimeout,
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
@@ -130,7 +211,7 @@ func run(logw io.Writer, listen string, datasets []string, queue, memMB, workers
 	fmt.Fprintln(logw, "gpaserve: draining")
 
 	drainCtx, cancel := context.WithTimeout(context.Background(),
-		time.Duration(drainSec*float64(time.Second)))
+		time.Duration(opts.drainSec*float64(time.Second)))
 	defer cancel()
 	if err := srv.Drain(drainCtx); err != nil {
 		return fmt.Errorf("drain: %w", err)

@@ -26,7 +26,42 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"bad name", []string{"a/b=gen:chess:0.1"}, "reserved"},
 	}
 	for _, c := range cases {
-		err := run(&log, "127.0.0.1:0", c.datasets, 0, 64, 0, 0, "", "", 1)
+		opts := defaultOptions()
+		opts.datasets = c.datasets
+		opts.memMB = 64
+		opts.cacheMB = 0
+		opts.drainSec = 1
+		err := run(&log, opts)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestRunRejectsBadTimeouts holds the new transport flags to their
+// validated bounds: a zero or absurd timeout is a startup error, not a
+// silently disabled defense.
+func TestRunRejectsBadTimeouts(t *testing.T) {
+	var log bytes.Buffer
+	cases := []struct {
+		name string
+		mut  func(*options)
+		want string
+	}{
+		{"zero read-header", func(o *options) { o.readHeaderTimeout = 0 }, "-read-header-timeout"},
+		{"huge read-header", func(o *options) { o.readHeaderTimeout = time.Hour }, "-read-header-timeout"},
+		{"negative idle", func(o *options) { o.idleTimeout = -time.Second }, "-idle-timeout"},
+		{"negative body", func(o *options) { o.maxBodyKB = -1 }, "-max-body-kb"},
+		{"huge handler", func(o *options) { o.handlerTimeout = time.Hour }, "HandlerTimeout"},
+		{"tiny body", func(o *options) { o.maxBodyKB = 1 }, "MaxBodyBytes"},
+	}
+	for _, c := range cases {
+		opts := defaultOptions()
+		opts.datasets = []string{"toy=quest:40:80:6:3"}
+		opts.memMB = 64
+		opts.cacheMB = 0
+		c.mut(&opts)
+		err := run(&log, opts)
 		if err == nil || !strings.Contains(err.Error(), c.want) {
 			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.want)
 		}
@@ -43,8 +78,14 @@ func TestRunServesAndDrainsOnSIGTERM(t *testing.T) {
 	var log safeBuffer
 	done := make(chan error, 1)
 	go func() {
-		done <- run(&log, "127.0.0.1:0", []string{"toy=quest:40:80:6:3"},
-			0, 64, 0, 4, dir, portFile, 10)
+		opts := defaultOptions()
+		opts.datasets = []string{"toy=quest:40:80:6:3"}
+		opts.memMB = 64
+		opts.cacheMB = 4
+		opts.stateDir = dir
+		opts.portFile = portFile
+		opts.drainSec = 10
+		done <- run(&log, opts)
 	}()
 
 	var addr string

@@ -51,6 +51,14 @@ func TestFaultPathFlagsBareDiskOpsInCheckpoint(t *testing.T) {
 	analysistest.Run(t, analysis.FaultPath, "faultpath/checkpoint")
 }
 
+func TestHTTPLimitsFlagsUnboundedServersAndBodyReads(t *testing.T) {
+	analysistest.Run(t, analysis.HTTPLimits, "httplimits/bare")
+}
+
+func TestHTTPLimitsAllowsBoundedIdioms(t *testing.T) {
+	analysistest.Run(t, analysis.HTTPLimits, "httplimits/clean")
+}
+
 func TestCtxThreadFlagsBrokenChains(t *testing.T) {
 	analysistest.Run(t, analysis.CtxThread, "ctxthread/lib")
 }

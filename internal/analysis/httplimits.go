@@ -1,0 +1,146 @@
+// The httplimits analyzer: every HTTP listener and every request-body
+// read must be bounded. PR 8's overload work made the daemon's
+// transport defenses explicit — ReadHeaderTimeout against slowloris
+// headers, http.MaxBytesReader against unbounded bodies — and this
+// analyzer keeps the next listener or handler from quietly shipping
+// without them.
+//
+// Two rules, applied in every package (a bare listener in a test
+// helper leaks into production idiom just as easily):
+//
+//  1. An http.Server composite literal must set ReadHeaderTimeout (or
+//     ReadTimeout, which net/http falls back to for headers). The
+//     header-read phase is pre-handler: nothing inside a handler can
+//     bound it, only the server config can. http.ListenAndServe and
+//     friends are flagged outright — they construct exactly that
+//     unbounded server.
+//
+//  2. Inside a handler-shaped function (anything receiving a
+//     *net/http.Request), io.ReadAll directly on the request body is
+//     an unbounded client-controlled allocation: wrap the body with
+//     http.MaxBytesReader first, which also gives clients the typed
+//     413 instead of an opaque failure.
+//
+// Sanctioned exceptions carry //gpalint:ignore httplimits <reason>.
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HTTPLimits enforces bounded HTTP servers and request-body reads.
+var HTTPLimits = &Analyzer{
+	Name: "httplimits",
+	Doc: "require ReadHeaderTimeout (or ReadTimeout) on http.Server literals, forbid the " +
+		"bare http.ListenAndServe/Serve helpers, and forbid io.ReadAll on a request body " +
+		"not wrapped by http.MaxBytesReader",
+	Run: runHTTPLimits,
+}
+
+func runHTTPLimits(pass *Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			checkServerLiteral(pass, n)
+		case *ast.CallExpr:
+			checkBareListenHelper(pass, n)
+		}
+		return true
+	})
+	// The body rule needs the enclosing function's request parameter,
+	// so handler-shaped declarations and literals get their own walk.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body == nil {
+					return true
+				}
+				if req := httpRequestParam(pass, n.Type); req != nil {
+					checkBodyReads(pass, n.Body, n.Name.Name, req)
+				}
+			case *ast.FuncLit:
+				if req := httpRequestParam(pass, n.Type); req != nil {
+					checkBodyReads(pass, n.Body, "handler literal", req)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isHTTPServerType reports whether t is net/http.Server.
+func isHTTPServerType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Server" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}
+
+// checkServerLiteral flags an http.Server composite literal that bounds
+// neither the header-read phase nor the whole request read.
+func checkServerLiteral(pass *Pass, lit *ast.CompositeLit) {
+	t := pass.TypeOf(lit)
+	if t == nil || !isHTTPServerType(t) {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok &&
+			(key.Name == "ReadHeaderTimeout" || key.Name == "ReadTimeout") {
+			return
+		}
+	}
+	pass.Reportf(lit.Pos(),
+		"http.Server without ReadHeaderTimeout: a client that never finishes its headers holds the connection forever (set ReadHeaderTimeout, or ReadTimeout which also bounds headers)")
+}
+
+// checkBareListenHelper flags the net/http package-level serve helpers,
+// which build a default Server with no timeouts at all.
+func checkBareListenHelper(pass *Pass, call *ast.CallExpr) {
+	for _, name := range []string{"ListenAndServe", "ListenAndServeTLS", "Serve", "ServeTLS"} {
+		if IsPkgFunc(pass.TypesInfo, call, "net/http", name) {
+			pass.Reportf(call.Pos(),
+				"http.%s constructs a Server with no timeouts: build an http.Server with ReadHeaderTimeout and serve through it",
+				name)
+			return
+		}
+	}
+}
+
+// checkBodyReads flags io.ReadAll applied directly to the handler's
+// request body. Reading through http.MaxBytesReader (or any other
+// bounding wrapper) changes the argument shape and passes.
+func checkBodyReads(pass *Pass, body *ast.BlockStmt, name string, req *types.Var) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		// Nested handler-shaped literals are visited by the outer walk
+		// with their own request parameter.
+		if lit, ok := n.(*ast.FuncLit); ok && httpRequestParam(pass, lit.Type) != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		if !IsPkgFunc(pass.TypesInfo, call, "io", "ReadAll") {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Body" {
+			return true
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pass.ObjectOf(id) == req {
+			pass.Reportf(call.Pos(),
+				"io.ReadAll on %s.Body in %s is an unbounded client-controlled allocation: wrap it with http.MaxBytesReader first",
+				req.Name(), name)
+		}
+		return true
+	})
+}

@@ -7,6 +7,7 @@ func All() []*Analyzer {
 		CtxThread,
 		Determinism,
 		FaultPath,
+		HTTPLimits,
 		LockScope,
 		MapOrder,
 		TypedErr,

@@ -1,0 +1,45 @@
+// Hit cases for httplimits: unbounded listeners and unbounded
+// request-body reads.
+package bare
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"time"
+)
+
+// serveBare builds the exact listener shape the rule exists for.
+func serveBare(h http.Handler, ln net.Listener) error {
+	srv := &http.Server{Handler: h} // want `http.Server without ReadHeaderTimeout`
+	return srv.Serve(ln)
+}
+
+// serveValueLiteral is the same defect without the pointer.
+func serveValueLiteral(h http.Handler) http.Server {
+	return http.Server{ // want `http.Server without ReadHeaderTimeout`
+		Addr:        ":8080",
+		Handler:     h,
+		IdleTimeout: time.Minute, // other timeouts do not bound the header read
+	}
+}
+
+// listenHelpers use net/http's default server: no timeouts at all.
+func listenHelpers(h http.Handler, ln net.Listener) {
+	_ = http.ListenAndServe(":8080", h) // want `http.ListenAndServe constructs a Server with no timeouts`
+	_ = http.Serve(ln, h)               // want `http.Serve constructs a Server with no timeouts`
+}
+
+// handleSlurp reads a client-controlled body without a bound.
+func handleSlurp(w http.ResponseWriter, r *http.Request) {
+	data, _ := io.ReadAll(r.Body) // want `io.ReadAll on r.Body in handleSlurp is an unbounded client-controlled allocation`
+	w.Write(data)
+}
+
+// registerSlurpLiteral is the same defect inside a handler closure.
+func registerSlurpLiteral(mux *http.ServeMux) {
+	mux.HandleFunc("/slurp", func(w http.ResponseWriter, req *http.Request) {
+		b, _ := io.ReadAll(req.Body) // want `io.ReadAll on req.Body in handler literal`
+		w.Write(b)
+	})
+}

@@ -1,0 +1,54 @@
+// Non-hit cases for httplimits: bounded listeners and bounded or
+// out-of-scope body reads must stay silent.
+package clean
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// serveBounded sets the header-read bound explicitly.
+func serveBounded(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       time.Minute,
+	}
+}
+
+// serveReadTimeout bounds the whole read, which net/http also applies
+// to the header phase.
+func serveReadTimeout(h http.Handler) *http.Server {
+	return &http.Server{Handler: h, ReadTimeout: 10 * time.Second}
+}
+
+// handleBounded wraps the body before slurping it: the typed-413 path.
+func handleBounded(w http.ResponseWriter, r *http.Request) {
+	data, _ := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	w.Write(data)
+}
+
+// handleOtherReader reads something that is not the request body.
+func handleOtherReader(w http.ResponseWriter, r *http.Request) {
+	data, _ := io.ReadAll(strings.NewReader(r.URL.Path))
+	w.Write(data)
+}
+
+// clientResponse reads a *response* body — the server-side rule does
+// not apply outside handler-shaped functions.
+func clientResponse(c *http.Client, url string) ([]byte, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// sanctioned carries an explicit ignore with its reason.
+func sanctioned(h http.Handler) *http.Server {
+	//gpalint:ignore httplimits test-only server behind a unix socket
+	return &http.Server{Handler: h}
+}

@@ -181,4 +181,3 @@ func (c *BatchCounter) CountPairs(base *Bitset, others []*Bitset, minsup int, ou
 		}
 	}
 }
-

@@ -111,6 +111,10 @@ type Job struct {
 	// manager shutdown.
 	Run func(ctx context.Context) error
 
+	// enqueuedAt is the submission timestamp; queue sojourn (the
+	// overload controller's signal) is measured from it.
+	enqueuedAt time.Time
+
 	mu        sync.Mutex
 	state     State
 	err       error
@@ -193,6 +197,21 @@ type Options struct {
 	MemoryBudgetBytes int64
 	// Workers bounds concurrently running jobs (0 = DefaultWorkers).
 	Workers int
+	// SojournTarget enables the latency-aware admission controller
+	// (overload.go): queue sojourn above this target sustained for
+	// SojournInterval puts the manager in the overloaded state, where
+	// it sheds lowest-priority-first and rejects submissions with a
+	// Retry-After hint. 0 disables the controller.
+	SojournTarget time.Duration
+	// SojournInterval is the sustain window and shed pacing of the
+	// sojourn controller (0 = 4 × SojournTarget). Requires
+	// SojournTarget.
+	SojournInterval time.Duration
+	// LatencyTarget enables the AIMD concurrency limiter: a job
+	// completing slower than this halves the effective worker limit
+	// (at most once per interval), completions within it add a worker
+	// back up to Workers. 0 disables the limiter.
+	LatencyTarget time.Duration
 }
 
 // DefaultQueueLimit bounds the admission queue when Options.QueueLimit
@@ -212,6 +231,18 @@ func (o Options) Validate() error {
 	}
 	if o.Workers < 0 {
 		return fmt.Errorf("jobs: Options.Workers %d must be ≥0", o.Workers)
+	}
+	if o.SojournTarget < 0 {
+		return fmt.Errorf("jobs: Options.SojournTarget %v must be ≥0", o.SojournTarget)
+	}
+	if o.SojournInterval < 0 {
+		return fmt.Errorf("jobs: Options.SojournInterval %v must be ≥0", o.SojournInterval)
+	}
+	if o.SojournInterval > 0 && o.SojournTarget == 0 {
+		return fmt.Errorf("jobs: Options.SojournInterval %v requires a SojournTarget", o.SojournInterval)
+	}
+	if o.LatencyTarget < 0 {
+		return fmt.Errorf("jobs: Options.LatencyTarget %v must be ≥0", o.LatencyTarget)
 	}
 	return nil
 }
@@ -240,6 +271,9 @@ type Counters struct {
 // Manager runs jobs under a memory budget with bounded queueing.
 type Manager struct {
 	opt Options
+	// now is the clock seam: production time.Now, replaceable by tests
+	// so the sojourn/AIMD controllers run on scripted time.
+	now func() time.Time
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -249,6 +283,7 @@ type Manager struct {
 	nextSeq int64
 	closed  bool
 	counts  Counters
+	over    overload
 	baseCtx context.Context
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
@@ -275,7 +310,8 @@ func NewManagerContext(parent context.Context, opt Options) (*Manager, error) {
 		opt.Workers = DefaultWorkers
 	}
 	ctx, cancel := context.WithCancel(parent)
-	m := &Manager{opt: opt, baseCtx: ctx, cancel: cancel}
+	m := &Manager{opt: opt, now: time.Now, baseCtx: ctx, cancel: cancel}
+	m.over = newOverload(opt)
 	m.cond = sync.NewCond(&m.mu)
 	m.wg.Add(1)
 	go m.schedule()
@@ -303,11 +339,36 @@ func (m *Manager) Submit(j *Job) error {
 	if m.closed {
 		return ErrClosed
 	}
+	now := m.now()
+	m.observeQueueLocked(now)
+	if m.over.overloaded {
+		// Latency overload: sojourn has been above target for a
+		// sustained interval. Lowest-priority-first applies to the
+		// newcomer too — it is refused unless it outranks the current
+		// shed candidate, in which case the candidate is evicted in its
+		// favor, mirroring the queue-overflow displacement rule.
+		victim := m.shedCandidateLocked()
+		if victim == nil || victim.Priority >= j.Priority {
+			m.over.rejections++
+			return &RetryAfterError{
+				Err: fmt.Errorf("%w (sojourn %v over target %v)",
+					ErrOverloaded, m.over.lastSoj, m.over.target),
+				RetryAfter: m.over.retryAfter(now, len(m.queue)),
+			}
+		}
+		m.removeLocked(victim)
+		m.counts.Shed++
+		m.over.sheds++
+		victim.finish(Shed, fmt.Errorf("%w: displaced by %q under overload", ErrShed, j.Name))
+	}
 	if len(m.queue) >= m.opt.QueueLimit {
 		victim := m.shedCandidateLocked()
 		if victim == nil || victim.Priority >= j.Priority {
-			return fmt.Errorf("%w: %d jobs queued (limit %d)",
-				ErrQueueFull, len(m.queue), m.opt.QueueLimit)
+			return &RetryAfterError{
+				Err: fmt.Errorf("%w: %d jobs queued (limit %d)",
+					ErrQueueFull, len(m.queue), m.opt.QueueLimit),
+				RetryAfter: m.over.retryAfter(now, len(m.queue)),
+			}
 		}
 		m.removeLocked(victim)
 		m.counts.Shed++
@@ -315,6 +376,7 @@ func (m *Manager) Submit(j *Job) error {
 	}
 	j.done = make(chan struct{})
 	j.state = Queued
+	j.enqueuedAt = now
 	j.seq = m.nextSeq
 	m.nextSeq++
 	m.queue = append(m.queue, j)
@@ -373,6 +435,36 @@ func (m *Manager) shedCandidateLocked() *Job {
 	return victim
 }
 
+// headSojournLocked is the age of the oldest queued job — the sojourn
+// a job admitted right now would report, and the controller's live
+// overload signal. Callers hold m.mu.
+func (m *Manager) headSojournLocked(now time.Time) time.Duration {
+	var oldest time.Time
+	for _, j := range m.queue {
+		if oldest.IsZero() || j.enqueuedAt.Before(oldest) {
+			oldest = j.enqueuedAt
+		}
+	}
+	if oldest.IsZero() {
+		return 0
+	}
+	return now.Sub(oldest)
+}
+
+// observeQueueLocked runs the sojourn controller over the current queue
+// state and finishes the at-most-one victim its control law sheds.
+// Callers hold m.mu.
+func (m *Manager) observeQueueLocked(now time.Time) {
+	victim := m.over.observeQueue(now, m.headSojournLocked(now), m.shedCandidateLocked())
+	if victim == nil {
+		return
+	}
+	m.removeLocked(victim)
+	m.counts.Shed++
+	victim.finish(Shed, fmt.Errorf("%w: shed by overload controller (queue sojourn %v over target %v)",
+		ErrShed, m.over.lastSoj, m.over.target))
+}
+
 // bestLocked picks the next job to admit: highest priority, FIFO within.
 func (m *Manager) bestLocked() *Job {
 	var best *Job
@@ -418,12 +510,19 @@ func (m *Manager) schedule() {
 			m.cond.Wait()
 			continue
 		}
-		if best == nil || m.running >= m.opt.Workers ||
+		if best == nil || m.running >= m.over.limit() ||
 			m.inUse+best.MemBytes > m.opt.MemoryBudgetBytes {
 			m.cond.Wait()
 			continue
 		}
+		now := m.now()
+		// Feed the controller the admitted job's actual sojourn (CoDel
+		// observes the dequeued packet's delay), then re-observe the
+		// remaining queue so an overloaded state keeps shedding even
+		// when no new submissions arrive.
+		m.over.observeAdmission(best.Priority, now.Sub(best.enqueuedAt))
 		m.removeLocked(best)
+		m.observeQueueLocked(now)
 		m.inUse += best.MemBytes
 		m.running++
 		m.counts.Admitted++
@@ -452,7 +551,9 @@ func (m *Manager) run(j *Job) {
 		// before Run starts, so the job returns promptly.
 		cancel()
 	}
+	started := m.now()
 	err := j.Run(ctx)
+	runDur := m.now().Sub(started)
 	cancel()
 	j.mu.Lock()
 	canceled := j.cancelReq
@@ -473,6 +574,9 @@ func (m *Manager) run(j *Job) {
 	m.mu.Lock()
 	m.inUse -= j.MemBytes
 	m.running--
+	now := m.now()
+	m.over.observeCompletion(now, runDur)
+	m.observeQueueLocked(now)
 	switch state {
 	case Done:
 		m.counts.Done++
@@ -509,6 +613,27 @@ func (m *Manager) QueueLen() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.queue)
+}
+
+// Overload snapshots the overload controller: sojourn state, shed and
+// rejection counts, the drain-rate-derived Retry-After hint, and the
+// AIMD concurrency limit.
+func (m *Manager) Overload() OverloadStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	st := m.over.stats(now, len(m.queue))
+	st.SojournMs = m.headSojournLocked(now).Milliseconds()
+	return st
+}
+
+// RetryAfterHint is the manager's current pacing suggestion for
+// refused work, derived from the measured drain rate and queue length —
+// what a server should put in a Retry-After header on any 429/503.
+func (m *Manager) RetryAfterHint() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.over.retryAfter(m.now(), len(m.queue))
 }
 
 // Close stops admission: running jobs finish, queued jobs fail with

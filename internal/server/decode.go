@@ -42,15 +42,33 @@ func badRequest(format string, args ...any) *gpapriori.ServeError {
 	}
 }
 
+// bodyTooLarge is the typed 413 for a body past the configured limit —
+// distinct from over_budget (job footprint) and never a parse panic.
+func bodyTooLarge(limit int64) *gpapriori.ServeError {
+	return &gpapriori.ServeError{
+		Status:  http.StatusRequestEntityTooLarge,
+		Code:    "body_too_large",
+		Message: fmt.Sprintf("request body exceeds %d bytes", limit),
+	}
+}
+
 // DecodeMineRequest reads one ServeMineRequest from r, rejecting
 // unknown fields, trailing content, and out-of-range values. The
-// returned error is always a *ServeError with status 400; the request
-// is non-nil only on success.
+// returned error is always a *ServeError: status 413 when r is an
+// http.MaxBytesReader whose limit tripped, status 400 for everything
+// else; the request is non-nil only on success.
 func DecodeMineRequest(r io.Reader) (*gpapriori.ServeMineRequest, *gpapriori.ServeError) {
-	dec := json.NewDecoder(io.LimitReader(r, maxRequestBody))
+	// The +1 keeps this hard ceiling from truncating just below an
+	// http.MaxBytesReader set to exactly maxRequestBody: the limiter
+	// must see one byte past its limit to report the typed 413.
+	dec := json.NewDecoder(io.LimitReader(r, maxRequestBody+1))
 	dec.DisallowUnknownFields()
 	req := &gpapriori.ServeMineRequest{}
 	if err := dec.Decode(req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, bodyTooLarge(mbe.Limit)
+		}
 		if errors.Is(err, io.EOF) {
 			return nil, badRequest("empty request body")
 		}
@@ -58,6 +76,10 @@ func DecodeMineRequest(r io.Reader) (*gpapriori.ServeMineRequest, *gpapriori.Ser
 	}
 	// A second Decode must hit EOF: one JSON document per request.
 	if err := dec.Decode(&struct{}{}); !errors.Is(err, io.EOF) {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, bodyTooLarge(mbe.Limit)
+		}
 		return nil, badRequest("trailing content after request body")
 	}
 	if se := ValidateMineRequest(req); se != nil {

@@ -2,7 +2,10 @@ package server
 
 import (
 	"bytes"
+	"io"
 	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 )
 
@@ -57,6 +60,53 @@ func FuzzDecodeMineRequest(f *testing.F) {
 		}
 		if req.Dataset == "" || req.MinSupport < 0 || req.DeadlineSec < 0 {
 			t.Fatalf("accepted request out of range: %+v", req)
+		}
+	})
+}
+
+// FuzzDecodeMineRequestBounded runs the decoder the way the submit
+// handler actually runs it — behind http.MaxBytesReader — and holds the
+// overload contract over arbitrary input: never a panic, every
+// rejection is either the typed 400 or the typed 413, and inputs that
+// fit under the limit can never be refused for size.
+func FuzzDecodeMineRequestBounded(f *testing.F) {
+	seeds := [][]byte{
+		[]byte(``),
+		[]byte(`{"dataset":"q","min_support":5}`),
+		[]byte(`{"dataset":"` + strings.Repeat("a", 512) + `","min_support":5}`),
+		bytes.Repeat([]byte(`x`), 1024),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const limit = 256
+		rec := httptest.NewRecorder()
+		body := http.MaxBytesReader(rec, io.NopCloser(bytes.NewReader(data)), limit)
+		req, se := DecodeMineRequest(body)
+		if se == nil {
+			if req == nil {
+				t.Fatal("nil request without an error")
+			}
+			return
+		}
+		if req != nil {
+			t.Fatal("rejected input must not also return a request")
+		}
+		switch se.Status {
+		case http.StatusBadRequest:
+			if se.Code != "bad_request" {
+				t.Fatalf("400 with code %q, want bad_request", se.Code)
+			}
+		case http.StatusRequestEntityTooLarge:
+			if se.Code != "body_too_large" {
+				t.Fatalf("413 with code %q, want body_too_large", se.Code)
+			}
+			if len(data) <= limit {
+				t.Fatalf("413 for a %d-byte body under the %d-byte limit", len(data), limit)
+			}
+		default:
+			t.Fatalf("decoder error status %d, want 400 or 413", se.Status)
 		}
 	})
 }

@@ -57,6 +57,9 @@ type Config struct {
 	// journal. Empty disables durability: jobs neither checkpoint nor
 	// survive a restart.
 	StateDir string
+	// Overload tunes the HTTP layer's overload defenses (zero value =
+	// production defaults; see OverloadConfig).
+	Overload OverloadConfig
 	// Log receives operational reports — degraded jobs, quarantined
 	// journals, drain loss reports. Nil discards them.
 	Log io.Writer
@@ -70,10 +73,20 @@ type Server struct {
 	stateDir string
 	log      io.Writer
 	mux      *http.ServeMux
+	over     OverloadConfig
+	// drainCh is closed when Drain begins, releasing held long-polls so
+	// shutdown never waits out a wait_sec window.
+	drainCh chan struct{}
 
 	mu       sync.Mutex
 	draining bool
-	jobs     map[string]*jobRecord
+	// overCounts tallies tripped transport defenses for /statsz.
+	overCounts struct {
+		StreamEvictions     int64
+		BodyLimitRejections int64
+		HandlerTimeouts     int64
+	}
+	jobs map[string]*jobRecord
 	// idem maps client idempotency keys to job ids: a retried submit
 	// with a known key returns the original job, never a second
 	// enqueue. Sound because the fingerprint cache already proves two
@@ -140,6 +153,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Registry == nil {
 		return nil, fmt.Errorf("server: Config.Registry is required")
 	}
+	if err := cfg.Overload.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.StateDir != "" {
 		if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
 			return nil, fmt.Errorf("server: state dir: %w", err)
@@ -159,18 +175,22 @@ func New(cfg Config) (*Server, error) {
 		cache:    NewResultCache(cfg.CacheBudgetBytes),
 		stateDir: cfg.StateDir,
 		log:      logw,
+		over:     cfg.Overload.withDefaults(),
+		drainCh:  make(chan struct{}),
 		jobs:     map[string]*jobRecord{},
 		idem:     map[string]string{},
 	}
+	// Long-poll (job get) and streaming handlers hold connections open
+	// by design and run unwrapped; everything else gets a deadline.
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
-	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /healthz", s.withTimeout(s.handleHealthz))
+	s.mux.HandleFunc("GET /statsz", s.withTimeout(s.handleStatsz))
+	s.mux.HandleFunc("GET /v1/datasets", s.withTimeout(s.handleDatasets))
+	s.mux.HandleFunc("POST /v1/jobs", s.withTimeout(s.handleSubmit))
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.withTimeout(s.handleCancel))
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.withTimeout(s.handleResult))
 	if err := s.replayJournal(); err != nil {
 		jm.Close()
 		return nil, err
@@ -236,7 +256,8 @@ func (s *Server) submit(req gpapriori.ServeMineRequest, id, idemKey string) (*jo
 	}
 	if s.draining {
 		return nil, &gpapriori.ServeError{Status: http.StatusServiceUnavailable,
-			Code: "draining", Message: "server is draining; not admitting new jobs"}
+			Code: "draining", Message: "server is draining; not admitting new jobs",
+			RetryAfter: s.jm.RetryAfterHint()}
 	}
 	if id == "" {
 		s.nextID++
@@ -299,7 +320,7 @@ func (s *Server) submit(req gpapriori.ServeMineRequest, id, idemKey string) (*jo
 		Config:   cfg,
 	})
 	if err != nil {
-		return nil, mapSubmitError(err)
+		return nil, s.mapSubmitError(err)
 	}
 	rec.mj = mj
 	s.registerLocked(rec)
@@ -338,18 +359,28 @@ func (s *Server) noteCheckpointError(rec *jobRecord, gen int, err error) {
 }
 
 // mapSubmitError translates JobManager admission failures to wire
-// errors.
-func mapSubmitError(err error) *gpapriori.ServeError {
+// errors. Transient refusals carry the manager's pacing hint: the one
+// inside the rejection when the admission controller measured it,
+// otherwise the live drain-rate hint.
+func (s *Server) mapSubmitError(err error) *gpapriori.ServeError {
+	hint := s.jm.RetryAfterHint()
+	var ra *jobs.RetryAfterError
+	if errors.As(err, &ra) {
+		hint = ra.RetryAfter
+	}
 	switch {
+	case errors.Is(err, jobs.ErrOverloaded):
+		return &gpapriori.ServeError{Status: http.StatusTooManyRequests,
+			Code: "overloaded", Message: err.Error(), RetryAfter: hint}
 	case errors.Is(err, jobs.ErrQueueFull):
 		return &gpapriori.ServeError{Status: http.StatusTooManyRequests,
-			Code: "queue_full", Message: err.Error()}
+			Code: "queue_full", Message: err.Error(), RetryAfter: hint}
 	case errors.Is(err, jobs.ErrOverBudget):
 		return &gpapriori.ServeError{Status: http.StatusRequestEntityTooLarge,
 			Code: "over_budget", Message: err.Error()}
 	case errors.Is(err, jobs.ErrClosed):
 		return &gpapriori.ServeError{Status: http.StatusServiceUnavailable,
-			Code: "draining", Message: err.Error()}
+			Code: "draining", Message: err.Error(), RetryAfter: hint}
 	}
 	return &gpapriori.ServeError{Status: http.StatusInternalServerError,
 		Code: "internal", Message: err.Error()}
@@ -539,11 +570,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeServeError renders a typed error body. Transient refusals
-// (queue full, draining) advertise Retry-After so resilient clients
-// pace their retries.
+// (overloaded, queue full, draining) advertise Retry-After so
+// resilient clients pace their retries: the error's own drain-derived
+// hint when present, a conservative 1s floor otherwise — every 429 and
+// 503 carries the header, without exception.
 func writeServeError(w http.ResponseWriter, se *gpapriori.ServeError) {
 	if se.Status == http.StatusTooManyRequests || se.Status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "1")
+		sec := int(se.RetryAfter / time.Second)
+		if sec < 1 {
+			sec = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(sec))
 	}
 	writeJSON(w, se.Status, se)
 }
@@ -580,12 +617,16 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Cache:         s.cache.Stats(),
 		Datasets:      s.reg.List(),
 	}
+	st.Overload.OverloadStats = s.jm.Overload()
 	s.mu.Lock()
 	st.Draining = s.draining
 	st.Jobs.Submitted += s.cachedSubmitted
 	st.Jobs.Done += s.cachedDone
 	st.Faults = s.faults
 	st.Durability = s.durability
+	st.Overload.StreamEvictions = s.overCounts.StreamEvictions
+	st.Overload.BodyLimitRejections = s.overCounts.BodyLimitRejections
+	st.Overload.HandlerTimeouts = s.overCounts.HandlerTimeouts
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, st)
 }
@@ -605,8 +646,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeServeError(w, badRequest("Idempotency-Key longer than %d bytes", maxIdemKeyLen))
 		return
 	}
-	req, se := DecodeMineRequest(r.Body)
+	// Bound the body (typed 413 past the limit) and the time a client
+	// may take to send it: a slowloris body hits the read deadline and
+	// the decode fails instead of pinning the handler.
+	rc := http.NewResponseController(w)
+	rc.SetReadDeadline(time.Now().Add(s.over.HandlerTimeout))
+	req, se := DecodeMineRequest(http.MaxBytesReader(w, r.Body, s.over.MaxBodyBytes))
 	if se != nil {
+		if se.Code == "body_too_large" {
+			s.noteBodyRejected()
+		}
 		writeServeError(w, se)
 		return
 	}
@@ -667,6 +716,14 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-wake:
 		case <-timer.C:
+		case <-s.drainCh:
+			// Drain releases held long-polls immediately: the caller
+			// gets the current state now rather than stalling shutdown
+			// for the rest of its wait_sec window.
+			timer.Stop()
+			info, _, _ := rec.snapshot()
+			writeJSON(w, http.StatusOK, info)
+			return
 		case <-r.Context().Done():
 			timer.Stop()
 			return
@@ -703,11 +760,23 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
-	fl, _ := w.(http.Flusher)
+	// Every write carries a deadline: a subscriber that cannot absorb
+	// one batch within StreamWriteTimeout is evicted (counted, logged)
+	// instead of holding event memory and a connection while the
+	// buffers behind it fill. The evicted client reconnects with
+	// ?after_gen=N and loses nothing — the event log is append-only.
+	rc := http.NewResponseController(w)
 	enc := json.NewEncoder(w)
 	i := 0
 	for {
 		evs, terminal, wake := rec.eventsFrom(i)
+		// Bound the in-flight copy per cycle; a truncated batch loops
+		// straight back for the rest instead of waiting.
+		truncated := false
+		if len(evs) > s.over.StreamBatch {
+			evs = evs[:s.over.StreamBatch]
+			truncated = true
+		}
 		sent := 0
 		for _, ev := range evs {
 			i++
@@ -715,13 +784,26 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			if !keep {
 				continue
 			}
+			rc.SetWriteDeadline(time.Now().Add(s.over.StreamWriteTimeout))
 			if err := enc.Encode(ev); err != nil {
+				if errors.Is(err, os.ErrDeadlineExceeded) {
+					s.noteStreamEviction(rec.id, err)
+				}
 				return
 			}
 			sent++
 		}
-		if sent > 0 && fl != nil {
-			fl.Flush()
+		if sent > 0 {
+			rc.SetWriteDeadline(time.Now().Add(s.over.StreamWriteTimeout))
+			if err := rc.Flush(); err != nil && !errors.Is(err, http.ErrNotSupported) {
+				if errors.Is(err, os.ErrDeadlineExceeded) {
+					s.noteStreamEviction(rec.id, err)
+				}
+				return
+			}
+		}
+		if truncated {
+			continue
 		}
 		if terminal {
 			return
@@ -820,6 +902,7 @@ func (s *Server) Drain(ctx context.Context) error {
 		return nil
 	}
 	s.draining = true
+	close(s.drainCh)
 	var pending []*jobRecord
 	var entries []journalEntry
 	for _, rec := range s.jobs {

@@ -39,6 +39,17 @@ const (
 // match with errors.Is.
 var ErrJobCanceled = jobs.ErrCanceled
 
+// ErrJobOverloaded rejects a submission while the latency-aware
+// admission controller is shedding (queue sojourn above target for a
+// sustained interval); match with errors.Is. The rejection is a
+// *jobs.RetryAfterError carrying a drain-rate-derived pacing hint.
+var ErrJobOverloaded = jobs.ErrOverloaded
+
+// OverloadStats snapshots the admission controller's overload state:
+// sojourn vs target, shed/rejection counts, the Retry-After hint, and
+// the AIMD concurrency limit.
+type OverloadStats = jobs.OverloadStats
+
 // JobCounters snapshots a JobManager's lifecycle accounting: once every
 // submitted job is terminal, Submitted == Done + Failed + Shed + Canceled.
 type JobCounters = jobs.Counters
@@ -66,6 +77,18 @@ type JobManagerConfig struct {
 	MemoryBudgetMB int
 	// Workers bounds concurrently running jobs (0 = default 2).
 	Workers int
+	// SojournTarget enables latency-aware admission: queue sojourn
+	// above this target sustained for SojournInterval sheds
+	// lowest-priority-first and rejects new work with a Retry-After
+	// hint derived from the measured drain rate. 0 disables.
+	SojournTarget time.Duration
+	// SojournInterval is the sustain window and shed pacing
+	// (0 = 4 × SojournTarget).
+	SojournInterval time.Duration
+	// LatencyTarget enables the AIMD concurrency limiter: completions
+	// slower than this halve the effective worker limit, completions
+	// within it grow it back toward Workers. 0 disables.
+	LatencyTarget time.Duration
 	// Breaker tunes the device circuit breaker (zero value = trip after
 	// 3 consecutive failures, 30s cooldown).
 	Breaker BreakerPolicy
@@ -144,6 +167,9 @@ func NewJobManagerContext(ctx context.Context, cfg JobManagerConfig) (*JobManage
 		QueueLimit:        cfg.QueueLimit,
 		MemoryBudgetBytes: int64(cfg.MemoryBudgetMB) << 20,
 		Workers:           cfg.Workers,
+		SojournTarget:     cfg.SojournTarget,
+		SojournInterval:   cfg.SojournInterval,
+		LatencyTarget:     cfg.LatencyTarget,
 	})
 	if err != nil {
 		return nil, err
@@ -302,6 +328,14 @@ func (m *JobManager) InFlightBytes() int64 { return m.mgr.InFlightBytes() }
 
 // QueueLen reports jobs waiting for admission.
 func (m *JobManager) QueueLen() int { return m.mgr.QueueLen() }
+
+// Overload snapshots the latency-aware admission controller.
+func (m *JobManager) Overload() OverloadStats { return m.mgr.Overload() }
+
+// RetryAfterHint is the manager's current pacing suggestion for refused
+// work, derived from the measured drain rate and queue length — what a
+// server should advertise in a Retry-After header on any 429/503.
+func (m *JobManager) RetryAfterHint() time.Duration { return m.mgr.RetryAfterHint() }
 
 // Close stops admission, fails queued jobs, waits for running jobs, and
 // returns once drained.

@@ -1,0 +1,76 @@
+#!/bin/sh
+# SLO snapshot: boots a gpaserve daemon with deliberately tight
+# capacity, drives it with gpaload at roughly 2x what that capacity
+# absorbs (bursts, dropped connections, and slow stream readers mixed
+# in), and commits the resulting report as SLO_<date>.json in the repo
+# root, next to the BENCH_*.json performance snapshots.
+#
+# gpaload exits non-zero if the daemon broke the overload contract
+# during the run: any 5xx outside the 503 shed/drain protocol, any
+# 429/503 without a Retry-After pacing hint, or any result divergence
+# between identical queries. A prior SLO_*.json in the repo root is
+# named in the output so reviewers can diff the trajectory by eye —
+# the snapshots are small on purpose.
+#
+# Environment:
+#   DURATION  gpaload arrival window (default 10s)
+#   RATE      open-loop arrival rate per second (default 40)
+#   OUT       output file (default SLO_YYYY-MM-DD.json in the repo root)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+DURATION="${DURATION:-10s}"
+RATE="${RATE:-15}"
+OUT="${OUT:-SLO_$(date -u +%Y-%m-%d).json}"
+PREV="$(ls -1 SLO_*.json 2>/dev/null | grep -vx "$OUT" | sort | tail -n 1 || true)"
+
+tmpdir="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+    if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+        kill -TERM "$daemon_pid" 2>/dev/null || true
+        wait "$daemon_pid" 2>/dev/null || true
+    fi
+    rm -rf "$tmpdir"
+}
+trap cleanup EXIT
+
+go build -o "$tmpdir/gpaserve" ./cmd/gpaserve
+go build -o "$tmpdir/gpaload" ./cmd/gpaload
+
+# Tight capacity on purpose: one worker, a short queue, and queries
+# that take ~200ms each (quest:80:3000 at 0.15 support), so the default
+# 15/s offered load is ~3x what the daemon can absorb and the snapshot
+# exercises the sojourn controller rather than an idle daemon. Both the
+# result cache and the state dir are off: a cached answer or a
+# checkpoint-resumed run would complete in microseconds and quietly
+# deflate the load.
+"$tmpdir/gpaserve" \
+    -dataset hot=quest:80:3000:10:1 \
+    -dataset warm=quest:80:3000:10:2 \
+    -dataset cold=quest:80:3000:10:3 \
+    -workers 1 -queue 6 -mem-mb 512 -cache-mb 0 \
+    -sojourn-target 500ms -sojourn-interval 1s -stream-write-timeout 2s \
+    -port-file "$tmpdir/port" \
+    >"$tmpdir/daemon.log" 2>&1 &
+daemon_pid=$!
+
+for _ in $(seq 1 100); do
+    [ -s "$tmpdir/port" ] && break
+    sleep 0.1
+done
+addr="$(cat "$tmpdir/port")"
+[ -n "$addr" ] || { echo "gpaserve never came up"; cat "$tmpdir/daemon.log"; exit 1; }
+
+"$tmpdir/gpaload" -target "http://$addr" \
+    -duration "$DURATION" -rate "$RATE" \
+    -burst 10 -burst-every 2s \
+    -relative-support 0.15 \
+    -drop-frac 0.1 -slow-frac 0.1 -slow-delay 100ms \
+    -retries 4 -seed 1 -out "$OUT"
+
+if [ -n "$PREV" ]; then
+    echo "prior snapshot for comparison: $PREV"
+fi
+echo "wrote $OUT"

@@ -157,3 +157,48 @@ diff -u "$SMOKE/chaos-offline.txt" "$SMOKE/chaos-served.txt"
 kill -TERM "$SRV2_PID"
 wait "$SRV2_PID"
 echo "crashpoint chaos smoke: OK"
+
+# Overload smoke: boot a deliberately tiny daemon (one worker, short
+# queue, no cache so every job mines for real), drive it with gpaload
+# well above capacity with chaos mixed in, and hold it to the overload
+# contract: gpaload exits non-zero on any 5xx outside the 503
+# shed/drain protocol, any 429/503 without a Retry-After pacing hint,
+# or any result divergence between identical queries. The daemon must
+# then still drain cleanly — overload must not corrupt shutdown.
+go build -o "$SMOKE/gpaload" ./cmd/gpaload
+"$SMOKE/gpaserve" -listen 127.0.0.1:0 \
+    -dataset hot=quest:80:3000:10:1 -dataset cold=quest:80:3000:10:2 \
+    -workers 1 -queue 4 -cache-mb 0 -mem-mb 512 \
+    -sojourn-target 300ms -sojourn-interval 600ms \
+    -port-file "$SMOKE/loadport" > "$SMOKE/overload.log" 2>&1 &
+LOAD_SRV_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$SMOKE/loadport" ] && break
+    sleep 0.1
+done
+[ -s "$SMOKE/loadport" ]
+LOAD_ADDR=$(cat "$SMOKE/loadport")
+
+"$SMOKE/gpaload" -target "http://$LOAD_ADDR" \
+    -duration 5s -rate 12 -burst 8 -burst-every 2s \
+    -relative-support 0.15 -retries 3 \
+    -drop-frac 0.1 -slow-frac 0.1 -slow-delay 50ms \
+    -seed 1 -out "$SMOKE/slo.json"
+
+# The report must show the daemon actually refused work under the
+# burst (paced, not errored) and that nothing slipped through unpaced.
+python3 - "$SMOKE/slo.json" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["arrivals"] > 0 and r["completed"] > 0, r
+assert r["refusals"] > 0, "never oversubscribed: %s" % r
+assert r["server_errors"] == 0, r
+assert r["retry_after_missing"] == 0, r
+assert r["result_hash_mismatches"] == 0, r
+assert r["failed"] == 0, r
+PY
+
+kill -TERM "$LOAD_SRV_PID"
+wait "$LOAD_SRV_PID"
+grep -q 'drained' "$SMOKE/overload.log"
+echo "overload smoke: OK"

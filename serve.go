@@ -191,8 +191,29 @@ type ServeStats struct {
 	Faults FaultStats `json:"faults"`
 	// Durability is the disk-resilience accounting.
 	Durability ServeDurabilityStats `json:"durability"`
+	// Overload is the overload-control accounting: the admission
+	// controller's sojourn/AIMD state plus the transport's
+	// slow-client and body-limit defenses.
+	Overload ServeOverloadStats `json:"overload"`
 	// Datasets lists the registry.
 	Datasets []ServeDatasetInfo `json:"datasets"`
+}
+
+// ServeOverloadStats is the /statsz overload section: the admission
+// controller's latency-aware state (embedded) plus the HTTP layer's
+// own overload defenses.
+type ServeOverloadStats struct {
+	OverloadStats
+	// StreamEvictions counts slow /stream subscribers evicted by a
+	// write deadline; the evicted client reconnects with ?after_gen=N
+	// and loses nothing.
+	StreamEvictions int64 `json:"stream_evictions"`
+	// BodyLimitRejections counts request bodies refused with a typed
+	// 413 by http.MaxBytesReader.
+	BodyLimitRejections int64 `json:"body_limit_rejections"`
+	// HandlerTimeouts counts non-streaming handlers cut off by the
+	// per-handler context deadline.
+	HandlerTimeouts int64 `json:"handler_timeouts"`
 }
 
 // ServeDurabilityStats counts the daemon's encounters with a failing
@@ -231,9 +252,12 @@ type ServeError struct {
 	// Message is the human-readable detail.
 	Message string `json:"error"`
 
-	// retryAfter is the parsed Retry-After header of a 429/503 answer
-	// (0 = none). The retry loop honors it over its own backoff.
-	retryAfter time.Duration
+	// RetryAfter is the pacing hint attached to transient refusals
+	// (0 = none). It rides the Retry-After header, not the JSON body:
+	// the server derives it from the admission controller's measured
+	// drain rate, and the client's retry loop honors it over its own
+	// backoff.
+	RetryAfter time.Duration `json:"-"`
 }
 
 func (e *ServeError) Error() string {
@@ -425,8 +449,8 @@ func (c *ServeClient) backoff(attempt int, cause error) time.Duration {
 	}
 	delay := time.Duration(d)
 	var se *ServeError
-	if errors.As(cause, &se) && se.retryAfter > delay {
-		delay = se.retryAfter
+	if errors.As(cause, &se) && se.RetryAfter > delay {
+		delay = se.RetryAfter
 	}
 	return delay
 }
@@ -543,7 +567,7 @@ func decodeServeError(resp *http.Response) error {
 	}
 	if v := resp.Header.Get("Retry-After"); v != "" {
 		if sec, err := strconv.Atoi(v); err == nil && sec >= 0 {
-			se.retryAfter = time.Duration(sec) * time.Second
+			se.RetryAfter = time.Duration(sec) * time.Second
 		}
 	}
 	return se
