@@ -1,17 +1,29 @@
 // gpalint is the project's invariant linter: a multichecker running the
 // internal/analysis suite (determinism, maporder, faultpath, ctxthread,
-// typederr, lockscope) over the module's packages. It is wired into
-// scripts/verify.sh and CI; a non-empty finding list is a build failure.
+// typederr, lockhold, goroleak, atomicmix, ...) over the module's
+// packages. It is wired into scripts/verify.sh and CI; a non-empty
+// finding list is a build failure.
 //
 // Usage:
 //
 //	go run ./cmd/gpalint ./...
 //	go run ./cmd/gpalint -only determinism,maporder ./internal/core
+//	go run ./cmd/gpalint -json ./... | jq .count
+//	go run ./cmd/gpalint -ignores ./...
 //
-// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+// -json switches stdout to a machine-readable document (stable field
+// order, valid even with zero findings). -ignores audits suppression
+// directives instead of running analyzers: every //gpalint:ignore and
+// //gpalint:orderok in the matched packages is listed, and a directive
+// with no reason — or an ignore naming an analyzer that does not exist
+// — is a failure, so suppressions cannot rot silently.
+//
+// Exit status: 0 clean, 1 findings (or directive violations), 2 usage
+// or load failure.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -26,14 +38,35 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// finding is the JSON shape of one diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// directive is the JSON shape of one audited suppression.
+type directive struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Kind     string `json:"kind"`
+	Analyzer string `json:"analyzer,omitempty"`
+	Reason   string `json:"reason"`
+	Problem  string `json:"problem,omitempty"`
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("gpalint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	only := fs.String("only", "", "comma-separated analyzer subset (default: all)")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	root := fs.String("root", "", "module root (default: nearest go.mod above the working directory)")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON on stdout")
+	ignores := fs.Bool("ignores", false, "audit //gpalint directives instead of running analyzers")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: gpalint [-only a,b] [-root dir] packages...")
+		fmt.Fprintln(stderr, "usage: gpalint [-only a,b] [-root dir] [-json] [-ignores] packages...")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -89,7 +122,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	findings := 0
+	if *ignores {
+		return auditIgnores(loader, paths, dir, *jsonOut, stdout, stderr)
+	}
+
+	var findings []finding
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
@@ -103,19 +140,113 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		for _, d := range diags {
 			pos := pkg.Fset.Position(d.Pos)
-			rel, rerr := filepath.Rel(dir, pos.Filename)
-			if rerr != nil {
-				rel = pos.Filename
-			}
-			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", rel, pos.Line, pos.Column, d.Analyzer, d.Message)
-			findings++
+			findings = append(findings, finding{
+				File:     relTo(dir, pos.Filename),
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(stderr, "gpalint: %d finding(s)\n", findings)
+
+	if *jsonOut {
+		writeJSON(stdout, stderr, map[string]any{
+			"findings": nonNil(findings),
+			"count":    len(findings),
+		})
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "gpalint: %d finding(s)\n", len(findings))
 		return 1
 	}
 	return 0
+}
+
+// auditIgnores lists every suppression directive in the matched
+// packages and fails when one is missing its reason or names an
+// unknown analyzer.
+func auditIgnores(loader *analysis.Loader, paths []string, dir string, jsonOut bool, stdout, stderr io.Writer) int {
+	var out []directive
+	bad := 0
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "gpalint: %v\n", err)
+			return 2
+		}
+		for _, d := range analysis.Directives(pkg.Fset, pkg.Files) {
+			rec := directive{
+				File:     relTo(dir, d.File),
+				Line:     d.Line,
+				Kind:     d.Kind,
+				Analyzer: d.Analyzer,
+				Reason:   d.Reason,
+			}
+			switch {
+			case d.Kind == "ignore" && d.Analyzer != "*" && analysis.ByName(d.Analyzer) == nil:
+				rec.Problem = "unknown analyzer"
+			case d.Reason == "":
+				rec.Problem = "missing reason"
+			}
+			if rec.Problem != "" {
+				bad++
+			}
+			out = append(out, rec)
+		}
+	}
+	if jsonOut {
+		writeJSON(stdout, stderr, map[string]any{
+			"directives": nonNil(out),
+			"count":      len(out),
+			"violations": bad,
+		})
+	} else {
+		for _, d := range out {
+			target := d.Kind
+			if d.Analyzer != "" {
+				target += " " + d.Analyzer
+			}
+			line := fmt.Sprintf("%s:%d: %s: %s", d.File, d.Line, target, d.Reason)
+			if d.Problem != "" {
+				line += " [" + d.Problem + "]"
+			}
+			fmt.Fprintln(stdout, line)
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(stderr, "gpalint: %d directive violation(s): every //gpalint suppression must name a real analyzer and state its reason\n", bad)
+		return 1
+	}
+	return 0
+}
+
+// nonNil keeps empty slices as [] (not null) in the JSON document.
+func nonNil[T any](s []T) []T {
+	if s == nil {
+		return []T{}
+	}
+	return s
+}
+
+func writeJSON(stdout, stderr io.Writer, doc any) {
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(stderr, "gpalint: encoding output: %v\n", err)
+	}
+}
+
+func relTo(dir, file string) string {
+	rel, err := filepath.Rel(dir, file)
+	if err != nil {
+		return file
+	}
+	return rel
 }
 
 func findModuleRoot(dir string) (string, error) {

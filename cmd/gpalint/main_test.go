@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -26,7 +27,7 @@ func TestListPrintsEveryAnalyzer(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("exit = %d, stderr: %s", code, errb.String())
 	}
-	for _, name := range []string{"ctxthread", "determinism", "faultpath", "lockscope", "maporder", "typederr"} {
+	for _, name := range []string{"atomicmix", "ctxthread", "determinism", "faultpath", "goroleak", "lockhold", "maporder", "typederr"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %q:\n%s", name, out.String())
 		}
@@ -52,6 +53,113 @@ func TestCleanPackageExitsZero(t *testing.T) {
 	}
 	if out.Len() != 0 {
 		t.Fatalf("unexpected findings: %s", out.String())
+	}
+}
+
+func TestJSONOutputRoundTrips(t *testing.T) {
+	root := repoRoot(t)
+	dirty := "./" + filepath.ToSlash(filepath.Join("internal", "analysis", "testdata", "src", "determinism", "core"))
+	var out, errb bytes.Buffer
+	code := run([]string{"-root", root, "-only", "determinism", "-json", dirty}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, errb.String())
+	}
+	var doc struct {
+		Findings []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		} `json:"findings"`
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v\n%s", err, out.String())
+	}
+	if doc.Count == 0 || doc.Count != len(doc.Findings) {
+		t.Fatalf("count = %d, findings = %d", doc.Count, len(doc.Findings))
+	}
+	f := doc.Findings[0]
+	if f.File == "" || f.Line == 0 || f.Analyzer != "determinism" || f.Message == "" {
+		t.Fatalf("incomplete finding: %+v", f)
+	}
+}
+
+func TestJSONOutputValidWhenClean(t *testing.T) {
+	root := repoRoot(t)
+	var out, errb bytes.Buffer
+	code := run([]string{"-root", root, "-json", "./internal/clock"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstderr: %s", code, errb.String())
+	}
+	var doc struct {
+		Findings []any `json:"findings"`
+		Count    int   `json:"count"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v\n%s", err, out.String())
+	}
+	if doc.Findings == nil || doc.Count != 0 {
+		t.Fatalf("clean run must emit an empty findings array: %s", out.String())
+	}
+}
+
+func TestIgnoresAuditListsDirectivesWithReasons(t *testing.T) {
+	// The determinism hit-case carries a reasoned ignore directive; the
+	// audit must list it and exit clean.
+	root := repoRoot(t)
+	dirty := "./" + filepath.ToSlash(filepath.Join("internal", "analysis", "testdata", "src", "determinism", "core"))
+	var out, errb bytes.Buffer
+	code := run([]string{"-root", root, "-ignores", dirty}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "ignore determinism") {
+		t.Fatalf("audit did not list the directive:\n%s", out.String())
+	}
+}
+
+func TestIgnoresAuditFailsOnBareDirective(t *testing.T) {
+	// A bare //gpalint:ignore (no reason) and an ignore naming a
+	// non-existent analyzer are both policy violations.
+	dir := t.TempDir()
+	src := `package tmp
+
+//gpalint:ignore lockhold
+var a int
+
+//gpalint:ignore notananalyzer because reasons
+var b int
+`
+	if err := os.WriteFile(filepath.Join(dir, "tmp.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module tmp\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"-root", dir, "-ignores", "-json", "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	var doc struct {
+		Directives []struct {
+			Problem string `json:"problem"`
+		} `json:"directives"`
+		Violations int `json:"violations"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v\n%s", err, out.String())
+	}
+	if doc.Violations != 2 || len(doc.Directives) != 2 {
+		t.Fatalf("violations = %d, directives = %d, want 2/2\n%s", doc.Violations, len(doc.Directives), out.String())
+	}
+	problems := map[string]bool{}
+	for _, d := range doc.Directives {
+		problems[d.Problem] = true
+	}
+	if !problems["missing reason"] || !problems["unknown analyzer"] {
+		t.Fatalf("problems = %v", problems)
 	}
 }
 

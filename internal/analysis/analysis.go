@@ -190,6 +190,65 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) map[directiveKey]map
 	return out
 }
 
+// Directive is one gpalint suppression directive with its reason text
+// — the audit surface behind `gpalint -ignores`. The directive policy
+// (DESIGN.md §16) requires every suppression to say why; a bare
+// directive is a policy violation the audit mode turns into a build
+// failure.
+type Directive struct {
+	// File and Line locate the directive comment.
+	File string
+	Line int
+	// Kind is "ignore" or "orderok".
+	Kind string
+	// Analyzer is the suppressed analyzer name (or "*") for ignore
+	// directives; empty for orderok.
+	Analyzer string
+	// Reason is the free-text justification after the analyzer name.
+	Reason string
+}
+
+// Directives returns every //gpalint:ignore and //gpalint:orderok
+// directive in files, in source order. (//gpalint:arena-scoped is a
+// type marker, not a suppression, and is not audited here.)
+func Directives(fset *token.FileSet, files []*ast.File) []Directive {
+	var out []Directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				var d Directive
+				switch {
+				case strings.HasPrefix(text, ignorePrefix):
+					rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+					d = Directive{Kind: "ignore", Analyzer: "*"}
+					if fields := strings.Fields(rest); len(fields) > 0 {
+						d.Analyzer = fields[0]
+						d.Reason = strings.TrimSpace(strings.TrimPrefix(rest, fields[0]))
+					}
+				case strings.HasPrefix(text, orderOKPrefix):
+					d = Directive{
+						Kind:   "orderok",
+						Reason: strings.TrimSpace(strings.TrimPrefix(text, orderOKPrefix)),
+					}
+				default:
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				d.File, d.Line = pos.Filename, pos.Line
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}
+
 // HasOrderOK reports whether an //gpalint:orderok directive covers the
 // line of pos (same line or the line above).
 func HasOrderOK(fset *token.FileSet, files []*ast.File, pos token.Pos) bool {

@@ -5,7 +5,7 @@
 //
 // Layout mirrors the x/tools convention: testdata packages live under
 // <caller>/testdata/src/<analyzer>/<case>. Because scoped analyzers
-// (determinism, maporder, lockscope) decide applicability from the
+// (determinism, maporder) decide applicability from the
 // final import-path segment, each case directory is loaded under an
 // import path ending in the case name — naming a case "core" or
 // "jobs" puts it in scope, any other name proves the out-of-scope

@@ -79,12 +79,28 @@ func TestTypedErrFlagsUntypedChecks(t *testing.T) {
 	analysistest.Run(t, analysis.TypedErr, "typederr/lib")
 }
 
-func TestLockScopeFlagsBlockingUnderMutex(t *testing.T) {
-	analysistest.Run(t, analysis.LockScope, "lockscope/jobs")
+func TestLockHoldFlagsBlockingUnderMutex(t *testing.T) {
+	analysistest.Run(t, analysis.LockHold, "lockhold/hold")
 }
 
-func TestLockScopeIgnoresOutOfScopePackages(t *testing.T) {
-	analysistest.Run(t, analysis.LockScope, "lockscope/other")
+func TestLockHoldAllowsSanctionedIdioms(t *testing.T) {
+	analysistest.Run(t, analysis.LockHold, "lockhold/clean")
+}
+
+func TestGoroLeakFlagsNonTerminatingGoroutines(t *testing.T) {
+	analysistest.Run(t, analysis.GoroLeak, "goroleak/leak")
+}
+
+func TestGoroLeakAllowsTerminatingShapes(t *testing.T) {
+	analysistest.Run(t, analysis.GoroLeak, "goroleak/clean")
+}
+
+func TestAtomicMixFlagsMixedAccess(t *testing.T) {
+	analysistest.Run(t, analysis.AtomicMix, "atomicmix/mixed")
+}
+
+func TestAtomicMixAllowsConsistentAccess(t *testing.T) {
+	analysistest.Run(t, analysis.AtomicMix, "atomicmix/clean")
 }
 
 func TestRegistryNamesAreUniqueAndResolvable(t *testing.T) {

@@ -1,0 +1,566 @@
+// The control-flow graph builder: the foundation the flow-aware
+// analyzers (lockhold, goroleak) stand on. BuildCFG lowers one function
+// body to basic blocks connected by possible-execution edges, covering
+// the constructs the concurrency invariants care about:
+//
+//   - branches: if/else chains, switch and type switch (including
+//     fallthrough), select (per-comm-case bodies);
+//   - loops: for with init/cond/post, range, labeled break/continue,
+//     goto;
+//   - defer: the statement is a node where its arguments are
+//     evaluated; the deferred call itself runs between the last body
+//     statement and Exit (lockhold exploits this: a deferred Unlock
+//     never kills the held-set, which is exactly "held to function
+//     end");
+//   - short-circuit operators: the condition `a && b` splits into a
+//     block evaluating a with two successors — one evaluating b, one
+//     skipping it — so a blocking operand on one arm is a path fact,
+//     not a whole-statement smear.
+//
+// Blocks carry the simple statements and sub-expressions in evaluation
+// order. Compound statements never appear as nodes themselves (their
+// headers and bodies are lowered into blocks), with one exception: a
+// *ast.SelectStmt is kept as the node marking the blocking point of the
+// select header; its comm statements open the per-case blocks.
+// WalkNode visits a node the way the flow frameworks must see it —
+// without descending into nested function literals or into the select
+// case bodies that live in other blocks.
+//
+// panic(...) and the process-terminating stdlib exits (os.Exit,
+// log.Fatal*, runtime.Goexit) end their block with an edge to Exit: a
+// path that dies is a path that terminates, which is what goroleak's
+// reachability question needs.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Block is one basic block: nodes that execute in sequence, then a
+// transfer of control to one of Succs. A block with no successors
+// either returned/panicked (edges to Exit are explicit) or blocks
+// forever (an empty select).
+type Block struct {
+	// Index is the block's position in CFG.Blocks, stable for maps.
+	Index int
+	// Kind names what created the block ("entry", "if.then",
+	// "for.head", ...) for tests and debug dumps.
+	Kind string
+	// Nodes are the simple statements and expressions evaluated in this
+	// block, in order.
+	Nodes []ast.Node
+	// Succs are the possible control transfers out of this block.
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+	// SelectComms marks the comm statements heading select case blocks.
+	// The select header node already stands for the park; a checker that
+	// flags blocking nodes skips these to avoid reporting one select
+	// twice.
+	SelectComms map[ast.Node]bool
+}
+
+// BuildCFG lowers body to a CFG. It never fails: constructs outside
+// the supported set degrade to straight-line nodes (sound for the
+// may-analyses built on top, which over-approximate along them).
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{SelectComms: map[ast.Node]bool{}},
+		labels: map[string]*labelBlocks{},
+	}
+	b.cfg.Entry = b.newBlock("entry")
+	b.cfg.Exit = b.newBlock("exit")
+	b.cur = b.cfg.Entry
+	b.stmts(body.List)
+	b.jump(b.cfg.Exit)
+	return b.cfg
+}
+
+// ExitReachable reports whether any execution path runs from Entry to
+// Exit — the termination question goroleak asks of goroutine bodies.
+func (c *CFG) ExitReachable() bool {
+	seen := make([]bool, len(c.Blocks))
+	stack := []*Block{c.Entry}
+	seen[c.Entry.Index] = true
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if blk == c.Exit {
+			return true
+		}
+		for _, s := range blk.Succs {
+			if !seen[s.Index] {
+				seen[s.Index] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// Dump renders the graph for tests and debugging.
+func (c *CFG) Dump() string {
+	var sb strings.Builder
+	for _, blk := range c.Blocks {
+		fmt.Fprintf(&sb, "b%d(%s):", blk.Index, blk.Kind)
+		for _, s := range blk.Succs {
+			fmt.Fprintf(&sb, " ->b%d", s.Index)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// WalkNode visits n and its children the way a transfer function must
+// see a CFG node: nested function literals are skipped (their bodies
+// run on another goroutine or at another time), a go statement
+// contributes only its argument expressions (the call runs elsewhere),
+// a deferred call contributes only its arguments (the call runs at
+// Exit), and a select node contributes only its comm statements (case
+// bodies are separate blocks). fn returning false prunes the subtree.
+func WalkNode(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			for _, arg := range m.Call.Args {
+				WalkNode(arg, fn)
+			}
+			return false
+		case *ast.DeferStmt:
+			for _, arg := range m.Call.Args {
+				WalkNode(arg, fn)
+			}
+			return false
+		case *ast.SelectStmt:
+			if !fn(m) {
+				return false
+			}
+			for _, cl := range m.Body.List {
+				if comm, ok := cl.(*ast.CommClause); ok && comm.Comm != nil {
+					WalkNode(comm.Comm, fn)
+				}
+			}
+			return false
+		case *ast.RangeStmt:
+			// A range head node carries only its per-iteration evaluation;
+			// the body statements live in their own blocks.
+			if !fn(m) {
+				return false
+			}
+			WalkNode(m.X, fn)
+			return false
+		}
+		return fn(m)
+	})
+}
+
+// labelBlocks tracks the blocks a label can transfer to.
+type labelBlocks struct {
+	// target is the label's goto destination.
+	target *Block
+	// breakTo/continueTo are set while the labeled loop/switch is being
+	// lowered.
+	breakTo, continueTo *Block
+}
+
+// loopScope is one enclosing breakable construct, innermost last.
+type loopScope struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch/select
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	cur    *Block // nil while control cannot fall through (after return/branch)
+	scopes []loopScope
+	labels map[string]*labelBlocks
+	// pendingLabel labels the next loop/switch/select statement.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// jump adds an edge cur→to when control can fall through, then marks
+// the builder position dead.
+func (b *cfgBuilder) jump(to *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, to)
+	}
+	b.cur = nil
+}
+
+// edge adds cur→to without killing the current block.
+func (b *cfgBuilder) edge(to *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, to)
+	}
+}
+
+// start switches the builder to a fresh block.
+func (b *cfgBuilder) start(blk *Block) { b.cur = blk }
+
+// add appends a node to the current block, resurrecting an unreachable
+// block for statements after a terminator so their nodes still exist
+// (flow from Entry never reaches them).
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// label returns the goto/break record for name, creating it on first
+// use (forward gotos reference labels before their statement).
+func (b *cfgBuilder) label(name string) *labelBlocks {
+	l, ok := b.labels[name]
+	if !ok {
+		l = &labelBlocks{target: b.newBlock("label." + name)}
+		b.labels[name] = l
+	}
+	return l
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+	case *ast.LabeledStmt:
+		l := b.label(s.Label.Name)
+		b.edge(l.target)
+		b.start(l.target)
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.expr(s.Cond)
+		condEnd := b.cur
+		done := b.newBlock("if.done")
+		then := b.newBlock("if.then")
+		b.edge(then)
+		b.start(then)
+		b.stmt(s.Body)
+		b.jump(done)
+		if s.Else != nil {
+			els := b.newBlock("if.else")
+			if condEnd != nil {
+				condEnd.Succs = append(condEnd.Succs, els)
+			}
+			b.start(els)
+			b.stmt(s.Else)
+			b.jump(done)
+		} else if condEnd != nil {
+			condEnd.Succs = append(condEnd.Succs, done)
+		}
+		b.start(done)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, nil, s.Body)
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Assign, s.Body)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.cfg.Exit)
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if isTerminatingCall(s.X) {
+			b.jump(b.cfg.Exit)
+		}
+	default:
+		// Simple statements: assignments, declarations, sends, inc/dec,
+		// go, defer, empty. All are single nodes.
+		if _, ok := s.(*ast.EmptyStmt); ok {
+			return
+		}
+		b.add(s)
+	}
+}
+
+// isTerminatingCall matches the calls after which control does not
+// continue: panic, os.Exit, runtime.Goexit, log.Fatal*. Resolution is
+// syntactic (the CFG has no type info); shadowing these names would
+// merely over-approximate termination, which the clients tolerate.
+func isTerminatingCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch {
+		case pkg.Name == "os" && fun.Sel.Name == "Exit":
+			return true
+		case pkg.Name == "runtime" && fun.Sel.Name == "Goexit":
+			return true
+		case pkg.Name == "log" && strings.HasPrefix(fun.Sel.Name, "Fatal"):
+			return true
+		}
+	}
+	return false
+}
+
+// expr lowers an expression into the current block, splitting
+// short-circuit operators into branch blocks: for `a && b` (or `||`),
+// a ends one block with two successors — the block evaluating b and
+// the join — so facts about b hold only on the path that evaluates it.
+func (b *cfgBuilder) expr(e ast.Expr) {
+	e = ast.Unparen(e)
+	if bin, ok := e.(*ast.BinaryExpr); ok && (bin.Op == token.LAND || bin.Op == token.LOR) {
+		b.expr(bin.X)
+		afterX := b.cur
+		rhs := b.newBlock("sc.rhs")
+		join := b.newBlock("sc.join")
+		if afterX != nil {
+			afterX.Succs = append(afterX.Succs, rhs, join)
+		}
+		b.start(rhs)
+		b.expr(bin.Y)
+		b.jump(join)
+		b.start(join)
+		return
+	}
+	b.add(e)
+}
+
+func (b *cfgBuilder) pushScope(sc loopScope) { b.scopes = append(b.scopes, sc) }
+func (b *cfgBuilder) popScope()              { b.scopes = b.scopes[:len(b.scopes)-1] }
+
+// scopeFor finds the branch target scope: the innermost one, or the
+// one carrying the label. wantContinue restricts to loops.
+func (b *cfgBuilder) scopeFor(label string, wantContinue bool) *loopScope {
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		sc := &b.scopes[i]
+		if label != "" && sc.label != label {
+			continue
+		}
+		if wantContinue && sc.continueTo == nil {
+			continue
+		}
+		return sc
+	}
+	return nil
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if sc := b.scopeFor(label, false); sc != nil {
+			b.jump(sc.breakTo)
+		} else {
+			b.cur = nil
+		}
+	case token.CONTINUE:
+		if sc := b.scopeFor(label, true); sc != nil {
+			b.jump(sc.continueTo)
+		} else {
+			b.cur = nil
+		}
+	case token.GOTO:
+		if s.Label != nil {
+			b.jump(b.label(s.Label.Name).target)
+		} else {
+			b.cur = nil
+		}
+	case token.FALLTHROUGH:
+		// Handled by switchStmt, which links the clause tail to the next
+		// case body; the statement itself transfers no control here.
+	}
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock("for.head")
+	b.edge(head)
+	b.start(head)
+	done := b.newBlock("for.done")
+	if s.Cond != nil {
+		b.expr(s.Cond)
+		b.edge(done)
+	}
+	condEnd := b.cur
+	body := b.newBlock("for.body")
+	if condEnd != nil {
+		condEnd.Succs = append(condEnd.Succs, body)
+	}
+	continueTo := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		continueTo = post
+	}
+	b.pushScope(loopScope{label: label, breakTo: done, continueTo: continueTo})
+	b.start(body)
+	b.stmt(s.Body)
+	b.popScope()
+	if post != nil {
+		b.jump(post)
+		b.start(post)
+		b.stmt(s.Post)
+		b.jump(head)
+	} else {
+		b.jump(head)
+	}
+	b.start(done)
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	head := b.newBlock("range.head")
+	b.edge(head)
+	b.start(head)
+	// The ranged expression (and per-iteration receive, for channels)
+	// lives in the head.
+	b.add(s)
+	done := b.newBlock("range.done")
+	body := b.newBlock("range.body")
+	// A range may exhaust (or its channel close): head reaches both the
+	// body and the exit.
+	b.edge(body)
+	b.edge(done)
+	b.pushScope(loopScope{label: label, breakTo: done, continueTo: head})
+	b.start(body)
+	b.stmt(s.Body)
+	b.popScope()
+	b.jump(head)
+	b.start(done)
+}
+
+// switchStmt lowers switch and type switch: header evaluation in the
+// current block, one block per case clause, fallthrough chaining.
+func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	if init != nil {
+		b.stmt(init)
+	}
+	if tag != nil {
+		b.expr(tag)
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	head := b.cur
+	if head == nil {
+		head = b.newBlock("switch.head")
+		b.start(head)
+	}
+	done := b.newBlock("switch.done")
+	var clauses []*ast.CaseClause
+	for _, cl := range body.List {
+		if cc, ok := cl.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	// Case expressions are compared in order until one matches; keeping
+	// them in the head over-approximates evaluation, which is safe for
+	// the may-analyses.
+	hasDefault := false
+	for _, cc := range clauses {
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.start(head)
+		for _, e := range cc.List {
+			b.expr(e)
+		}
+		head = b.cur
+	}
+	bodies := make([]*Block, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock("case.body")
+		head.Succs = append(head.Succs, bodies[i])
+	}
+	if !hasDefault {
+		head.Succs = append(head.Succs, done)
+	}
+	b.pushScope(loopScope{label: label, breakTo: done})
+	for i, cc := range clauses {
+		b.start(bodies[i])
+		b.stmts(cc.Body)
+		if n := len(cc.Body); n > 0 {
+			if br, ok := cc.Body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && i+1 < len(bodies) {
+				b.jump(bodies[i+1])
+				continue
+			}
+		}
+		b.jump(done)
+	}
+	b.popScope()
+	b.start(done)
+}
+
+// selectStmt lowers select: the statement itself is the node marking
+// the (potentially) blocking choice; each comm clause's statement opens
+// its case block. A select with no cases blocks forever — its block
+// has no successors at all.
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	b.add(s)
+	head := b.cur
+	done := b.newBlock("select.done")
+	b.pushScope(loopScope{label: label, breakTo: done})
+	for _, cl := range s.Body.List {
+		comm, ok := cl.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock("select.case")
+		head.Succs = append(head.Succs, blk)
+		b.start(blk)
+		if comm.Comm != nil {
+			b.add(comm.Comm)
+			b.cfg.SelectComms[comm.Comm] = true
+		}
+		b.stmts(comm.Body)
+		b.jump(done)
+	}
+	b.popScope()
+	b.cur = nil
+	b.start(done)
+}

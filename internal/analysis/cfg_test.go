@@ -1,0 +1,149 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"gpapriori/internal/analysis"
+)
+
+// parseBody wraps src in a function and returns its body, for CFG
+// construction without type checking (the CFG is purely syntactic).
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	file := "package p\nfunc f() {\n" + src + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, file)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+func exitReachable(t *testing.T, src string) bool {
+	t.Helper()
+	return analysis.BuildCFG(parseBody(t, src)).ExitReachable()
+}
+
+func TestCFGExitReachability(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want bool
+	}{
+		{"straight line", `x := 1; _ = x`, true},
+		{"bare infinite loop", `for { }`, false},
+		{"infinite loop with work", `for { work() }`, false},
+		{"loop with break", `for { break }`, true},
+		{"loop with cond", `for i := 0; i < 10; i++ { work() }`, true},
+		{"loop with return", `for { if done() { return } }`, true},
+		{"empty select", `select { }`, false},
+		{"select with empty case", `var ch chan int; select { case <-ch: }`, true},
+		{"select loop with return", `var ch chan int
+for {
+	select {
+	case <-ch:
+		return
+	}
+}`, true},
+		{"select loop no exit", `var a, b chan int
+for {
+	select {
+	case <-a:
+	case <-b:
+	}
+}`, false},
+		{"range terminates", `var ch chan int; for v := range ch { _ = v }`, true},
+		{"nested break inner only", `for { for { break } }`, false},
+		{"labeled break escapes", `outer:
+for {
+	for {
+		break outer
+	}
+}`, true},
+		{"labeled continue stays", `outer:
+for {
+	for {
+		continue outer
+	}
+}`, false},
+		{"goto forward", `if cond() { goto out }; work(); out:`, true},
+		{"goto self loop", `again: work(); goto again`, false},
+		{"panic terminates", `panic("x")`, true},
+		{"loop broken by panic", `for { panic("x") }`, true},
+		{"os.Exit terminates", `os.Exit(1)`, true},
+		{"log.Fatalf terminates", `for { log.Fatalf("x") }`, true},
+		{"switch falls through to done", `switch v() {
+case 1:
+	work()
+case 2:
+}`, true},
+		{"switch default all diverge", `switch {
+case cond():
+	for { }
+default:
+	select { }
+}`, false},
+		{"funclit body does not count", `f := func() { for { } }; _ = f`, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := exitReachable(t, tc.src); got != tc.want {
+				cfg := analysis.BuildCFG(parseBody(t, tc.src))
+				t.Errorf("ExitReachable = %v, want %v\n%s", got, tc.want, cfg.Dump())
+			}
+		})
+	}
+}
+
+func TestCFGShortCircuitSplitsBlocks(t *testing.T) {
+	cfg := analysis.BuildCFG(parseBody(t, `if a() && b() { work() }`))
+	dump := cfg.Dump()
+	if !strings.Contains(dump, "sc.rhs") || !strings.Contains(dump, "sc.join") {
+		t.Fatalf("short-circuit condition did not split into branch blocks:\n%s", dump)
+	}
+}
+
+func TestCFGSelectCommsMarked(t *testing.T) {
+	body := parseBody(t, `var ch chan int
+select {
+case v := <-ch:
+	_ = v
+}`)
+	cfg := analysis.BuildCFG(body)
+	if len(cfg.SelectComms) != 1 {
+		t.Fatalf("SelectComms = %d entries, want 1", len(cfg.SelectComms))
+	}
+}
+
+// TestWalkNodePruning: WalkNode must not descend into function
+// literals, go/defer call bodies, range bodies, or select case bodies
+// — those execute elsewhere (other goroutine, function exit, other
+// blocks).
+func TestWalkNodePruning(t *testing.T) {
+	body := parseBody(t, `var ch chan int
+go sendAll(marker1())
+defer flush(marker2())
+f := func() { marker3() }
+_ = f`)
+	var called []string
+	for _, stmt := range body.List {
+		analysis.WalkNode(stmt, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok {
+					called = append(called, id.Name)
+				}
+			}
+			return true
+		})
+	}
+	got := strings.Join(called, ",")
+	// The spawned/deferred calls themselves and the literal body are
+	// invisible; their argument expressions are not.
+	if got != "marker1,marker2" {
+		t.Fatalf("WalkNode visited calls %q, want marker1,marker2", got)
+	}
+}

@@ -1,0 +1,95 @@
+// The forward-dataflow framework: a worklist fixpoint over a CFG with
+// a caller-supplied join-semilattice. Analyzers describe their domain
+// as a FlowSpec — initial fact, per-node transfer, join, equality —
+// and get back the fact holding at the entry of every reachable block;
+// VisitFacts then replays the transfer inside each block so a checker
+// can ask "what holds just before this node?".
+//
+// The framework is deliberately a may-analysis workhorse: Join is the
+// least upper bound over paths, so a fact like "some mutex may be held
+// here" survives any merge where one predecessor holds it. Termination
+// requires what dataflow always requires — a finite-height lattice and
+// a monotone transfer; the iteration cap is a backstop that degrades
+// to the facts computed so far rather than hanging an analyzer on a
+// buggy spec.
+package analysis
+
+import "go/ast"
+
+// Fact is one dataflow fact. Implementations are treated as immutable
+// values: Transfer and Join must return fresh facts, never mutate
+// their inputs (blocks share facts across edges).
+type Fact any
+
+// FlowSpec describes a forward dataflow problem.
+type FlowSpec struct {
+	// Init is the fact at function entry.
+	Init func() Fact
+	// Transfer applies one CFG node's effect.
+	Transfer func(n ast.Node, in Fact) Fact
+	// Join merges facts where paths meet (least upper bound).
+	Join func(a, b Fact) Fact
+	// Equal reports fact equality; the fixpoint stops when no block's
+	// entry fact changes.
+	Equal func(a, b Fact) bool
+}
+
+// maxFlowPasses bounds worklist processing per block — far above any
+// real lattice height in this suite; hitting it means a non-monotone
+// spec, and the analysis settles for the facts reached so far.
+const maxFlowPasses = 256
+
+// ForwardFlow runs the worklist fixpoint and returns the fact holding
+// at the entry of each block reachable from cfg.Entry. Unreachable
+// blocks have no fact (absent from the map).
+func ForwardFlow(cfg *CFG, spec FlowSpec) map[*Block]Fact {
+	in := map[*Block]Fact{cfg.Entry: spec.Init()}
+	passes := make([]int, len(cfg.Blocks))
+	work := []*Block{cfg.Entry}
+	queued := make([]bool, len(cfg.Blocks))
+	queued[cfg.Entry.Index] = true
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk.Index] = false
+		if passes[blk.Index]++; passes[blk.Index] > maxFlowPasses {
+			continue
+		}
+		fact := in[blk]
+		for _, n := range blk.Nodes {
+			fact = spec.Transfer(n, fact)
+		}
+		for _, succ := range blk.Succs {
+			prev, seen := in[succ]
+			next := fact
+			if seen {
+				next = spec.Join(prev, fact)
+				if spec.Equal(next, prev) {
+					continue
+				}
+			}
+			in[succ] = next
+			if !queued[succ.Index] {
+				queued[succ.Index] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}
+
+// VisitFacts replays the transfer function through every reachable
+// block, calling visit with each node and the fact holding immediately
+// before it. Visit order is block order, nodes in evaluation order.
+func VisitFacts(cfg *CFG, in map[*Block]Fact, spec FlowSpec, visit func(n ast.Node, before Fact)) {
+	for _, blk := range cfg.Blocks {
+		fact, ok := in[blk]
+		if !ok {
+			continue // unreachable
+		}
+		for _, n := range blk.Nodes {
+			visit(n, fact)
+			fact = spec.Transfer(n, fact)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gpapriori/internal/analysis"
+)
+
+// The test domain: the may-set of marker values "generated" so far.
+// gen(N) adds N, kill(N) removes it — a miniature of lockhold's
+// held-set, small enough to assert exact facts.
+type markSet map[int]bool
+
+func markSpec() analysis.FlowSpec {
+	apply := func(h markSet, n ast.Node) markSet {
+		analysis.WalkNode(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok {
+				return true
+			}
+			v, err := strconv.Atoi(lit.Value)
+			if err != nil {
+				return true
+			}
+			switch id.Name {
+			case "gen":
+				out := make(markSet, len(h)+1)
+				for k := range h {
+					out[k] = true
+				}
+				out[v] = true
+				h = out
+			case "kill":
+				out := make(markSet, len(h))
+				for k := range h {
+					if k != v {
+						out[k] = true
+					}
+				}
+				h = out
+			}
+			return true
+		})
+		return h
+	}
+	return analysis.FlowSpec{
+		Init: func() analysis.Fact { return markSet{} },
+		Transfer: func(n ast.Node, in analysis.Fact) analysis.Fact {
+			return apply(in.(markSet), n)
+		},
+		Join: func(a, b analysis.Fact) analysis.Fact {
+			ma, mb := a.(markSet), b.(markSet)
+			out := make(markSet, len(ma)+len(mb))
+			for k := range ma {
+				out[k] = true
+			}
+			for k := range mb {
+				out[k] = true
+			}
+			return out
+		},
+		Equal: func(a, b analysis.Fact) bool {
+			ma, mb := a.(markSet), b.(markSet)
+			if len(ma) != len(mb) {
+				return false
+			}
+			for k := range ma {
+				if !mb[k] {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// factAt runs the flow over src and returns the fact holding just
+// before the (single) call to probe().
+func factAt(t *testing.T, src string) markSet {
+	t.Helper()
+	cfg := analysis.BuildCFG(parseBody(t, src))
+	spec := markSpec()
+	in := analysis.ForwardFlow(cfg, spec)
+	var got markSet
+	found := false
+	analysis.VisitFacts(cfg, in, spec, func(n ast.Node, before analysis.Fact) {
+		analysis.WalkNode(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "probe" {
+					got, found = before.(markSet), true
+					return false
+				}
+			}
+			return true
+		})
+	})
+	if !found {
+		t.Fatalf("no probe() in src:\n%s", src)
+	}
+	return got
+}
+
+func wantMarks(t *testing.T, got markSet, want ...int) {
+	t.Helper()
+	var gs, ws []string
+	for k := range got {
+		gs = append(gs, strconv.Itoa(k))
+	}
+	for _, k := range want {
+		ws = append(ws, strconv.Itoa(k))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("fact = {%s}, want {%s}", strings.Join(gs, ","), strings.Join(ws, ","))
+	}
+	for _, k := range want {
+		if !got[k] {
+			t.Fatalf("fact = {%s}, want {%s}", strings.Join(gs, ","), strings.Join(ws, ","))
+		}
+	}
+}
+
+func TestForwardFlowStraightLine(t *testing.T) {
+	wantMarks(t, factAt(t, `gen(1); gen(2); kill(1); probe()`), 2)
+}
+
+func TestForwardFlowBranchJoinIsUnion(t *testing.T) {
+	// May-analysis: both arms' facts survive the merge.
+	wantMarks(t, factAt(t, `if cond() { gen(1) } else { gen(2) }; probe()`), 1, 2)
+}
+
+func TestForwardFlowOneArmedBranch(t *testing.T) {
+	wantMarks(t, factAt(t, `gen(1)
+if cond() {
+	kill(1)
+	gen(2)
+}
+probe()`), 1, 2)
+}
+
+func TestForwardFlowLoopFixpoint(t *testing.T) {
+	// The loop-carried gen reaches the head on the back edge, so after
+	// the loop it may be present — and the pre-loop kill cannot erase
+	// what later iterations add.
+	wantMarks(t, factAt(t, `kill(1)
+for i := 0; i < n(); i++ {
+	gen(1)
+}
+probe()`), 1)
+}
+
+func TestForwardFlowShortCircuitArm(t *testing.T) {
+	// gen(1) sits on the right arm of &&: it may or may not have run
+	// at the join, so the may-set includes it.
+	wantMarks(t, factAt(t, `if a() && gen(1) { }
+probe()`), 1)
+}
+
+func TestForwardFlowUnreachableBlocksHaveNoFacts(t *testing.T) {
+	cfg := analysis.BuildCFG(parseBody(t, `return
+gen(1)`))
+	spec := markSpec()
+	in := analysis.ForwardFlow(cfg, spec)
+	visited := 0
+	analysis.VisitFacts(cfg, in, spec, func(n ast.Node, before analysis.Fact) {
+		visited++
+	})
+	// Only the return statement's node is reachable; the resurrected
+	// block after it carries no fact and is skipped.
+	if visited != 1 {
+		t.Fatalf("visited %d reachable nodes, want 1", visited)
+	}
+}

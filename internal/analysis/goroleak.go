@@ -1,0 +1,110 @@
+// The goroleak analyzer: every `go` statement in a server that serves
+// millions of users is a liability unless the goroutine provably
+// stops. A goroutine with no termination path — an unconditional loop
+// with no reachable return or break, a bare select{}, a body that
+// calls a never-returning helper — accumulates one leaked stack (and
+// whatever it captured) per spawn, which under gpaserve's load profile
+// is an OOM with a delay timer.
+//
+// The check is CFG-reachability, not pattern matching: the goroutine's
+// body (a function literal, or the body of a same-package function or
+// method the go statement calls) is lowered with BuildCFG and flagged
+// when Exit is unreachable from Entry. That definition is exactly "no
+// termination path" and automatically blesses every sanctioned idiom:
+//
+//   - `for { select { case <-ctx.Done(): return; ... } }` — the return
+//     edge makes Exit reachable (the ctx/done-channel pattern);
+//   - `for range ch` worker loops — a range over a channel terminates
+//     when the channel closes, so the range head keeps an exit edge;
+//   - bounded loops, `wg.Done()` runners, one-shot senders — fall off
+//     the end of the body.
+//
+// What it flags: `for {}` / `for { work() }` with no break or return,
+// loops whose only exits are into deeper loops, select{} (blocks
+// forever), and `go f()` where f's own CFG diverges. Goroutines
+// deliberately bound to the process lifetime carry
+// //gpalint:ignore goroleak <reason>.
+package analysis
+
+import (
+	"go/ast"
+)
+
+// GoroLeak flags go statements whose goroutine has no termination
+// path.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc: "forbid go statements spawning goroutines with no termination path " +
+		"(no reachable return/break, no ctx/done observation, never-returning callee)",
+	Run: runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) error {
+	sums := BuildSummaries(pass)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoStmt(pass, sums, g)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkGoStmt(pass *Pass, sums *Summaries, g *ast.GoStmt) {
+	// Resolve the goroutine body: a literal is inspected directly; a
+	// call to a same-package function or method is inspected through
+	// its declaration. Anything else (cross-package calls, function
+	// values) is out of reach — the suite prefers missed findings over
+	// guessing.
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		if !BuildCFG(lit.Body).ExitReachable() {
+			pass.Reportf(g.Pos(),
+				"goroutine has no termination path: no reachable return or break leaves its body; "+
+					"add a ctx/done case or bound the loop")
+			return
+		}
+		// The literal terminates on its own edges — unless the path to
+		// every exit runs through a never-returning same-package callee.
+		checkDivergingCalls(pass, sums, lit.Body, g)
+		return
+	}
+	fn := CalleeFunc(pass.TypesInfo, g.Call)
+	sum := sums.Of(fn)
+	if sum == nil {
+		return
+	}
+	if sum.Diverges {
+		pass.Reportf(g.Pos(),
+			"goroutine has no termination path: %s never returns; "+
+				"add a ctx/done case or bound its loop", fn.Name())
+	}
+}
+
+// checkDivergingCalls reports a goroutine literal whose body
+// unconditionally calls a same-package function that never returns
+// (the `go func() { m.loop() }()` wrapper idiom). Only calls in the
+// literal's top-level statement list count — a diverging call under a
+// branch may be the intended infinite arm of a conditional worker.
+func checkDivergingCalls(pass *Pass, sums *Summaries, body *ast.BlockStmt, g *ast.GoStmt) {
+	for _, stmt := range body.List {
+		es, ok := stmt.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn := CalleeFunc(pass.TypesInfo, call)
+		if sum := sums.Of(fn); sum != nil && sum.Diverges {
+			pass.Reportf(g.Pos(),
+				"goroutine has no termination path: it calls %s, which never returns; "+
+					"add a ctx/done case or bound its loop", fn.Name())
+			return
+		}
+	}
+}

@@ -1,0 +1,251 @@
+// The lockhold analyzer: a sync.Mutex/RWMutex held on ANY path across
+// a blocking operation is a contention bomb — every other goroutine
+// contending for that mutex stalls for as long as the blocked holder
+// parks, and in the structures this repo serializes behind mutexes
+// (the jobs admission queue, the server's record tables, the
+// pipeline's park protocol) that turns one slow channel peer or disk
+// write into a fleet-wide stall. The paper's clean-run-equivalence
+// claim only covers *what* is computed; whether the system keeps
+// admitting, shedding, and streaming under load is exactly this
+// invariant.
+//
+// lockhold supersedes the old AST-only lockscope analyzer. Where
+// lockscope straight-line-scanned statement lists (copying its held
+// set into each nested block by hand, forgetting it across labeled
+// jumps and short-circuit arms), lockhold runs a may-held forward
+// dataflow over the real CFG: the lattice is the set of held lock
+// expressions, Lock/RLock/TryLock gens, Unlock/RUnlock kills, joins
+// union — so a lock held on one arm of a branch is still held at the
+// merge, and a `defer mu.Unlock()` (no kill on any path) keeps the
+// mutex held to function end, which is precisely the region to police.
+//
+// Blocking operations: channel send/receive, select without a default,
+// and any call the summary layer knows may block — time.Sleep,
+// WaitGroup.Wait, file/network I/O, checkpoint/fsfault writes, or a
+// same-package function whose own body may block (summary.go holds the
+// table). sync.Cond.Wait is exempt: it releases its mutex while
+// parked, which is the sanctioned way to block under a lock.
+//
+// The analyzer runs repo-wide. Sanctioned exceptions carry
+// //gpalint:ignore lockhold <reason>.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// LockHold flags blocking operations reachable while a mutex may be
+// held.
+var LockHold = &Analyzer{
+	Name: "lockhold",
+	Doc: "forbid blocking operations (channel ops, select, sleeps, I/O, may-block " +
+		"calls) on any path where a sync.Mutex/RWMutex is held",
+	Run: runLockHold,
+}
+
+func runLockHold(pass *Pass) error {
+	sums := BuildSummaries(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				lockHoldFunc(pass, sums, fd)
+			}
+		}
+	}
+	// Function literals get their own CFG each: their bodies run with
+	// an empty held-set of their own (a goroutine does not inherit the
+	// spawner's locks; an inline call is approximated the same way,
+	// trading a missed finding for zero false positives on the
+	// overwhelmingly-goroutine uses in this repo).
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				lockHoldBody(pass, sums, lit.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func lockHoldFunc(pass *Pass, sums *Summaries, fd *ast.FuncDecl) {
+	lockHoldBody(pass, sums, fd.Body)
+}
+
+// heldSet is the dataflow fact: the set of lock receiver expressions
+// that may be held. Facts are immutable; transfer copies on change.
+type heldSet map[string]bool
+
+func (h heldSet) with(k string) heldSet {
+	if h[k] {
+		return h
+	}
+	out := make(heldSet, len(h)+1)
+	for e := range h {
+		out[e] = true
+	}
+	out[k] = true
+	return out
+}
+
+func (h heldSet) without(k string) heldSet {
+	if !h[k] {
+		return h
+	}
+	out := make(heldSet, len(h))
+	for e := range h {
+		if e != k {
+			out[e] = true
+		}
+	}
+	return out
+}
+
+func (h heldSet) names() string {
+	names := make([]string, 0, len(h))
+	for k := range h {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+func lockHoldBody(pass *Pass, sums *Summaries, body *ast.BlockStmt) {
+	cfg := BuildCFG(body)
+	spec := FlowSpec{
+		Init: func() Fact { return heldSet{} },
+		Transfer: func(n ast.Node, in Fact) Fact {
+			h := in.(heldSet)
+			WalkNode(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if recv, op, ok := mutexOp(pass, call); ok {
+					switch op {
+					case "Lock", "RLock", "TryLock", "TryRLock":
+						h = h.with(recv)
+					case "Unlock", "RUnlock":
+						// A deferred unlock never reaches here (WalkNode
+						// skips deferred calls): the lock stays held to
+						// Exit, exactly the defer semantics.
+						h = h.without(recv)
+					}
+					return false
+				}
+				return true
+			})
+			return h
+		},
+		Join: func(a, b Fact) Fact {
+			ha, hb := a.(heldSet), b.(heldSet)
+			if len(hb) == 0 {
+				return ha
+			}
+			if len(ha) == 0 {
+				return hb
+			}
+			out := make(heldSet, len(ha)+len(hb))
+			for k := range ha {
+				out[k] = true
+			}
+			for k := range hb {
+				out[k] = true
+			}
+			return out
+		},
+		Equal: func(a, b Fact) bool {
+			ha, hb := a.(heldSet), b.(heldSet)
+			if len(ha) != len(hb) {
+				return false
+			}
+			for k := range ha {
+				if !hb[k] {
+					return false
+				}
+			}
+			return true
+		},
+	}
+	in := ForwardFlow(cfg, spec)
+	VisitFacts(cfg, in, spec, func(n ast.Node, before Fact) {
+		h := before.(heldSet)
+		if len(h) == 0 {
+			return
+		}
+		if cfg.SelectComms[n] {
+			// The select header was already checked; its comm statements
+			// are the same park, not a second one.
+			return
+		}
+		if pos, desc := blockingInNode(pass, sums, n, h); desc != "" {
+			pass.Reportf(pos,
+				"%s while holding %s: a lock held across a blocking operation stalls every contender",
+				desc, h.names())
+		}
+	})
+}
+
+// blockingInNode finds the first blocking construct in one CFG node,
+// honouring the lockhold exemptions: selects with a default proceed
+// without parking, sync.Cond.Wait releases its mutex, and unlocking
+// the held mutex inside the node (e.g. `mu.Unlock(); <-ch` merged into
+// one statement) is handled by node granularity — the CFG keeps those
+// as separate nodes.
+func blockingInNode(pass *Pass, sums *Summaries, n ast.Node, held heldSet) (pos token.Pos, desc string) {
+	WalkNode(n, func(m ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.SendStmt:
+			pos, desc = m.Pos(), "channel send"
+			return false
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				pos, desc = m.Pos(), "channel receive"
+				return false
+			}
+		case *ast.RangeStmt:
+			if isChanType(pass, m.X) {
+				pos, desc = m.Pos(), "range over channel"
+				return false
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(m) {
+				pos, desc = m.Pos(), "select"
+			}
+			// With a default the select proceeds without parking, and its
+			// comm operations only fire when already ready — never a park.
+			return false
+		case *ast.CallExpr:
+			if recv, _, ok := mutexOp(pass, m); ok {
+				_ = recv
+				return false
+			}
+			if d := condWaitReleasing(pass, m, held); d {
+				return false // Cond.Wait: sanctioned blocking under its mutex
+			}
+			if d := sums.CallMayBlock(m); d != "" && d != "sync.Cond.Wait" {
+				pos, desc = m.Pos(), d
+				return false
+			}
+		}
+		return true
+	})
+	return pos, desc
+}
+
+// condWaitReleasing reports whether call is sync.Cond.Wait — exempt
+// because Wait atomically releases the Cond's locker while parked.
+func condWaitReleasing(pass *Pass, call *ast.CallExpr, held heldSet) bool {
+	named := ReceiverNamed(pass.TypesInfo, call)
+	if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	fn := CalleeFunc(pass.TypesInfo, call)
+	return named.Obj().Name() == "Cond" && fn != nil && fn.Name() == "Wait"
+}

@@ -4,11 +4,13 @@ package analysis
 func All() []*Analyzer {
 	return []*Analyzer{
 		ArenaRetain,
+		AtomicMix,
 		CtxThread,
 		Determinism,
 		FaultPath,
+		GoroLeak,
 		HTTPLimits,
-		LockScope,
+		LockHold,
 		MapOrder,
 		TypedErr,
 	}

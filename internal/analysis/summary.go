@@ -1,0 +1,388 @@
+// Flow-aware call summaries for module-local functions. The CFG and
+// dataflow layers reason within one function; summaries carry the
+// concurrency-relevant behaviour of a callee across call sites so
+// lockhold can flag `mu.Lock(); helper()` when helper's body parks on
+// a channel three frames down, and goroleak can flag `go m.loop()`
+// when loop never returns.
+//
+// A summary is computed per package (the unit a Pass sees): direct
+// facts from each declared function's body, then a fixpoint that
+// propagates MayBlock / AcquiresLock / ReleasesLock / SpawnsGoroutine
+// through same-package calls. Cross-package calls resolve against a
+// curated table of known-blocking stdlib and module operations
+// (channel primitives need no table — they are syntax). Indirect
+// calls (function values, interface methods outside the table) are
+// assumed non-blocking: the suite prefers missed findings over noise,
+// and the table covers every way this repo performs I/O.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FuncSummary is the concurrency-relevant behaviour of one declared
+// function.
+type FuncSummary struct {
+	// MayBlock: some path parks the goroutine — a channel op, a select
+	// without default, a known-blocking call, or a call to a
+	// same-package function that may block. BlockDesc says why.
+	MayBlock  bool
+	BlockDesc string
+	// AcquiresLock / ReleasesLock: some path performs a sync.Mutex or
+	// RWMutex lock / unlock (directly or via a same-package call).
+	AcquiresLock bool
+	ReleasesLock bool
+	// SpawnsGoroutine: some path executes a go statement (directly or
+	// via a same-package call).
+	SpawnsGoroutine bool
+	// Diverges: the function's CFG has no path from entry to exit — it
+	// cannot return normally (infinite loop, empty select, or
+	// unconditional panic).
+	Diverges bool
+}
+
+// Summaries holds one package's function summaries.
+type Summaries struct {
+	pass  *Pass
+	funcs map[*types.Func]*FuncSummary
+	decls map[*types.Func]*ast.FuncDecl
+}
+
+// BuildSummaries computes summaries for every function declared in the
+// pass's package, iterating same-package call propagation to a
+// fixpoint.
+func BuildSummaries(pass *Pass) *Summaries {
+	s := &Summaries{
+		pass:  pass,
+		funcs: map[*types.Func]*FuncSummary{},
+		decls: map[*types.Func]*ast.FuncDecl{},
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			s.decls[fn] = fd
+			s.funcs[fn] = s.directFacts(fd)
+		}
+	}
+	// Propagate through same-package calls. Each round can only flip
+	// bits on, so the fixpoint arrives within #functions rounds.
+	for changed := true; changed; {
+		changed = false
+		for fn, sum := range s.funcs {
+			fd := s.decls[fn]
+			walkFuncBody(fd.Body, func(n ast.Node) {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return
+				}
+				callee := CalleeFunc(pass.TypesInfo, call)
+				csum, local := s.funcs[callee]
+				if !local {
+					return
+				}
+				if csum.MayBlock && !sum.MayBlock {
+					sum.MayBlock = true
+					sum.BlockDesc = fmt.Sprintf("call to %s (%s)", callee.Name(), csum.BlockDesc)
+					changed = true
+				}
+				if csum.AcquiresLock && !sum.AcquiresLock {
+					sum.AcquiresLock = true
+					changed = true
+				}
+				if csum.ReleasesLock && !sum.ReleasesLock {
+					sum.ReleasesLock = true
+					changed = true
+				}
+				if csum.SpawnsGoroutine && !sum.SpawnsGoroutine {
+					sum.SpawnsGoroutine = true
+					changed = true
+				}
+			})
+		}
+	}
+	return s
+}
+
+// Of returns fn's summary, or nil when fn is not declared in this
+// package (or is nil).
+func (s *Summaries) Of(fn *types.Func) *FuncSummary {
+	if fn == nil {
+		return nil
+	}
+	return s.funcs[fn]
+}
+
+// DeclOf returns the declaration of a same-package function, or nil.
+func (s *Summaries) DeclOf(fn *types.Func) *ast.FuncDecl {
+	if fn == nil {
+		return nil
+	}
+	return s.decls[fn]
+}
+
+// directFacts computes a function's summary from its own body alone.
+func (s *Summaries) directFacts(fd *ast.FuncDecl) *FuncSummary {
+	sum := &FuncSummary{}
+	walkFuncBody(fd.Body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			sum.SpawnsGoroutine = true
+		case *ast.SendStmt:
+			sum.setBlocks("channel send")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				sum.setBlocks("channel receive")
+			}
+		case *ast.RangeStmt:
+			if isChanType(s.pass, n.X) {
+				sum.setBlocks("range over channel")
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				sum.setBlocks("select")
+			}
+		case *ast.CallExpr:
+			if recv, op, ok := mutexOp(s.pass, n); ok {
+				_ = recv
+				switch op {
+				case "Lock", "RLock", "TryLock", "TryRLock":
+					sum.AcquiresLock = true
+				case "Unlock", "RUnlock":
+					sum.ReleasesLock = true
+				}
+				return
+			}
+			if desc := KnownBlockingCall(s.pass, n); desc != "" {
+				sum.setBlocks(desc)
+			}
+		}
+	})
+	sum.Diverges = !BuildCFG(fd.Body).ExitReachable()
+	return sum
+}
+
+func (f *FuncSummary) setBlocks(desc string) {
+	if !f.MayBlock {
+		f.MayBlock = true
+		f.BlockDesc = desc
+	}
+}
+
+// walkFuncBody visits every node of a function body that executes on
+// the function's own goroutine: function literals are skipped (their
+// bodies run when — and where — the value is called), and a go
+// statement contributes only its argument expressions.
+func walkFuncBody(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			fn(n)
+			for _, arg := range n.Call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if _, lit := m.(*ast.FuncLit); lit {
+						return false
+					}
+					if m != nil {
+						fn(m)
+					}
+					return true
+				})
+			}
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// isChanType reports whether e has channel type (so ranging over it
+// parks between elements).
+func isChanType(pass *Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// selectHasDefault reports whether a select can proceed without
+// blocking.
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, cl := range s.Body.List {
+		if comm, ok := cl.(*ast.CommClause); ok && comm.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// mutexOp matches call as a lock-lifecycle method on a sync.Mutex or
+// sync.RWMutex value and returns the printed receiver expression.
+func mutexOp(pass *Pass, call *ast.CallExpr) (recv, op string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return "", "", false
+	}
+	named := ReceiverNamed(pass.TypesInfo, call)
+	if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	if n := named.Obj().Name(); n != "Mutex" && n != "RWMutex" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// osFileFuncs are the package-level os functions that touch the
+// filesystem.
+var osFileFuncs = map[string]bool{
+	"ReadFile": true, "WriteFile": true, "Create": true, "CreateTemp": true,
+	"Open": true, "OpenFile": true, "Remove": true, "RemoveAll": true,
+	"Rename": true, "Mkdir": true, "MkdirAll": true, "MkdirTemp": true,
+	"ReadDir": true, "Stat": true, "Lstat": true, "Truncate": true,
+}
+
+// osFileMethods are the (*os.File) methods that perform I/O.
+var osFileMethods = map[string]bool{
+	"Read": true, "ReadAt": true, "Write": true, "WriteAt": true,
+	"WriteString": true, "Sync": true, "Close": true, "Seek": true,
+	"Truncate": true, "ReadDir": true, "Stat": true, "ReadFrom": true,
+}
+
+// ioStreamFuncs are the io helpers that pump an arbitrary
+// reader/writer and block on it.
+var ioStreamFuncs = map[string]bool{
+	"Copy": true, "CopyN": true, "CopyBuffer": true, "ReadAll": true,
+	"ReadFull": true, "ReadAtLeast": true,
+}
+
+// KnownBlockingCall classifies call against the curated table of
+// blocking operations and returns a short description, or "" when the
+// call is not known to block. sync.Cond.Wait is reported here (it does
+// park the goroutine); lockhold exempts it separately because it
+// releases its own mutex while parked.
+func KnownBlockingCall(pass *Pass, call *ast.CallExpr) string {
+	fn := CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	named := ReceiverNamed(pass.TypesInfo, call)
+	recvName := ""
+	if named != nil {
+		recvName = named.Obj().Name()
+	}
+	switch path {
+	case "time":
+		if name == "Sleep" {
+			return "time.Sleep"
+		}
+	case "sync":
+		switch {
+		case recvName == "WaitGroup" && name == "Wait":
+			return "sync.WaitGroup.Wait"
+		case recvName == "Cond" && name == "Wait":
+			return "sync.Cond.Wait"
+		}
+	case "os":
+		if recvName == "" && osFileFuncs[name] {
+			return "os." + name
+		}
+		if recvName == "File" && osFileMethods[name] {
+			return "(*os.File)." + name
+		}
+		if recvName == "Process" && (name == "Wait" || name == "Kill" || name == "Signal") {
+			return "(*os.Process)." + name
+		}
+	case "io":
+		if recvName == "" && ioStreamFuncs[name] {
+			return "io." + name
+		}
+	case "bufio":
+		if recvName == "Writer" && name == "Flush" {
+			return "(*bufio.Writer).Flush"
+		}
+		if recvName == "Reader" || recvName == "Scanner" {
+			return "bufio read"
+		}
+	case "net":
+		switch {
+		case recvName == "" && (strings.HasPrefix(name, "Dial") ||
+			strings.HasPrefix(name, "Listen") || strings.HasPrefix(name, "Lookup")):
+			return "net." + name
+		case recvName == "Conn" || recvName == "TCPConn" || recvName == "UDPConn" ||
+			recvName == "UnixConn" || recvName == "Listener" || recvName == "TCPListener" ||
+			recvName == "UnixListener":
+			return "net I/O"
+		}
+	case "net/http":
+		switch {
+		case recvName == "Client",
+			recvName == "Server",
+			recvName == "" && (name == "Get" || name == "Post" || name == "PostForm" ||
+				name == "Head" || name == "ListenAndServe" || name == "ListenAndServeTLS" ||
+				name == "Serve" || name == "ServeTLS"):
+			return "net/http " + name
+		// Writing a response body (or flushing it) parks on a slow
+		// client — the exact stall the slow-client defenses exist for.
+		case recvName == "ResponseWriter" && name == "Write",
+			recvName == "Flusher" && name == "Flush":
+			return "http response write"
+		}
+	case "os/exec":
+		if recvName == "Cmd" && (name == "Run" || name == "Wait" || name == "Output" || name == "CombinedOutput") {
+			return "(*exec.Cmd)." + name
+		}
+	}
+	// Module-local durability packages: checkpoint saves and the
+	// fsfault seams are file I/O by construction. The table is for
+	// cross-package calls only — within these packages the summary
+	// fixpoint sees the real bodies (their in-memory helpers are not
+	// I/O).
+	if path == pass.PkgPath {
+		return ""
+	}
+	switch {
+	case strings.HasSuffix(path, "internal/checkpoint"):
+		return "checkpoint " + name
+	case strings.HasSuffix(path, "internal/fsfault") && name != "Crash" &&
+		name != "Arm" && name != "Reset" && name != "Seed":
+		return "fsfault " + name
+	}
+	return ""
+}
+
+// CallMayBlock resolves call against the known-blocking table and the
+// same-package summaries; the description is empty when the call is
+// not known to block.
+func (s *Summaries) CallMayBlock(call *ast.CallExpr) string {
+	if desc := KnownBlockingCall(s.pass, call); desc != "" {
+		return desc
+	}
+	fn := CalleeFunc(s.pass.TypesInfo, call)
+	if sum := s.Of(fn); sum != nil && sum.MayBlock {
+		return fmt.Sprintf("call to %s (%s)", fn.Name(), sum.BlockDesc)
+	}
+	return ""
+}

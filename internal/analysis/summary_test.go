@@ -1,0 +1,146 @@
+package analysis_test
+
+import (
+	"go/types"
+	"path/filepath"
+	"testing"
+
+	"gpapriori/internal/analysis"
+)
+
+// loadSummaries type-checks the engine/sum fixture and builds its
+// summaries the way the analyzers do.
+func loadSummaries(t *testing.T) (*analysis.Summaries, *types.Package) {
+	return loadSummariesAs(t, "gpalint.test/engine/sum")
+}
+
+func loadSummariesAs(t *testing.T, pkgPath string) (*analysis.Summaries, *types.Package) {
+	t.Helper()
+	root := moduleRoot(t)
+	l, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "analysis", "testdata", "src", "engine", "sum")
+	pkg, err := l.LoadDirAs(dir, pkgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &analysis.Pass{
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		PkgPath:   pkg.PkgPath,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+	}
+	return analysis.BuildSummaries(pass), pkg.Types
+}
+
+func summaryOf(t *testing.T, sums *analysis.Summaries, pkg *types.Package, name string) *analysis.FuncSummary {
+	t.Helper()
+	fn, ok := pkg.Scope().Lookup(name).(*types.Func)
+	if !ok {
+		t.Fatalf("fixture has no function %q", name)
+	}
+	sum := sums.Of(fn)
+	if sum == nil {
+		t.Fatalf("no summary for %q", name)
+	}
+	return sum
+}
+
+func TestSummariesDirectFacts(t *testing.T) {
+	sums, pkg := loadSummaries(t)
+
+	recv := summaryOf(t, sums, pkg, "recvOne")
+	if !recv.MayBlock || recv.BlockDesc != "channel receive" {
+		t.Errorf("recvOne: MayBlock=%v desc=%q, want channel receive", recv.MayBlock, recv.BlockDesc)
+	}
+
+	locker := summaryOf(t, sums, pkg, "locker")
+	if !locker.AcquiresLock || !locker.ReleasesLock {
+		t.Errorf("locker: acquires=%v releases=%v, want both", locker.AcquiresLock, locker.ReleasesLock)
+	}
+	if locker.MayBlock {
+		t.Error("locker: mutex ops alone must not count as blocking")
+	}
+
+	spawner := summaryOf(t, sums, pkg, "spawner")
+	if !spawner.SpawnsGoroutine {
+		t.Error("spawner: SpawnsGoroutine not set")
+	}
+	if spawner.MayBlock {
+		t.Error("spawner: the spawned body blocks, the spawner does not")
+	}
+
+	sleeper := summaryOf(t, sums, pkg, "sleeper")
+	if !sleeper.MayBlock || sleeper.BlockDesc != "time.Sleep" {
+		t.Errorf("sleeper: MayBlock=%v desc=%q, want time.Sleep", sleeper.MayBlock, sleeper.BlockDesc)
+	}
+
+	saver := summaryOf(t, sums, pkg, "saver")
+	if !saver.MayBlock {
+		t.Error("saver: file I/O must count as blocking")
+	}
+
+	forever := summaryOf(t, sums, pkg, "forever")
+	if !forever.Diverges {
+		t.Error("forever: Diverges not set for an unconditional loop")
+	}
+
+	pure := summaryOf(t, sums, pkg, "pure")
+	if pure.MayBlock || pure.AcquiresLock || pure.ReleasesLock || pure.SpawnsGoroutine || pure.Diverges {
+		t.Errorf("pure: summary not empty: %+v", pure)
+	}
+}
+
+// TestSummariesSamePackageCallsBypassModuleTable is the regression
+// test for the first repo-wide sweep's false positives: the
+// module-local blocking table (internal/fsfault, internal/checkpoint)
+// classifies CROSS-package calls; inside those packages the fixpoint
+// must see the real bodies, or every in-memory helper gets branded as
+// file I/O. Loading the fixture under a table-matching import path
+// must not change any summary.
+func TestSummariesSamePackageCallsBypassModuleTable(t *testing.T) {
+	sums, pkg := loadSummariesAs(t, "gpalint.test/internal/fsfault")
+
+	// indirectSpawn calls spawner — a same-package, non-blocking helper.
+	// With the table applied to same-package calls, that call would be
+	// branded "fsfault spawner" and MayBlock would leak through.
+	indirect := summaryOf(t, sums, pkg, "indirectSpawn")
+	if indirect.MayBlock {
+		t.Errorf("indirectSpawn: same-package call misclassified by module table: %q", indirect.BlockDesc)
+	}
+	locker := summaryOf(t, sums, pkg, "locker")
+	if locker.MayBlock {
+		t.Errorf("locker: mutex-only helper misclassified as blocking: %q", locker.BlockDesc)
+	}
+	// Real facts must survive the bypass: callers of genuinely blocking
+	// same-package functions still propagate.
+	calls := summaryOf(t, sums, pkg, "callsRecv")
+	if !calls.MayBlock {
+		t.Error("callsRecv: propagation lost under table-matching package path")
+	}
+}
+
+func TestSummariesPropagateThroughCallChains(t *testing.T) {
+	sums, pkg := loadSummaries(t)
+
+	calls := summaryOf(t, sums, pkg, "callsRecv")
+	if !calls.MayBlock || calls.BlockDesc != "call to recvOne (channel receive)" {
+		t.Errorf("callsRecv: MayBlock=%v desc=%q", calls.MayBlock, calls.BlockDesc)
+	}
+
+	deep := summaryOf(t, sums, pkg, "deepCall")
+	if !deep.MayBlock {
+		t.Error("deepCall: blocking must propagate two call hops")
+	}
+
+	indirect := summaryOf(t, sums, pkg, "indirectSpawn")
+	if !indirect.SpawnsGoroutine {
+		t.Error("indirectSpawn: goroutine spawn must propagate through calls")
+	}
+	if indirect.Diverges {
+		t.Error("indirectSpawn: diverging is not transitive through returning callees")
+	}
+}

@@ -1,0 +1,25 @@
+// Passing cases for atomicmix: consistently-atomic fields, plain-only
+// fields, the typed atomic.Int64 migration target, and keyed
+// composite-literal initialization. None of these may be flagged.
+package clean
+
+import "sync/atomic"
+
+type stats struct {
+	served atomic.Int64 // typed atomics make mixing inexpressible
+	plain  int64        // never touched atomically
+	racy   int64        // atomic everywhere
+}
+
+func (s *stats) hit()            { s.served.Add(1) }
+func (s *stats) snapshot() int64 { return s.served.Load() }
+
+func (s *stats) bump()      { s.plain++ }
+func (s *stats) get() int64 { return s.plain }
+
+func (s *stats) addRacy()        { atomic.AddInt64(&s.racy, 1) }
+func (s *stats) loadRacy() int64 { return atomic.LoadInt64(&s.racy) }
+
+func newStats() *stats {
+	return &stats{plain: 1} // keyed init is not a selector access
+}

@@ -1,0 +1,38 @@
+// Failing cases for atomicmix: struct fields accessed through
+// sync/atomic in one place and by plain read/write in another — the
+// /statsz-counter bug.
+package mixed
+
+import "sync/atomic"
+
+type stats struct {
+	served  int64
+	dropped int64
+	flag    uint32
+}
+
+func (s *stats) hit() {
+	atomic.AddInt64(&s.served, 1)
+}
+
+// load is the atomic discipline — the operand is not a plain use.
+func (s *stats) load() int64 {
+	return atomic.LoadInt64(&s.served)
+}
+
+func (s *stats) snapshot() int64 {
+	return s.served // want `plain access to field served`
+}
+
+func (s *stats) reset() {
+	s.served = 0 // want `plain access to field served`
+	s.dropped = 0
+}
+
+func (s *stats) markUp() {
+	atomic.StoreUint32(&s.flag, 1)
+}
+
+func (s *stats) isUp() bool {
+	return s.flag == 1 // want `plain access to field flag.*atomic\.Uint32`
+}

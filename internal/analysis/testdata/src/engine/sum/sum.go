@@ -1,0 +1,51 @@
+// Fixture for the call-summary layer: one function per summary bit,
+// plus call chains that must propagate bits to a fixpoint.
+package sum
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+var ch = make(chan int)
+var mu sync.Mutex
+var counter int
+
+func recvOne() int { return <-ch }
+
+func callsRecv() int { return recvOne() + 1 }
+
+func deepCall() int { return callsRecv() }
+
+func locker() {
+	mu.Lock()
+	counter++
+	mu.Unlock()
+}
+
+func spawner() {
+	go recvOne()
+}
+
+func indirectSpawn() {
+	spawner()
+}
+
+func forever() {
+	for {
+		counter++
+	}
+}
+
+func sleeper() {
+	time.Sleep(time.Millisecond)
+}
+
+func saver() error {
+	return os.WriteFile("x", nil, 0o644)
+}
+
+func pure(a, b int) int {
+	return a*b + counter
+}

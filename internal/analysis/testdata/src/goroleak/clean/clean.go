@@ -1,0 +1,68 @@
+// Passing cases for goroleak: every sanctioned goroutine shape in this
+// repo. None of these may be flagged — the value of defining the check
+// as CFG reachability is that these pass without special-casing.
+package clean
+
+import "sync"
+
+var ch = make(chan int)
+var done = make(chan struct{})
+
+// spawnSelectLoop: the ctx/done-channel pattern — the return edge in
+// the done case makes Exit reachable.
+func spawnSelectLoop() {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case v := <-ch:
+				process(v)
+			}
+		}
+	}()
+}
+
+// spawnRange terminates when the channel closes.
+func spawnRange() {
+	go func() {
+		for v := range ch {
+			process(v)
+		}
+	}()
+}
+
+// spawnOneShot falls off the end of its body.
+func spawnOneShot(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		process(<-ch)
+	}()
+}
+
+// drain is a named worker with a comma-ok termination path.
+func drain() {
+	for {
+		v, ok := <-ch
+		if !ok {
+			return
+		}
+		process(v)
+	}
+}
+
+func spawnDrain() {
+	go drain()
+}
+
+// spawnBounded: a loop with a condition has an exit edge.
+func spawnBounded() {
+	go func() {
+		for i := 0; i < 100; i++ {
+			process(i)
+		}
+	}()
+}
+
+func process(int) {}

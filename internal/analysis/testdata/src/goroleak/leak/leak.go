@@ -1,0 +1,55 @@
+// Failing cases for goroleak: go statements whose goroutine has no
+// termination path — no reachable return or break, or a call into a
+// function that never returns.
+package leak
+
+var ch = make(chan int)
+
+// spinForever has an unconditional loop with no exit edge.
+func spinForever() {
+	for {
+		process(<-ch)
+	}
+}
+
+func spawnNamed() {
+	go spinForever() // want `goroutine has no termination path: spinForever never returns`
+}
+
+func spawnLitLoop() {
+	go func() { // want `goroutine has no termination path`
+		for {
+			process(<-ch)
+		}
+	}()
+}
+
+func spawnEmptySelect() {
+	go func() { // want `goroutine has no termination path`
+		select {}
+	}()
+}
+
+// spawnWrapped: the literal terminates syntactically, but its single
+// call never returns — the wrapper idiom.
+func spawnWrapped() {
+	go func() { // want `goroutine has no termination path: it calls spinForever, which never returns`
+		spinForever()
+	}()
+}
+
+// spawnNested: the break leaves the inner loop only; the outer loop
+// still has no exit.
+func spawnNested() {
+	go func() { // want `goroutine has no termination path`
+		for {
+			for {
+				if len(ch) == 0 {
+					break
+				}
+			}
+		}
+	}()
+}
+
+func process(int) {}

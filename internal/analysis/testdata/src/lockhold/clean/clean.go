@@ -1,0 +1,80 @@
+// Passing cases for lockhold: every sanctioned way to combine mutexes
+// with blocking operations. None of these may be flagged.
+package clean
+
+import (
+	"sync"
+	"time"
+)
+
+var mu sync.Mutex
+var ch = make(chan int)
+
+// unlockThenRecv releases before parking.
+func unlockThenRecv() {
+	mu.Lock()
+	mu.Unlock()
+	<-ch
+}
+
+// tryDrain: a select with a default never parks.
+func tryDrain() {
+	mu.Lock()
+	defer mu.Unlock()
+	select {
+	case <-ch:
+	default:
+	}
+}
+
+// queue uses the sanctioned way to block under a lock: sync.Cond.Wait
+// releases its mutex while parked.
+type queue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+func (q *queue) pop() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == 0 {
+		q.cond.Wait()
+	}
+	q.n--
+	return q.n
+}
+
+// spawnUnderLock: the goroutine body runs with its own empty held-set
+// — a goroutine does not inherit the spawner's locks.
+func spawnUnderLock() {
+	mu.Lock()
+	defer mu.Unlock()
+	go func() {
+		time.Sleep(time.Millisecond)
+		<-ch
+	}()
+}
+
+// branchesBalance: both arms release before the park.
+func branchesBalance(cond bool) {
+	mu.Lock()
+	if cond {
+		mu.Unlock()
+	} else {
+		mu.Unlock()
+	}
+	<-ch
+}
+
+// deferredArgsOnly: a deferred call's arguments evaluate at the defer
+// statement; neither they nor anything after the unlock parks under
+// the lock.
+func deferredArgsOnly() {
+	mu.Lock()
+	defer trace(time.Now())
+	mu.Unlock()
+	<-ch
+}
+
+func trace(t time.Time) { _ = t }

@@ -1,0 +1,90 @@
+// Failing cases for lockhold: blocking operations reachable while a
+// sync.Mutex or RWMutex may be held. Each case exercises one part of
+// the engine — defer semantics, branch joins, summary propagation,
+// the blocking table.
+package hold
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+var mu sync.Mutex
+var ch = make(chan int)
+
+// recvUnderLock parks on a channel receive with the lock held.
+func recvUnderLock() {
+	mu.Lock()
+	<-ch // want `channel receive while holding mu`
+	mu.Unlock()
+}
+
+// sendUnderDeferredUnlock: the deferred unlock runs at function end,
+// so the lock is held across the send.
+func sendUnderDeferredUnlock() {
+	mu.Lock()
+	defer mu.Unlock()
+	ch <- 1 // want `channel send while holding mu`
+}
+
+// sleepOnOneBranch: may-analysis — the lock survives the join from the
+// then-arm, so the sleep is flagged even though one path is clean.
+func sleepOnOneBranch(cond bool) {
+	if cond {
+		mu.Lock()
+	}
+	time.Sleep(time.Millisecond) // want `time.Sleep while holding mu`
+	if cond {
+		mu.Unlock()
+	}
+}
+
+// selectUnderLock parks in a select with no default.
+func selectUnderLock() {
+	mu.Lock()
+	defer mu.Unlock()
+	select { // want `select while holding mu`
+	case <-ch:
+	case ch <- 2:
+	}
+}
+
+// ioUnderLock performs file I/O with the lock held.
+func ioUnderLock() error {
+	mu.Lock()
+	defer mu.Unlock()
+	return os.WriteFile("x", nil, 0o644) // want `os.WriteFile while holding mu`
+}
+
+// helperBlocks is the callee for the summary-propagation case: its own
+// body parks, so calling it is a blocking operation.
+func helperBlocks() int { return <-ch }
+
+func callUnderLock() {
+	mu.Lock()
+	defer mu.Unlock()
+	_ = helperBlocks() // want `call to helperBlocks \(channel receive\) while holding mu`
+}
+
+// rangeUnderLock parks between elements of a channel range.
+func rangeUnderLock() {
+	mu.Lock()
+	defer mu.Unlock()
+	for v := range ch { // want `range over channel while holding mu`
+		_ = v
+	}
+}
+
+type guarded struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// rlockWait: a read lock counts too, and WaitGroup.Wait parks.
+func (g *guarded) rlockWait(wg *sync.WaitGroup) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	wg.Wait() // want `sync.WaitGroup.Wait while holding g.mu`
+	return g.n
+}

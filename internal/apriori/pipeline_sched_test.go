@@ -3,13 +3,13 @@ package apriori
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"testing"
 	"time"
 
 	"gpapriori/internal/bitset"
 	"gpapriori/internal/dataset"
 	"gpapriori/internal/gen"
+	"gpapriori/internal/testutil"
 )
 
 // TestPipelineSchedulerMatrix is the scheduler's oracle-equivalence
@@ -132,7 +132,7 @@ func TestPipelineCancellationMidRun(t *testing.T) {
 		Workers: 8, Grain: 2, StealBatch: 1,
 		Count: CountOptions{PrefixCache: true},
 	})
-	before := runtime.NumGoroutine()
+	check := testutil.LeakCheck(t, 0, 3*time.Second)
 	for i := 0; i < 25; i++ {
 		ctx, cancel := context.WithCancel(context.Background())
 		done := make(chan struct{})
@@ -149,19 +149,7 @@ func TestPipelineCancellationMidRun(t *testing.T) {
 		}
 		<-done
 	}
-	deadline := time.Now().Add(3 * time.Second)
-	for {
-		runtime.GC()
-		if n := runtime.NumGoroutine(); n <= before {
-			return
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<16)
-			t.Fatalf("worker goroutines leaked: %d before, %d after\n%s",
-				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	check()
 }
 
 // TestPipelineGrainKnobPlumbing pins the public knob path: an explicit

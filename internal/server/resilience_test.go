@@ -14,7 +14,6 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
-	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -22,6 +21,7 @@ import (
 
 	"gpapriori"
 	"gpapriori/internal/fsfault"
+	"gpapriori/internal/testutil"
 )
 
 // postJob submits req with an explicit idempotency key, returning the
@@ -349,9 +349,9 @@ func (b *syncBuffer) String() string {
 // typed path (a terminal canceled event, never a hang or a decode
 // error), and no goroutine may leak.
 func TestConcurrentStreamCancelDrain(t *testing.T) {
-	before := runtime.NumGoroutine()
+	check := testutil.LeakCheck(t, 2, 10*time.Second)
 	// Built by hand rather than via newTestServer: the goroutine-leak
-	// check below needs the server torn down before the count, not in
+	// check needs the server torn down before the count, not in
 	// t.Cleanup after it.
 	func() {
 		s, err := New(Config{Registry: slowRegistry(t), Jobs: gpapriori.JobManagerConfig{MemoryBudgetMB: 256}})
@@ -405,15 +405,5 @@ func TestConcurrentStreamCancelDrain(t *testing.T) {
 		}
 	}()
 	// Every server, finalizer, and handler goroutine must unwind.
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		runtime.GC()
-		if n := runtime.NumGoroutine(); n <= before+2 {
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
-		}
-		time.Sleep(50 * time.Millisecond)
-	}
+	check()
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"gpapriori"
+	"gpapriori/internal/testutil"
 )
 
 // testDB is a small deterministic database shared by the fast tests.
@@ -236,6 +237,9 @@ func TestCancelRunningJob(t *testing.T) {
 // replayed job must complete — from its checkpoint — to the identical
 // offline result.
 func TestDrainAndResume(t *testing.T) {
+	// Registered before newTestServer so the LIFO cleanup order runs the
+	// leak check after both servers' teardowns.
+	t.Cleanup(testutil.LeakCheck(t, 2, 10*time.Second))
 	stateDir := t.TempDir()
 	reg := slowRegistry(t)
 	s1, cl1, ts1 := newTestServer(t, Config{Registry: reg, StateDir: stateDir})
@@ -331,6 +335,9 @@ func TestDrainRejectsSubmissions(t *testing.T) {
 // event, each generation's itemsets have the right length, and the
 // union equals the full result.
 func TestStreamDeliversGenerations(t *testing.T) {
+	// A streaming handler that outlives its client is the leak this
+	// suite exists to catch; check after the cleanup-managed teardown.
+	t.Cleanup(testutil.LeakCheck(t, 2, 10*time.Second))
 	_, cl, _ := newTestServer(t, Config{})
 	ctx := context.Background()
 	job, err := cl.Submit(ctx, gpapriori.ServeMineRequest{Dataset: "q", MinSupport: 20, NoCache: true})

@@ -1,0 +1,56 @@
+// Package testutil holds shared test helpers. Production code must not
+// import it.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// LeakCheck snapshots the goroutine count and returns a function that
+// verifies the count has returned to the baseline (within slack) once
+// the system under test is torn down. It polls — goroutine unwinding
+// is asynchronous by nature — and on timeout fails the test with a
+// full stack dump, which names the exact park site of every straggler.
+//
+// Usage, explicit teardown:
+//
+//	check := testutil.LeakCheck(t, 0, 3*time.Second)
+//	... spin up and tear down the system ...
+//	check()
+//
+// Usage, cleanup-managed servers: register the check BEFORE the helper
+// that registers the teardown — t.Cleanup runs last-in-first-out, so
+// the check fires after the teardown it polices:
+//
+//	t.Cleanup(testutil.LeakCheck(t, 2, 10*time.Second))
+//	_, cl, _ := newTestServer(t, Config{})
+//
+// slack tolerates goroutines owned by infrastructure that outlives the
+// region deliberately (e.g. net/http connection machinery unwinding);
+// keep it 0 unless a named, understood goroutine needs it.
+func LeakCheck(tb testing.TB, slack int, deadline time.Duration) func() {
+	tb.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		tb.Helper()
+		limit := time.Now().Add(deadline)
+		for {
+			runtime.GC()
+			n := runtime.NumGoroutine()
+			if n <= before+slack {
+				return
+			}
+			if time.Now().After(limit) {
+				buf := make([]byte, 1<<20)
+				// Errorf, not Fatalf: the check often runs inside
+				// t.Cleanup, where FailNow would skip sibling cleanups.
+				tb.Errorf("goroutines leaked: %d before, %d after (slack %d)\n%s",
+					before, n, slack, buf[:runtime.Stack(buf, true)])
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}

@@ -12,15 +12,30 @@ go vet ./...
 # Project-specific invariant linter (internal/analysis suite): any
 # finding — nondeterminism source, bare device op on a fault-aware
 # path, broken ctx chain, untyped error check, lock held across a
-# blocking call — fails the build.
+# blocking call, leaked goroutine, mixed atomic/plain field access —
+# fails the build. The stage is timed: the CFG/dataflow engine must
+# stay cheap enough to run on every verification.
+GPALINT_START=$(date +%s)
 go run ./cmd/gpalint ./...
+echo "gpalint sweep: $(( $(date +%s) - GPALINT_START ))s"
+
+# The machine-readable output must stay valid JSON with the documented
+# shape (a clean sweep is {"findings": [], "count": 0}), and the
+# suppression audit must pass: every //gpalint:ignore names a
+# registered analyzer and carries a reason.
+go run ./cmd/gpalint -json ./... | jq -e '.findings == [] and .count == 0' > /dev/null
+go run ./cmd/gpalint -ignores ./...
 
 # Pinned staticcheck, when the module cache or network can supply it.
 # Offline environments (no proxy access, tool not pre-fetched) skip it
-# rather than fail; CI environments with network always run it.
+# rather than fail — unless GPA_CI=1, where the toolchain is expected
+# to be able to supply it and a skip would silently drop coverage.
 STATICCHECK_VERSION=2024.1.1
 if go run "honnef.co/go/tools/cmd/staticcheck@$STATICCHECK_VERSION" -version >/dev/null 2>&1; then
     go run "honnef.co/go/tools/cmd/staticcheck@$STATICCHECK_VERSION" ./...
+elif [ "${GPA_CI:-0}" = "1" ]; then
+    echo "staticcheck $STATICCHECK_VERSION unavailable but GPA_CI=1; failing" >&2
+    exit 1
 else
     echo "staticcheck $STATICCHECK_VERSION unavailable (offline); skipping"
 fi
