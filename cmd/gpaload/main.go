@@ -37,8 +37,11 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"os"
+	"os/exec"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -73,6 +76,15 @@ type options struct {
 	priorities int
 	seed       int64
 	out        string
+
+	// Multi-node mode: targets is a comma-separated peer list, spread
+	// picks how sessions land on it ("rr" round-robin or "zipf" skewed),
+	// and killAfter/killCmd SIGKILL a peer mid-run to measure the
+	// cluster degrading under real client load.
+	targets   string
+	spread    string
+	killAfter time.Duration
+	killCmd   string
 }
 
 func defaultOptions() options {
@@ -86,6 +98,7 @@ func defaultOptions() options {
 		relSupport: 0.4,
 		priorities: 3,
 		seed:       1,
+		spread:     "rr",
 	}
 }
 
@@ -105,6 +118,10 @@ func main() {
 	flag.IntVar(&opts.priorities, "priorities", opts.priorities, "submission priorities are uniform over [0,n)")
 	flag.Int64Var(&opts.seed, "seed", opts.seed, "RNG seed for arrivals, popularity, and chaos")
 	flag.StringVar(&opts.out, "out", opts.out, "write the JSON report here (empty = stdout)")
+	flag.StringVar(&opts.targets, "targets", opts.targets, "comma-separated base URLs of every cluster peer (alternative to -target)")
+	flag.StringVar(&opts.spread, "spread", opts.spread, "how sessions spread over -targets: rr (round-robin) or zipf")
+	flag.DurationVar(&opts.killAfter, "kill-after", opts.killAfter, "run -kill-cmd this long into the arrival window (0 disables)")
+	flag.StringVar(&opts.killCmd, "kill-cmd", opts.killCmd, "shell command run once at -kill-after, e.g. 'kill -9 <pid>'")
 	flag.Parse()
 
 	rep, err := run(context.Background(), os.Stderr, opts)
@@ -174,10 +191,32 @@ type Report struct {
 		DropSessions int64 `json:"drop_sessions"`
 		SlowSessions int64 `json:"slow_sessions"`
 		StreamLost   int64 `json:"stream_lost"`
+		// KillCmd/KillExecuted record the mid-run peer kill, when armed.
+		KillCmd      string `json:"kill_cmd,omitempty"`
+		KillExecuted bool   `json:"kill_executed,omitempty"`
 	} `json:"chaos"`
 
-	// Server is the daemon's /statsz overload section after the run.
+	// Targets/PerTarget appear in multi-node runs (-targets): where the
+	// sessions went and what each peer delivered.
+	Targets   []string       `json:"targets,omitempty"`
+	PerTarget []TargetReport `json:"per_target,omitempty"`
+
+	// Server is the daemon's /statsz overload section after the run
+	// (in multi-node runs: the first surviving peer's).
 	Server gpapriori.ServeOverloadStats `json:"server"`
+}
+
+// TargetReport is one peer's share of a multi-node run. ConnErrors
+// counts transport-level failures (connection refused/reset — the
+// signature of a killed peer), disjoint from the daemon-refused and
+// 5xx counts.
+type TargetReport struct {
+	Target        string  `json:"target"`
+	Sessions      int64   `json:"sessions"`
+	Completed     int64   `json:"completed"`
+	Failed        int64   `json:"failed"`
+	ConnErrors    int64   `json:"conn_errors"`
+	GoodputPerSec float64 `json:"goodput_per_sec"`
 }
 
 // emit renders the report as indented JSON to path or stdout.
@@ -196,12 +235,13 @@ func emit(rep *Report, path string) error {
 
 // loader is one run's shared state.
 type loader struct {
-	opts   options
-	client *gpapriori.ServeClient
-	logw   io.Writer
+	opts    options
+	clients []*gpapriori.ServeClient // one per target, same order
+	logw    io.Writer
 
 	mu        sync.Mutex
 	rep       Report
+	perTarget []TargetReport // same order as clients
 	latencies []time.Duration
 	// hashes maps a query's identity to the first result hash seen;
 	// later sessions must match.
@@ -209,8 +249,29 @@ type loader struct {
 }
 
 func run(ctx context.Context, logw io.Writer, opts options) (*Report, error) {
-	if opts.target == "" {
-		return nil, fmt.Errorf("-target is required")
+	var targets []string
+	switch {
+	case opts.target != "" && opts.targets != "":
+		return nil, fmt.Errorf("-target and -targets are mutually exclusive")
+	case opts.target != "":
+		targets = []string{opts.target}
+	case opts.targets != "":
+		for _, t := range strings.Split(opts.targets, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				targets = append(targets, t)
+			}
+		}
+		if len(targets) == 0 {
+			return nil, fmt.Errorf("-targets is empty")
+		}
+	default:
+		return nil, fmt.Errorf("one of -target or -targets is required")
+	}
+	if opts.spread != "rr" && opts.spread != "zipf" {
+		return nil, fmt.Errorf("-spread %q must be rr or zipf", opts.spread)
+	}
+	if (opts.killCmd != "") != (opts.killAfter > 0) {
+		return nil, fmt.Errorf("-kill-cmd and -kill-after must be set together")
 	}
 	if opts.rate <= 0 {
 		return nil, fmt.Errorf("-rate %v must be > 0", opts.rate)
@@ -227,14 +288,18 @@ func run(ctx context.Context, logw io.Writer, opts options) (*Report, error) {
 	if opts.priorities < 1 {
 		return nil, fmt.Errorf("-priorities %d must be >= 1", opts.priorities)
 	}
-	client, err := gpapriori.NewServeClient(gpapriori.ServeConfig{
-		BaseURL:  opts.target,
-		PollWait: 5 * time.Second,
-	})
-	if err != nil {
-		return nil, err
+	clients := make([]*gpapriori.ServeClient, len(targets))
+	for i, t := range targets {
+		cl, err := gpapriori.NewServeClient(gpapriori.ServeConfig{
+			BaseURL:  t,
+			PollWait: 5 * time.Second,
+		})
+		if err != nil {
+			return nil, err
+		}
+		clients[i] = cl
 	}
-	datasets, err := client.Datasets(ctx)
+	datasets, err := clients[0].Datasets(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("listing datasets: %w", err)
 	}
@@ -248,14 +313,30 @@ func run(ctx context.Context, logw io.Writer, opts options) (*Report, error) {
 	}
 	sort.Strings(names)
 
-	l := &loader{opts: opts, client: client, logw: logw, hashes: map[string]string{}}
-	l.rep.Target = opts.target
+	l := &loader{opts: opts, clients: clients, logw: logw, hashes: map[string]string{}}
+	l.rep.Target = targets[0]
 	l.rep.DurationSec = opts.duration.Seconds()
 	l.rep.Rate = opts.rate
 	l.rep.Seed = opts.seed
+	l.rep.Chaos.KillCmd = opts.killCmd
+	if len(targets) > 1 {
+		l.rep.Targets = targets
+	}
+	l.perTarget = make([]TargetReport, len(targets))
+	for i, t := range targets {
+		l.perTarget[i].Target = t
+	}
 
 	rng := rand.New(rand.NewSource(opts.seed))
 	zipf := rand.NewZipf(rng, opts.zipfS, 1, uint64(len(names)-1))
+	// tzipf skews sessions over the peer list when -spread zipf; nil
+	// with one target (rand.NewZipf rejects imax 0 ranges gracefully
+	// only for imax >= 0, and round-robin is the single-target answer
+	// anyway).
+	var tzipf *rand.Zipf
+	if opts.spread == "zipf" && len(targets) > 1 {
+		tzipf = rand.NewZipf(rng, opts.zipfS, 1, uint64(len(targets)-1))
+	}
 
 	var wg sync.WaitGroup
 	launch := func() {
@@ -271,13 +352,35 @@ func run(ctx context.Context, logw io.Writer, opts options) (*Report, error) {
 		case f < opts.dropFrac+opts.slowFrac:
 			kind = kindSlow
 		}
+		ti := 0
+		if tzipf != nil {
+			ti = int(tzipf.Uint64())
+		} else if len(targets) > 1 {
+			ti = int(l.rep.Arrivals) % len(targets)
+		}
 		seed := rng.Int63()
 		wg.Add(1)
 		l.rep.Arrivals++
+		l.perTarget[ti].Sessions++
 		go func() {
 			defer wg.Done()
-			l.session(ctx, req, kind, seed)
+			l.session(ctx, req, kind, seed, ti)
 		}()
+	}
+
+	if opts.killCmd != "" {
+		kt := time.AfterFunc(opts.killAfter, func() {
+			out, kerr := exec.Command("sh", "-c", opts.killCmd).CombinedOutput()
+			l.mu.Lock()
+			l.rep.Chaos.KillExecuted = true
+			l.mu.Unlock()
+			if kerr != nil {
+				fmt.Fprintf(logw, "gpaload: kill-cmd failed: %v: %s\n", kerr, out)
+			} else {
+				fmt.Fprintf(logw, "gpaload: kill-cmd executed at +%v\n", opts.killAfter)
+			}
+		})
+		defer kt.Stop()
 	}
 
 	interval := time.Duration(float64(time.Second) / opts.rate)
@@ -312,12 +415,25 @@ arrivals:
 	rep := l.rep
 	rep.GoodputPerSec = float64(rep.Completed) / opts.duration.Seconds()
 	rep.LatencyMs = percentiles(l.latencies)
+	if len(targets) > 1 {
+		rep.PerTarget = append([]TargetReport(nil), l.perTarget...)
+		for i := range rep.PerTarget {
+			rep.PerTarget[i].GoodputPerSec = float64(rep.PerTarget[i].Completed) / opts.duration.Seconds()
+		}
+	}
 	l.mu.Unlock()
 	rep.Date = time.Now().UTC().Format("2006-01-02")
-	if stats, err := client.Stats(ctx); err == nil {
-		rep.Server = stats.Overload
-	} else {
-		fmt.Fprintf(logw, "gpaload: final /statsz failed: %v\n", err)
+	// A killed peer cannot answer /statsz; take the first survivor's.
+	statsErr := errors.New("no targets")
+	for _, cl := range clients {
+		var stats *gpapriori.ServeStats
+		if stats, statsErr = cl.Stats(ctx); statsErr == nil {
+			rep.Server = stats.Overload
+			break
+		}
+	}
+	if statsErr != nil {
+		fmt.Fprintf(logw, "gpaload: final /statsz failed on every target: %v\n", statsErr)
 	}
 	return &rep, nil
 }
@@ -352,15 +468,24 @@ func (l *loader) pacedRefusal(err error) (time.Duration, bool) {
 	return se.RetryAfter, true
 }
 
-// noteFailure records a terminal session failure, separating the 5xx
-// the SLO forbids from client-side noise.
-func (l *loader) noteFailure(err error) {
+// noteFailure records a terminal session failure against its target,
+// separating the 5xx the SLO forbids from client-side noise; a failure
+// that is not a typed daemon error is a transport-level conn error —
+// the signature of a killed peer.
+func (l *loader) noteFailure(err error, ti int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.rep.Failed++
+	l.perTarget[ti].Failed++
 	var se *gpapriori.ServeError
-	if errors.As(err, &se) && se.Status >= 500 && se.Status != http.StatusServiceUnavailable {
-		l.rep.ServerErrors++
+	var ue *url.Error
+	switch {
+	case errors.As(err, &se):
+		if se.Status >= 500 && se.Status != http.StatusServiceUnavailable {
+			l.rep.ServerErrors++
+		}
+	case errors.As(err, &ue):
+		l.perTarget[ti].ConnErrors++
 	}
 }
 
@@ -368,7 +493,8 @@ func (l *loader) noteFailure(err error) {
 // the outcome. Refused submissions honor the daemon's Retry-After up
 // to the retry budget; admitted jobs are watched to completion and
 // their result hashed for the cross-session identity check.
-func (l *loader) session(ctx context.Context, req gpapriori.ServeMineRequest, kind sessionKind, seed int64) {
+func (l *loader) session(ctx context.Context, req gpapriori.ServeMineRequest, kind sessionKind, seed int64, ti int) {
+	client := l.clients[ti]
 	rng := rand.New(rand.NewSource(seed))
 	sctx := ctx
 	if kind == kindDrop {
@@ -387,7 +513,7 @@ func (l *loader) session(ctx context.Context, req gpapriori.ServeMineRequest, ki
 	var info *gpapriori.ServeJobInfo
 	var err error
 	for attempt := 0; ; attempt++ {
-		info, err = l.client.Submit(sctx, req)
+		info, err = client.Submit(sctx, req)
 		if err == nil {
 			break
 		}
@@ -411,7 +537,7 @@ func (l *loader) session(ctx context.Context, req gpapriori.ServeMineRequest, ki
 			l.noteDrop()
 			return
 		}
-		l.noteFailure(err)
+		l.noteFailure(err, ti)
 		return
 	}
 
@@ -420,7 +546,7 @@ func (l *loader) session(ctx context.Context, req gpapriori.ServeMineRequest, ki
 		l.mu.Lock()
 		l.rep.Chaos.SlowSessions++
 		l.mu.Unlock()
-		_, serr := l.client.Stream(sctx, info.ID, func(gpapriori.ServeGenerationEvent) error {
+		_, serr := client.Stream(sctx, info.ID, func(gpapriori.ServeGenerationEvent) error {
 			select {
 			case <-time.After(l.opts.slowDelay):
 			case <-sctx.Done():
@@ -436,7 +562,7 @@ func (l *loader) session(ctx context.Context, req gpapriori.ServeMineRequest, ki
 		// session still resolves the job below.
 	}
 	for !info.Terminal() {
-		info, err = l.client.Wait(sctx, info.ID)
+		info, err = client.Wait(sctx, info.ID)
 		if err != nil {
 			if sctx.Err() != nil && ctx.Err() == nil {
 				l.noteDrop()
@@ -450,7 +576,7 @@ func (l *loader) session(ctx context.Context, req gpapriori.ServeMineRequest, ki
 				l.mu.Unlock()
 				return
 			}
-			l.noteFailure(err)
+			l.noteFailure(err, ti)
 			return
 		}
 	}
@@ -462,7 +588,7 @@ func (l *loader) session(ctx context.Context, req gpapriori.ServeMineRequest, ki
 		l.mu.Unlock()
 		return
 	default:
-		l.noteFailure(fmt.Errorf("job %s ended %s: %s", info.ID, info.State, info.Error))
+		l.noteFailure(fmt.Errorf("job %s ended %s: %s", info.ID, info.State, info.Error), ti)
 		return
 	}
 	latency := time.Since(admitted)
@@ -470,13 +596,13 @@ func (l *loader) session(ctx context.Context, req gpapriori.ServeMineRequest, ki
 	// Identical queries must yield byte-identical results, no matter
 	// how much shedding and retrying happened around them.
 	sum := sha256.New()
-	items, err := l.client.Result(sctx, info.ID)
+	items, err := client.Result(sctx, info.ID)
 	if err != nil {
 		if sctx.Err() != nil && ctx.Err() == nil {
 			l.noteDrop()
 			return
 		}
-		l.noteFailure(err)
+		l.noteFailure(err, ti)
 		return
 	}
 	for _, it := range items {
@@ -488,6 +614,7 @@ func (l *loader) session(ctx context.Context, req gpapriori.ServeMineRequest, ki
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.rep.Completed++
+	l.perTarget[ti].Completed++
 	l.latencies = append(l.latencies, latency)
 	if prev, ok := l.hashes[qid]; !ok {
 		l.hashes[qid] = digest

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"gpapriori"
+	"gpapriori/internal/peer"
 	"gpapriori/internal/server"
 )
 
@@ -73,6 +74,16 @@ type options struct {
 	sojournTarget   time.Duration
 	sojournInterval time.Duration
 	latencyTarget   time.Duration
+
+	// Cluster mode (see internal/peer): a static peer list turns the
+	// daemon into one node of a consistent-hash placement ring.
+	peers         string
+	self          string
+	replication   int
+	probeInterval time.Duration
+	probeTimeout  time.Duration
+	suspectAfter  int
+	recoverAfter  int
 }
 
 // defaultOptions is the production default for every knob — what the
@@ -115,6 +126,13 @@ func main() {
 	flag.DurationVar(&opts.sojournInterval, "sojourn-interval", opts.sojournInterval, "sustain window before the sojourn controller sheds (0 = 4x target)")
 	flag.DurationVar(&opts.latencyTarget, "latency-target", opts.latencyTarget, "job completion latency target for the AIMD concurrency limiter (0 disables)")
 	flag.Var(&datasets, "dataset", "name=spec dataset to register (repeatable); spec is file:<path>, gen:<name>:<scale>, or quest:<items>:<trans>:<avglen>:<seed>")
+	flag.StringVar(&opts.peers, "peers", opts.peers, "comma-separated base URLs of every cluster peer, including this one (empty = single-node)")
+	flag.StringVar(&opts.self, "self", opts.self, "this daemon's own base URL as it appears in -peers (required with -peers)")
+	flag.IntVar(&opts.replication, "replication", opts.replication, "replicas per dataset on the placement ring (0 = default 2)")
+	flag.DurationVar(&opts.probeInterval, "probe-interval", opts.probeInterval, "peer health probe period (0 = default 1s)")
+	flag.DurationVar(&opts.probeTimeout, "probe-timeout", opts.probeTimeout, "per-probe HTTP timeout (0 = default 2s)")
+	flag.IntVar(&opts.suspectAfter, "suspect-after", opts.suspectAfter, "consecutive probe failures before a peer is suspected (0 = default 3)")
+	flag.IntVar(&opts.recoverAfter, "recover-after", opts.recoverAfter, "consecutive probe successes before a suspected peer recovers (0 = default 2)")
 	flag.Parse()
 	opts.datasets = datasets
 
@@ -136,6 +154,26 @@ func run(logw io.Writer, opts options) error {
 	}
 	if opts.maxBodyKB < 0 {
 		return fmt.Errorf("-max-body-kb %d must be >= 0", opts.maxBodyKB)
+	}
+	var cluster peer.Config
+	if opts.peers != "" {
+		for _, p := range strings.Split(opts.peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				cluster.Peers = append(cluster.Peers, p)
+			}
+		}
+		cluster.Self = opts.self
+		cluster.Replication = opts.replication
+		cluster.ProbeInterval = opts.probeInterval
+		cluster.ProbeTimeout = opts.probeTimeout
+		cluster.SuspectAfter = opts.suspectAfter
+		cluster.RecoverAfter = opts.recoverAfter
+		cluster.Log = logw
+		if err := cluster.Validate(); err != nil {
+			return fmt.Errorf("-peers: %w", err)
+		}
+	} else if opts.self != "" {
+		return fmt.Errorf("-self requires -peers")
 	}
 	reg := server.NewRegistry()
 	for _, d := range opts.datasets {
@@ -169,7 +207,8 @@ func run(logw io.Writer, opts options) error {
 			StreamWriteTimeout: opts.streamWriteTimeout,
 			MaxBodyBytes:       int64(opts.maxBodyKB) << 10,
 		},
-		Log: logw,
+		Cluster: cluster,
+		Log:     logw,
 	})
 	if err != nil {
 		return err
@@ -187,6 +226,10 @@ func run(logw io.Writer, opts options) error {
 		}
 	}
 	fmt.Fprintf(logw, "gpaserve: listening on %s\n", addr)
+	if cluster.Enabled() {
+		fmt.Fprintf(logw, "gpaserve: cluster mode: self=%s peers=%d replication=%d\n",
+			peer.NormalizeURL(cluster.Self), len(cluster.Peers), srv.Replication())
+	}
 
 	// ReadHeaderTimeout defeats slowloris headers; IdleTimeout reclaims
 	// abandoned keep-alives. Read/Write timeouts stay off on purpose:

@@ -65,14 +65,20 @@ func pickAddr(t *testing.T) string {
 // crash during startup never gets that far).
 func startDaemon(t *testing.T, bin, stateDir, crashpoint, addr string, waitReady bool) *daemon {
 	t.Helper()
-	portFile := filepath.Join(t.TempDir(), "port")
-	cmd := exec.Command(bin,
+	return launchDaemon(t, bin, crashpoint, waitReady, []string{
 		"-listen", addr,
 		"-dataset", "slow=gen:chess:1.0",
 		"-state-dir", stateDir,
-		"-port-file", portFile,
 		"-drain-timeout", "60",
-	)
+	})
+}
+
+// launchDaemon is the shared subprocess launcher: args plus a fresh
+// -port-file, the crashpoint armed through the environment.
+func launchDaemon(t *testing.T, bin, crashpoint string, waitReady bool, args []string) *daemon {
+	t.Helper()
+	portFile := filepath.Join(t.TempDir(), "port")
+	cmd := exec.Command(bin, append(args, "-port-file", portFile)...)
 	cmd.Env = os.Environ()
 	if crashpoint != "" {
 		cmd.Env = append(cmd.Env, fsfault.CrashEnv+"="+crashpoint)

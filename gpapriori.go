@@ -560,6 +560,18 @@ func ResultFingerprint(db *Database, cfg Config) (uint64, int, error) {
 	return checkpoint.Fingerprint(db.db, minSup, cfg.MaxLen), minSup, nil
 }
 
+// DatasetFingerprint returns the content hash of the database alone —
+// no support threshold, no length cap — the placement key the cluster
+// layer feeds to its consistent-hash ring. Two nodes registered with
+// the same dataset spec compute the same fingerprint and therefore
+// agree on which peers own it, with zero coordination.
+func DatasetFingerprint(db *Database) (uint64, error) {
+	if db == nil || db.db.Len() == 0 {
+		return 0, fmt.Errorf("gpapriori: empty database")
+	}
+	return checkpoint.Fingerprint(db.db, 0, 0), nil
+}
+
 // wireCheckpoint installs the public checkpoint/resume config into the
 // level-wise driver config. The hook installed here wins over any
 // miner-level checkpoint spec (checkpoint.Wire is a no-op when a hook is

@@ -95,6 +95,13 @@ func TestGoroLeakAllowsTerminatingShapes(t *testing.T) {
 	analysistest.Run(t, analysis.GoroLeak, "goroleak/clean")
 }
 
+// TestGoroLeakPeerProbeIdiom pins the probe-loop contract from
+// internal/peer: the ticker+ctx.Done select passes, and the same loop
+// without the Done case is a leak.
+func TestGoroLeakPeerProbeIdiom(t *testing.T) {
+	analysistest.Run(t, analysis.GoroLeak, "goroleak/peerprobe")
+}
+
 func TestAtomicMixFlagsMixedAccess(t *testing.T) {
 	analysistest.Run(t, analysis.AtomicMix, "atomicmix/mixed")
 }

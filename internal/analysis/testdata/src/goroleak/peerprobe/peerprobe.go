@@ -1,0 +1,48 @@
+// The peer health-probe loop, both ways: the sanctioned shape from
+// internal/peer — a ticker loop whose ctx.Done case returns, making
+// Exit reachable — and the tempting shortcut that drops the Done case
+// and leaks the prober past Stop. Pinning both here means a future
+// refactor of the probe loop cannot silently regress into the leak.
+package peerprobe
+
+import (
+	"context"
+	"time"
+)
+
+type prober struct {
+	interval time.Duration
+}
+
+func (p *prober) probeOnce(ctx context.Context) {}
+
+// startProbes is the goroutine-termination idiom every probe loop in
+// this repo must use: select on ctx.Done in the same loop that waits
+// on the ticker, return on cancellation.
+func (p *prober) startProbes(ctx context.Context) {
+	go func() {
+		t := time.NewTicker(p.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				p.probeOnce(ctx)
+			}
+		}
+	}()
+}
+
+// startProbesLeaky drops the Done case: the loop has no exit edge, the
+// prober outlives every Stop, and goroleak must say so.
+func (p *prober) startProbesLeaky(ctx context.Context) {
+	go func() { // want `goroutine has no termination path`
+		t := time.NewTicker(p.interval)
+		defer t.Stop()
+		for {
+			<-t.C
+			p.probeOnce(ctx)
+		}
+	}()
+}

@@ -67,6 +67,16 @@ func (c *ResultCache) Get(key uint64) (*cacheEntry, bool) {
 	return el.Value.(*cacheEntry), true
 }
 
+// Contains reports whether key is cached without counting a hit or a
+// miss and without touching recency — the cluster router peeks at the
+// cache to pick a path; only the submission that follows should score.
+func (c *ResultCache) Contains(key uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.byKey[key]
+	return ok
+}
+
 // Put inserts an entry, evicting least-recently-used entries until the
 // budget holds. An entry larger than the whole budget is not cached.
 // Re-putting an existing key refreshes recency but keeps the original

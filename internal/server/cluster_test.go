@@ -1,0 +1,316 @@
+// Cluster-mode tests: three real Servers on real listeners forming a
+// placement ring, exercised through the public HTTP surface exactly as
+// a client would — forwarding, peer cache replication, failover past a
+// killed owner, and the degraded health contract.
+package server
+
+import (
+	"context"
+	"net"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"gpapriori"
+	"gpapriori/internal/peer"
+	"gpapriori/internal/testutil"
+)
+
+// testCluster is an in-process n-peer cluster over loopback listeners.
+type testCluster struct {
+	servers []*Server
+	clients []*gpapriori.ServeClient
+	urls    []string
+	https   []*httptest.Server
+}
+
+// newTestCluster boots n Servers that know each other through a static
+// peer list, every one registering the same dataset "q". Probe timing
+// is test-fast: suspicion lands within ~200ms of a peer dying.
+func newTestCluster(t *testing.T, n, replication int) *testCluster {
+	t.Helper()
+	t.Cleanup(testutil.LeakCheck(t, 2, 15*time.Second))
+
+	// The peer list must exist before any Server does, so bind the
+	// listeners first and build the URLs from their ports.
+	lns := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+
+	tc := &testCluster{urls: urls}
+	for i := 0; i < n; i++ {
+		reg := NewRegistry()
+		if _, err := reg.Add("q", "test", testDB(t)); err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(Config{
+			Registry:         reg,
+			CacheBudgetBytes: 4 << 20,
+			Jobs:             gpapriori.JobManagerConfig{MemoryBudgetMB: 256},
+			Cluster: peer.Config{
+				Self:          urls[i],
+				Peers:         urls,
+				Replication:   replication,
+				ProbeInterval: 50 * time.Millisecond,
+				ProbeTimeout:  500 * time.Millisecond,
+				SuspectAfter:  2,
+				RecoverAfter:  1,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewUnstartedServer(s.Handler())
+		ts.Listener.Close()
+		ts.Listener = lns[i]
+		ts.Start()
+		cl, err := gpapriori.NewServeClient(gpapriori.ServeConfig{
+			BaseURL: urls[i], PollWait: 2 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc.servers = append(tc.servers, s)
+		tc.clients = append(tc.clients, cl)
+		tc.https = append(tc.https, ts)
+	}
+	t.Cleanup(func() {
+		// Drain everyone first (stops probers and forwarders), then
+		// close the HTTP servers — the reverse order would have Close
+		// waiting on long-polls only a drain terminates.
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		for _, s := range tc.servers {
+			s.Drain(ctx)
+		}
+		for _, ts := range tc.https {
+			ts.Close()
+		}
+	})
+	return tc
+}
+
+// roles classifies the peers for dataset "q": the static owners in
+// ring order, and one non-owner (-1 when replication covers everyone).
+func (tc *testCluster) roles(t *testing.T) (owners []int, nonOwner int) {
+	t.Helper()
+	c := tc.servers[0].cluster
+	ownerURLs := c.set.Owners(c.dsKeys["q"])
+	byURL := map[string]int{}
+	for i, u := range tc.urls {
+		byURL[u] = i
+	}
+	for _, u := range ownerURLs {
+		owners = append(owners, byURL[u])
+	}
+	nonOwner = -1
+	for i := range tc.urls {
+		if !containsPeer(ownerURLs, tc.urls[i]) {
+			nonOwner = i
+			break
+		}
+	}
+	return owners, nonOwner
+}
+
+// kill makes peer i unreachable (connection refused) without any
+// shutdown courtesy — the in-process stand-in for kill -9.
+func (tc *testCluster) kill(i int) {
+	tc.https[i].CloseClientConnections()
+	tc.https[i].Listener.Close()
+}
+
+// waitFor polls cond until it holds or the deadline kills the test.
+func waitFor(t *testing.T, d time.Duration, msg string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", msg)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestClusterForwardEquivalence: a job submitted to a peer that does
+// not own the dataset is forwarded to an owner and still yields the
+// byte-identical offline result, streamed generations included.
+func TestClusterForwardEquivalence(t *testing.T) {
+	tc := newTestCluster(t, 3, 1)
+	owners, nonOwner := tc.roles(t)
+	if nonOwner < 0 {
+		t.Fatal("replication 1 of 3 peers must leave a non-owner")
+	}
+	ctx := context.Background()
+
+	req := gpapriori.ServeMineRequest{Dataset: "q", MinSupport: 25, NoCache: true}
+	res, info, err := tc.clients[nonOwner].Mine(ctx, req)
+	if err != nil {
+		t.Fatalf("mine via non-owner: %v", err)
+	}
+	if info.Forwarded != tc.urls[owners[0]] {
+		t.Fatalf("job forwarded to %q, want owner %q", info.Forwarded, tc.urls[owners[0]])
+	}
+	want, err := gpapriori.Mine(testDB(t), req.MiningConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Itemsets, want.Itemsets) {
+		t.Fatalf("forwarded result differs from offline (%d vs %d sets)",
+			len(res.Itemsets), len(want.Itemsets))
+	}
+	// The result endpoint on the non-owner serves the same canonical set.
+	got, err := tc.clients[nonOwner].Result(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want.Itemsets) {
+		t.Fatal("result endpoint differs from offline")
+	}
+
+	st, err := tc.clients[nonOwner].Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cluster == nil {
+		t.Fatal("/statsz has no cluster section")
+	}
+	if st.Cluster.ForwardedJobs != 1 || st.Cluster.ForwardedDone != 1 {
+		t.Fatalf("forward counters = %d submitted / %d done, want 1/1",
+			st.Cluster.ForwardedJobs, st.Cluster.ForwardedDone)
+	}
+	if st.Jobs.Submitted != 1 || st.Jobs.Done != 1 {
+		t.Fatalf("forwarded job missing from headline counters: %+v", st.Jobs)
+	}
+}
+
+// TestClusterPeerCacheHit: an owner that has not mined a query yet
+// finds the result in a co-owner's cache, installs the replica, and
+// answers without mining.
+func TestClusterPeerCacheHit(t *testing.T) {
+	tc := newTestCluster(t, 3, 2)
+	owners, _ := tc.roles(t)
+	if len(owners) != 2 {
+		t.Fatalf("want 2 owners, got %v", owners)
+	}
+	primary, secondary := owners[0], owners[1]
+	ctx := context.Background()
+
+	req := gpapriori.ServeMineRequest{Dataset: "q", MinSupport: 25}
+	first, firstInfo, err := tc.clients[primary].Mine(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if firstInfo.Cached {
+		t.Fatal("first request must mine")
+	}
+	second, secondInfo, err := tc.clients[secondary].Mine(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !secondInfo.Cached {
+		t.Fatal("co-owner must answer from the replicated cache entry")
+	}
+	if !reflect.DeepEqual(first.Itemsets, second.Itemsets) {
+		t.Fatal("replicated answer differs from the mined one")
+	}
+
+	st, err := tc.clients[secondary].Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cluster.CachePeerHits != 1 || st.Cluster.CacheReplicasInstalled != 1 {
+		t.Fatalf("peer cache counters = %d hits / %d installed, want 1/1",
+			st.Cluster.CachePeerHits, st.Cluster.CacheReplicasInstalled)
+	}
+	pst, err := tc.clients[primary].Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pst.Cluster.CachePeerServed != 1 {
+		t.Fatalf("primary served %d cache lookups, want 1", pst.Cluster.CachePeerServed)
+	}
+}
+
+// TestClusterForwardSurvivesKilledOwner: the primary owner dies without
+// warning; a submission through the non-owner fails over to the
+// surviving replica and the result still matches offline byte for byte.
+func TestClusterForwardSurvivesKilledOwner(t *testing.T) {
+	tc := newTestCluster(t, 3, 2)
+	owners, nonOwner := tc.roles(t)
+	if nonOwner < 0 {
+		t.Fatal("replication 2 of 3 peers must leave a non-owner")
+	}
+	tc.kill(owners[0])
+
+	ctx := context.Background()
+	req := gpapriori.ServeMineRequest{Dataset: "q", MinSupport: 25, NoCache: true}
+	res, info, err := tc.clients[nonOwner].Mine(ctx, req)
+	if err != nil {
+		t.Fatalf("mine via non-owner with dead primary: %v", err)
+	}
+	if info.Forwarded != tc.urls[owners[1]] {
+		t.Fatalf("job landed on %q, want surviving owner %q", info.Forwarded, tc.urls[owners[1]])
+	}
+	want, err := gpapriori.Mine(testDB(t), req.MiningConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Itemsets, want.Itemsets) {
+		t.Fatal("failover result differs from offline")
+	}
+}
+
+// TestClusterDegradedHealth: a dead peer flips the surviving owner's
+// /healthz to degraded, naming the dataset whose redundancy is gone;
+// peers that own nothing near the dead node stay ok.
+func TestClusterDegradedHealth(t *testing.T) {
+	tc := newTestCluster(t, 3, 2)
+	owners, nonOwner := tc.roles(t)
+	tc.kill(owners[0])
+
+	ctx := context.Background()
+	survivor := tc.clients[owners[1]]
+	waitFor(t, 10*time.Second, "survivor to report degraded", func() bool {
+		h, err := survivor.HealthDetail(ctx)
+		return err == nil && h.Status == "degraded"
+	})
+	h, err := survivor.HealthDetail(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Cluster == nil {
+		t.Fatal("/healthz has no cluster section")
+	}
+	if !containsPeer(h.Cluster.DegradedDatasets, "q") {
+		t.Fatalf("degraded datasets %v must include q", h.Cluster.DegradedDatasets)
+	}
+	suspected := 0
+	for _, p := range h.Cluster.Peers {
+		if p.State == "suspected" {
+			suspected++
+		}
+	}
+	if suspected != 1 {
+		t.Fatalf("survivor sees %d suspected peers, want 1", suspected)
+	}
+	// The non-owner holds no replica of q, so its own health stays ok
+	// even though it sees the same dead peer.
+	if nonOwner >= 0 {
+		nh, err := tc.clients[nonOwner].HealthDetail(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nh.Status != "ok" {
+			t.Fatalf("non-owner health %q, want ok", nh.Status)
+		}
+	}
+}

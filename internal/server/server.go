@@ -41,6 +41,7 @@ import (
 	"gpapriori/internal/dataset"
 	"gpapriori/internal/fsfault"
 	"gpapriori/internal/jobs"
+	"gpapriori/internal/peer"
 	"gpapriori/internal/resultio"
 )
 
@@ -60,6 +61,12 @@ type Config struct {
 	// Overload tunes the HTTP layer's overload defenses (zero value =
 	// production defaults; see OverloadConfig).
 	Overload OverloadConfig
+	// Cluster, when its Peers list is non-empty, makes this daemon a
+	// member of a multi-node cluster (cluster.go): datasets placed by
+	// consistent hashing, remote-owned submissions forwarded, peer
+	// caches consulted before recomputing. The zero value is a plain
+	// single-node daemon.
+	Cluster peer.Config
 	// Log receives operational reports — degraded jobs, quarantined
 	// journals, drain loss reports. Nil discards them.
 	Log io.Writer
@@ -74,6 +81,11 @@ type Server struct {
 	log      io.Writer
 	mux      *http.ServeMux
 	over     OverloadConfig
+	// baseCtx is the server lifetime: forwarding goroutines and the
+	// peer prober derive from it, not from any request.
+	baseCtx context.Context
+	// cluster is the multi-node wiring (nil on a single-node daemon).
+	cluster *clusterState
 	// drainCh is closed when Drain begins, releasing held long-polls so
 	// shutdown never waits out a wait_sec window.
 	drainCh chan struct{}
@@ -145,11 +157,25 @@ type jobRecord struct {
 	resultBody []byte
 	// wake is closed (and replaced) whenever events or terminal change.
 	wake chan struct{}
+
+	// Forwarded records (cluster.go) have no MiningJob; their progress
+	// comes from relaying an owner's stream. fwdCancel (immutable after
+	// creation) stops the forwarding goroutine; fwdState mirrors the
+	// remote lifecycle state; forwardedTo names the owner in use.
+	fwdCancel   context.CancelFunc
+	fwdState    string
+	forwardedTo string
 }
 
 // New builds a Server, replaying any drain journal in StateDir so jobs
 // interrupted by a previous shutdown resume from their checkpoints.
 func New(cfg Config) (*Server, error) {
+	return NewContext(context.Background(), cfg)
+}
+
+// NewContext is New bound to a lifetime: ctx cancellation stops the
+// cluster prober and any forwarding goroutines (Drain does too).
+func NewContext(ctx context.Context, cfg Config) (*Server, error) {
 	if cfg.Registry == nil {
 		return nil, fmt.Errorf("server: Config.Registry is required")
 	}
@@ -176,9 +202,18 @@ func New(cfg Config) (*Server, error) {
 		stateDir: cfg.StateDir,
 		log:      logw,
 		over:     cfg.Overload.withDefaults(),
+		baseCtx:  ctx,
 		drainCh:  make(chan struct{}),
 		jobs:     map[string]*jobRecord{},
 		idem:     map[string]string{},
+	}
+	if cfg.Cluster.Enabled() {
+		cluster, err := newCluster(cfg.Cluster, cfg.Registry)
+		if err != nil {
+			jm.Close()
+			return nil, err
+		}
+		s.cluster = cluster
 	}
 	// Long-poll (job get) and streaming handlers hold connections open
 	// by design and run unwrapped; everything else gets a deadline.
@@ -191,15 +226,33 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.withTimeout(s.handleCancel))
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.withTimeout(s.handleResult))
+	if s.cluster != nil {
+		s.mux.HandleFunc("GET /v1/cache/{key}", s.withTimeout(s.handleCacheGet))
+	}
 	if err := s.replayJournal(); err != nil {
 		jm.Close()
 		return nil, err
+	}
+	if s.cluster != nil {
+		// Started after replay so a replayed forward's first resolve
+		// sees the boot-time "everyone alive" view rather than a
+		// half-probed one; hysteresis corrects it within a few rounds.
+		s.cluster.set.StartContext(s.baseCtx)
 	}
 	return s, nil
 }
 
 // Handler returns the daemon's HTTP surface.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Replication reports the effective replication factor in cluster
+// mode, 0 on a single-node daemon.
+func (s *Server) Replication() int {
+	if s.cluster == nil {
+		return 0
+	}
+	return s.cluster.set.Replication()
+}
 
 // ---- submission ----
 
@@ -221,12 +274,51 @@ func (s *Server) ckptPath(key uint64) string {
 	return filepath.Join(s.stateDir, fmt.Sprintf("ckpt-%016x.ckpt", key))
 }
 
-// submit validates req against the registry, answers from the result
-// cache or the idempotency table when it can, and otherwise queues a
-// mining job. id is empty for fresh submissions and fixed when
-// replaying the drain journal; idemKey ("" = none) dedupes retried
-// submissions.
-func (s *Server) submit(req gpapriori.ServeMineRequest, id, idemKey string) (*jobRecord, *gpapriori.ServeError) {
+// submit routes one submission. On a single-node daemon it is
+// submitLocal. In cluster mode it resolves the dataset's live owners:
+// a locally-owned (or already-forwarded, or locally-cached) request
+// runs here — after consulting the other owners' result caches — and
+// anything else is forwarded to an owner (cluster.go). ctx bounds only
+// the synchronous peer-cache consult; forwarding outlives the request.
+func (s *Server) submit(ctx context.Context, req gpapriori.ServeMineRequest, id, idemKey string, forwarded bool) (*jobRecord, *gpapriori.ServeError) {
+	if s.cluster == nil {
+		return s.submitLocal(req, id, idemKey)
+	}
+	entry, ok := s.reg.Get(req.Dataset)
+	if !ok {
+		return nil, &gpapriori.ServeError{Status: http.StatusNotFound, Code: "unknown_dataset",
+			Message: fmt.Sprintf("dataset %q is not registered", req.Dataset)}
+	}
+	key, minSup, err := gpapriori.ResultFingerprint(entry.DB, req.MiningConfig())
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	dsKey, ok := s.cluster.dsKeys[req.Dataset]
+	if !ok {
+		return s.submitLocal(req, id, idemKey)
+	}
+	owners := s.cluster.set.Resolve(dsKey)
+	local := forwarded || containsPeer(owners, s.cluster.self) ||
+		(!req.NoCache && s.cache.Contains(key))
+	if !local {
+		algo := req.Algorithm
+		if algo == "" {
+			algo = string(gpapriori.AlgoGPApriori)
+		}
+		return s.submitForward(req, id, idemKey, algo, key, minSup, entry.Info.Transactions, dsKey)
+	}
+	if !req.NoCache && !s.cache.Contains(key) {
+		s.consultPeerCaches(ctx, req.Dataset, key, minSup, entry.Info.Transactions)
+	}
+	return s.submitLocal(req, id, idemKey)
+}
+
+// submitLocal validates req against the registry, answers from the
+// result cache or the idempotency table when it can, and otherwise
+// queues a mining job. id is empty for fresh submissions and fixed
+// when replaying the drain journal; idemKey ("" = none) dedupes
+// retried submissions.
+func (s *Server) submitLocal(req gpapriori.ServeMineRequest, id, idemKey string) (*jobRecord, *gpapriori.ServeError) {
 	entry, ok := s.reg.Get(req.Dataset)
 	if !ok {
 		return nil, &gpapriori.ServeError{Status: http.StatusNotFound, Code: "unknown_dataset",
@@ -518,10 +610,15 @@ func (r *jobRecord) snapshot() (gpapriori.ServeJobInfo, bool, <-chan struct{}) {
 	if r.terminal {
 		return r.final, true, r.wake
 	}
+	state := r.fwdState
+	if r.mj != nil {
+		state = r.mj.State().String()
+	}
 	info := gpapriori.ServeJobInfo{
 		ID: r.id, Dataset: r.dataset, Algorithm: r.algo,
-		State: r.mj.State().String(), MinSupport: r.minSup,
+		State: state, MinSupport: r.minSup,
 		Transactions: r.trans, Degraded: r.degraded,
+		Forwarded: r.forwardedTo,
 	}
 	return info, false, r.wake
 }
@@ -586,16 +683,24 @@ func writeServeError(w http.ResponseWriter, se *gpapriori.ServeError) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := gpapriori.ServeHealth{Status: "ok"}
+	if s.cluster != nil {
+		h.Cluster = s.cluster.health()
+	}
 	s.mu.Lock()
-	status := "ok"
 	if s.anyDegradedLocked() {
-		status = "degraded"
+		h.Status = "degraded"
+	}
+	// A replica of a locally-owned dataset sitting on a suspected peer
+	// means a single further failure loses redundancy: degraded, not ok.
+	if h.Cluster != nil && len(h.Cluster.DegradedDatasets) > 0 {
+		h.Status = "degraded"
 	}
 	if s.draining {
-		status = "draining"
+		h.Status = "draining"
 	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+	writeJSON(w, http.StatusOK, h)
 }
 
 // anyDegradedLocked reports whether any live job is mining without a
@@ -628,6 +733,15 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	st.Overload.BodyLimitRejections = s.overCounts.BodyLimitRejections
 	st.Overload.HandlerTimeouts = s.overCounts.HandlerTimeouts
 	s.mu.Unlock()
+	if s.cluster != nil {
+		st.Cluster = s.cluster.stats()
+		// Forwarded jobs never enter the local jobs manager; fold them
+		// into the headline counters so totals stay meaningful.
+		st.Jobs.Submitted += st.Cluster.ForwardedJobs
+		st.Jobs.Done += st.Cluster.ForwardedDone
+		st.Jobs.Failed += st.Cluster.ForwardedFailed
+		st.Jobs.Canceled += s.cluster.fwdCanceled.Load()
+	}
 	writeJSON(w, http.StatusOK, st)
 }
 
@@ -659,7 +773,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeServeError(w, se)
 		return
 	}
-	rec, se := s.submit(*req, "", idemKey)
+	forwarded := r.Header.Get(gpapriori.ForwardedHeader) != ""
+	rec, se := s.submit(r.Context(), *req, "", idemKey, forwarded)
 	if se != nil {
 		writeServeError(w, se)
 		return
@@ -739,6 +854,9 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	if rec.mj != nil {
 		s.jm.Cancel(rec.mj)
+	}
+	if rec.fwdCancel != nil {
+		rec.fwdCancel()
 	}
 	info, _, _ := rec.snapshot()
 	writeJSON(w, http.StatusOK, info)
@@ -914,6 +1032,11 @@ func (s *Server) Drain(ctx context.Context) error {
 		}
 	}
 	s.mu.Unlock()
+	if s.cluster != nil {
+		// Stop the prober outside s.mu: Stop blocks on the probe loop's
+		// exit, and a probe in flight may be waiting on a slow peer.
+		s.cluster.set.Stop()
+	}
 	// The records were collected in map order; the journal on disk and
 	// every log line derived from it must not depend on that.
 	sort.Slice(entries, func(i, j int) bool { return entries[i].ID < entries[j].ID })
@@ -939,6 +1062,9 @@ func (s *Server) Drain(ctx context.Context) error {
 	for _, rec := range pending {
 		if rec.mj != nil {
 			s.jm.Cancel(rec.mj)
+		}
+		if rec.fwdCancel != nil {
+			rec.fwdCancel()
 		}
 	}
 	done := make(chan struct{})
@@ -1025,7 +1151,7 @@ func (s *Server) replayJournal() error {
 	}
 	for _, e := range j.Jobs {
 		s.bumpNextID(e.ID)
-		if _, se := s.submit(e.Request, e.ID, e.IdemKey); se != nil {
+		if _, se := s.submit(s.baseCtx, e.Request, e.ID, e.IdemKey, false); se != nil {
 			s.failRecord(e, se)
 		}
 	}

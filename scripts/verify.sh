@@ -217,3 +217,113 @@ kill -TERM "$LOAD_SRV_PID"
 wait "$LOAD_SRV_PID"
 grep -q 'drained' "$SMOKE/overload.log"
 echo "overload smoke: OK"
+
+# Multi-node cluster smoke: boot a 3-peer cluster (replication 2),
+# submit through a peer that does not own the dataset and require the
+# forwarded result to be byte-identical to the offline run; resubmit
+# through the co-owner and require the answer to come from a peer cache
+# replica; then kill -9 the primary owner mid-job and require the
+# retrying client — still talking to the non-owner — to recover the
+# identical result, the surviving owner to report degraded, and the
+# survivors to drain cleanly.
+CL_PORTS=$(python3 - <<'PY'
+import socket
+socks = [socket.socket() for _ in range(3)]
+for s in socks:
+    s.bind(("127.0.0.1", 0))
+print(" ".join(str(s.getsockname()[1]) for s in socks))
+for s in socks:
+    s.close()
+PY
+)
+set -- $CL_PORTS
+CL_PEERS="http://127.0.0.1:$1,http://127.0.0.1:$2,http://127.0.0.1:$3"
+for P in "$@"; do
+    "$SMOKE/gpaserve" -listen "127.0.0.1:$P" -dataset d=gen:chess:1.0 \
+        -state-dir "$SMOKE/cl$P" -cache-mb 16 \
+        -peers "$CL_PEERS" -self "http://127.0.0.1:$P" -replication 2 \
+        -probe-interval 100ms -suspect-after 2 -recover-after 1 \
+        -port-file "$SMOKE/clport$P" > "$SMOKE/cl$P.log" 2>&1 &
+done
+for P in "$@"; do
+    for _ in $(seq 1 100); do
+        [ -s "$SMOKE/clport$P" ] && break
+        sleep 0.1
+    done
+    [ -s "$SMOKE/clport$P" ]
+done
+
+# Placement is deterministic; read it from /statsz and classify the
+# peers: primary owner, secondary owner, non-owner.
+CL_ROLES=$(python3 - "$@" <<'PY'
+import json, sys, urllib.request
+ports = sys.argv[1:4]
+urls = ["http://127.0.0.1:%s" % p for p in ports]
+st = json.load(urllib.request.urlopen(urls[0] + "/statsz"))
+owners = st["cluster"]["placement"]["d"]
+non = [p for p, u in zip(ports, urls) if u not in owners][0]
+print(ports[urls.index(owners[0])], ports[urls.index(owners[1])], non)
+PY
+)
+set -- $CL_ROLES
+CL_PRIM=$1; CL_SEC=$2; CL_NON=$3
+
+# 1. Forwarded submit through the non-owner == offline bytes.
+"$SMOKE/gpapriori" -serve-url "http://127.0.0.1:$CL_NON" -dataset d \
+    -minsup 0.8 -result-only > "$SMOKE/cluster-served.txt"
+"$SMOKE/gpapriori" -dataset chess -scale 1.0 \
+    -minsup 0.8 -result-only > "$SMOKE/cluster-offline.txt"
+diff -u "$SMOKE/cluster-offline.txt" "$SMOKE/cluster-served.txt"
+python3 - "$CL_NON" <<'PY'
+import json, sys, urllib.request
+st = json.load(urllib.request.urlopen("http://127.0.0.1:%s/statsz" % sys.argv[1]))
+assert st["cluster"]["forwarded_jobs"] >= 1, st["cluster"]
+PY
+
+# 2. Resubmit through the co-owner: answered from the primary's cache
+# over the peer-cache protocol, installing a local replica.
+"$SMOKE/gpapriori" -serve-url "http://127.0.0.1:$CL_SEC" -dataset d \
+    -minsup 0.8 -result-only > "$SMOKE/cluster-resub.txt"
+diff -u "$SMOKE/cluster-offline.txt" "$SMOKE/cluster-resub.txt"
+python3 - "$CL_SEC" <<'PY'
+import json, sys, urllib.request
+st = json.load(urllib.request.urlopen("http://127.0.0.1:%s/statsz" % sys.argv[1]))
+assert st["cluster"]["cache_peer_hits"] >= 1, st["cluster"]
+PY
+
+# 3. Kill -9 the primary owner mid-job; the retrying client through the
+# non-owner must still recover the byte-identical result (the job fails
+# over to a surviving replica).
+"$SMOKE/gpapriori" -serve-url "http://127.0.0.1:$CL_NON" -dataset d \
+    -algo goethals -minsup 0.45 -maxlen 5 -result-only \
+    -retry-max 10 -retry-base-ms 100 -retry-jitter 0.2 -retry-seed 1 \
+    > "$SMOKE/cluster-chaos.txt" &
+CL_CLIENT_PID=$!
+sleep 1
+CL_PRIM_PID=$(pgrep -f -- "-listen 127.0.0.1:$CL_PRIM")
+kill -9 "$CL_PRIM_PID"
+wait "$CL_CLIENT_PID"
+diff -u "$SMOKE/chaos-offline.txt" "$SMOKE/cluster-chaos.txt"
+
+# 4. The surviving co-owner now holds the only replica of a dataset it
+# owns: its health must degrade, not lie with "ok".
+python3 - "$CL_SEC" <<'PY'
+import json, sys, time, urllib.request
+deadline = time.time() + 10
+while True:
+    h = json.load(urllib.request.urlopen("http://127.0.0.1:%s/healthz" % sys.argv[1]))
+    if h["status"] == "degraded":
+        assert "d" in h["cluster"]["degraded_datasets"], h
+        break
+    assert time.time() < deadline, "survivor never degraded: %s" % h
+    time.sleep(0.2)
+PY
+
+# 5. Survivors drain cleanly.
+for P in "$CL_SEC" "$CL_NON"; do
+    PID=$(pgrep -f -- "-listen 127.0.0.1:$P")
+    kill -TERM "$PID"
+    while kill -0 "$PID" 2>/dev/null; do sleep 0.1; done
+    grep -q 'drained' "$SMOKE/cl$P.log"
+done
+echo "cluster smoke: OK"

@@ -125,6 +125,11 @@ type ServeJobInfo struct {
 	DeviceSeconds float64 `json:"device_seconds,omitempty"`
 	// Faults reports injected-fault activity of the run, if any.
 	Faults *FaultStats `json:"fault_stats,omitempty"`
+	// Forwarded names the peer that actually executed a job this node
+	// proxied to a cluster owner (empty for locally mined jobs). The
+	// submitting client needs no awareness of it — results stream back
+	// through the node it talked to — but it makes placement auditable.
+	Forwarded string `json:"forwarded,omitempty"`
 }
 
 // Terminal reports whether the job has reached a terminal state.
@@ -197,6 +202,77 @@ type ServeStats struct {
 	Overload ServeOverloadStats `json:"overload"`
 	// Datasets lists the registry.
 	Datasets []ServeDatasetInfo `json:"datasets"`
+	// Cluster is the multi-node section: membership, probe state,
+	// placement, and forwarding/cache-peer counters. Nil on a
+	// single-node daemon.
+	Cluster *ServeClusterStats `json:"cluster,omitempty"`
+}
+
+// ServeClusterStats is the /statsz cluster section of a multi-node
+// daemon.
+type ServeClusterStats struct {
+	// Self is this node's advertised URL; Replication is how many
+	// distinct peers own each dataset.
+	Self        string `json:"self"`
+	Replication int    `json:"replication"`
+	// Peers is every member's probe state as seen from this node.
+	Peers []ServePeerStatus `json:"peers"`
+	// OwnedDatasets are the registered datasets whose static owner set
+	// includes this node.
+	OwnedDatasets []string `json:"owned_datasets"`
+	// Placement maps every registered dataset to its static owner URLs
+	// in ring order (first entry = primary). All nodes agree on it;
+	// scripts use it to find a non-owner to submit through.
+	Placement map[string][]string `json:"placement"`
+	// ForwardedJobs counts submissions proxied to a remote owner;
+	// ForwardFailovers counts mid-job switches to another owner after
+	// the current one failed; ForwardedDone/Failed split the outcomes.
+	ForwardedJobs    int64 `json:"forwarded_jobs"`
+	ForwardFailovers int64 `json:"forward_failovers"`
+	ForwardedDone    int64 `json:"forwarded_done"`
+	ForwardedFailed  int64 `json:"forwarded_failed"`
+	// CachePeerHits/Misses count this node's lookups into other
+	// owners' result caches before recomputing; ReplicasInstalled
+	// counts bodies fetched that way and installed locally;
+	// CachePeerServed counts /v1/cache hits served to other nodes.
+	CachePeerHits          int64 `json:"cache_peer_hits"`
+	CachePeerMisses        int64 `json:"cache_peer_misses"`
+	CacheReplicasInstalled int64 `json:"cache_replicas_installed"`
+	CachePeerServed        int64 `json:"cache_peer_served"`
+}
+
+// ServePeerStatus is one peer's health as seen by the reporting node.
+type ServePeerStatus struct {
+	URL  string `json:"url"`
+	Self bool   `json:"self,omitempty"`
+	// State is "alive" or "suspected" (probe failures past the
+	// hysteresis threshold).
+	State               string `json:"state"`
+	ConsecutiveFailures int    `json:"consecutive_failures,omitempty"`
+	Probes              int64  `json:"probes,omitempty"`
+	Failures            int64  `json:"failures,omitempty"`
+	LastError           string `json:"last_error,omitempty"`
+}
+
+// ServeHealth is the body of GET /healthz. Status is "ok", "degraded"
+// (a job lost its durability net, or a replica of a locally-owned
+// dataset sits on a suspected peer), or "draining".
+type ServeHealth struct {
+	Status string `json:"status"`
+	// Cluster is present on multi-node daemons.
+	Cluster *ServeClusterHealth `json:"cluster,omitempty"`
+}
+
+// ServeClusterHealth is the cluster section of /healthz: just enough
+// for a load balancer or probe to see membership health without the
+// full /statsz payload.
+type ServeClusterHealth struct {
+	Self  string            `json:"self"`
+	Peers []ServePeerStatus `json:"peers"`
+	// DegradedDatasets lists locally-owned datasets with at least one
+	// replica on a suspected peer — data that is one more failure away
+	// from losing redundancy.
+	DegradedDatasets []string `json:"degraded_datasets,omitempty"`
 }
 
 // ServeOverloadStats is the /statsz overload section: the admission
@@ -325,6 +401,11 @@ type ServeConfig struct {
 	// Retry makes the client survive transient failures (zero value =
 	// single attempt, fail fast).
 	Retry RetryPolicy
+	// Header, when non-nil, is merged into every request the client
+	// sends. gpaserve's forwarding path uses it to mark proxied
+	// submissions (ForwardedHeader) so a peer never re-forwards an
+	// already-forwarded job.
+	Header http.Header
 }
 
 // ServeClient talks to a gpaserve daemon. All methods thread their
@@ -337,6 +418,7 @@ type ServeClient struct {
 	base string
 	http *http.Client
 	wait time.Duration
+	hdr  http.Header
 
 	retry RetryPolicy
 	// sleep is the backoff seam: tests replace it to run retry
@@ -376,6 +458,7 @@ func NewServeClient(cfg ServeConfig) (*ServeClient, error) {
 		base:  strings.TrimSuffix(cfg.BaseURL, "/"),
 		http:  hc,
 		wait:  wait,
+		hdr:   cfg.Header,
 		retry: cfg.Retry,
 		sleep: sleepContext,
 		rng:   rand.New(rand.NewSource(cfg.Retry.Seed)),
@@ -533,11 +616,8 @@ func (c *ServeClient) doOnce(ctx context.Context, method, path string, body, out
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
-	for k, vs := range hdr {
-		for _, v := range vs {
-			req.Header.Set(k, v)
-		}
-	}
+	applyHeader(req, c.hdr)
+	applyHeader(req, hdr)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return err
@@ -551,6 +631,16 @@ func (c *ServeClient) doOnce(ctx context.Context, method, path string, body, out
 		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// applyHeader merges hdr into the request (per-key Set semantics, so
+// later sources override earlier ones).
+func applyHeader(req *http.Request, hdr http.Header) {
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Set(k, v)
+		}
+	}
 }
 
 // decodeServeError turns a non-2xx response into a *ServeError,
@@ -573,15 +663,24 @@ func decodeServeError(resp *http.Response) error {
 	return se
 }
 
-// Health returns the daemon's health status string: "ok" or "draining".
+// Health returns the daemon's health status string: "ok", "degraded"
+// or "draining".
 func (c *ServeClient) Health(ctx context.Context) (string, error) {
-	var out struct {
-		Status string `json:"status"`
-	}
-	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &out, nil); err != nil {
+	h, err := c.HealthDetail(ctx)
+	if err != nil {
 		return "", err
 	}
-	return out.Status, nil
+	return h.Status, nil
+}
+
+// HealthDetail returns the full /healthz body, including the cluster
+// section of a multi-node daemon.
+func (c *ServeClient) HealthDetail(ctx context.Context) (*ServeHealth, error) {
+	out := &ServeHealth{}
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, out, nil); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Stats fetches the /statsz metrics snapshot.
@@ -606,6 +705,12 @@ func (c *ServeClient) Datasets(ctx context.Context) ([]ServeDatasetInfo, error) 
 // daemon dedupes on.
 const idempotencyHeader = "Idempotency-Key"
 
+// ForwardedHeader marks a submission proxied by a cluster peer. A
+// daemon receiving it serves the job itself — even when placement says
+// another node owns the dataset — so divergent health views can cost
+// an extra hop but never a forwarding cycle.
+const ForwardedHeader = "X-Gpapriori-Forwarded"
+
 // Submit queues one mining request and returns the job handle. A
 // result-cache hit comes back already terminal with Cached set. Every
 // submission carries a fresh idempotency key, stable across the call's
@@ -613,6 +718,15 @@ const idempotencyHeader = "Idempotency-Key"
 // never a second enqueue.
 func (c *ServeClient) Submit(ctx context.Context, req ServeMineRequest) (*ServeJobInfo, error) {
 	return c.submitKeyed(ctx, req, newIdempotencyKey())
+}
+
+// SubmitKeyed is Submit with a caller-chosen idempotency key. The
+// cluster forwarding path derives the key from the forwarding node's
+// own job id, so a failover that revisits an owner collapses onto the
+// remote job the first visit created instead of enqueueing a second
+// run.
+func (c *ServeClient) SubmitKeyed(ctx context.Context, req ServeMineRequest, key string) (*ServeJobInfo, error) {
+	return c.submitKeyed(ctx, req, key)
 }
 
 // submitKeyed is Submit with a caller-provided idempotency key — the
@@ -719,6 +833,29 @@ func (c *ServeClient) Cancel(ctx context.Context, id string) (*ServeJobInfo, err
 	return out, nil
 }
 
+// CacheLookup fetches the daemon's cached canonical result body for a
+// result fingerprint, or a typed 404 (code "cache_miss") when the key
+// is not resident. It is a single attempt by design: the cluster's
+// peer-consult path races recomputation, so a missing entry should be
+// answered by mining, not by retrying the lookup.
+func (c *ServeClient) CacheLookup(ctx context.Context, key uint64) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/v1/cache/%016x", c.base, key), nil)
+	if err != nil {
+		return nil, err
+	}
+	applyHeader(req, c.hdr)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, decodeServeError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
 // Result fetches a done job's full frequent-itemset result (the
 // resultio-normalized canonical order).
 func (c *ServeClient) Result(ctx context.Context, id string) ([]Itemset, error) {
@@ -727,6 +864,7 @@ func (c *ServeClient) Result(ctx context.Context, id string) ([]Itemset, error) 
 	if err != nil {
 		return nil, err
 	}
+	applyHeader(req, c.hdr)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, err
@@ -822,6 +960,7 @@ func (c *ServeClient) streamOnce(ctx context.Context, id string, lastGen *int, f
 	if err != nil {
 		return nil, false, err
 	}
+	applyHeader(req, c.hdr)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, false, err
